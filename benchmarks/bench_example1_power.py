@@ -1,0 +1,72 @@
+"""Experiment: Example 1 + Table 1 — the worked power estimate for TEST1.
+
+Paper values: average schedule length 119.11 cycles; state
+probabilities P_S0=0.008 … P_S5=0.404; per-component energies
+(incrementer 34.27, comparators 108.75, adders 63.64, multiplier 41.70,
+registers 99.38, memory 93.10, all ×Vdd²); total 665.58·Vdd²; Vdd
+scaling 5 V → 4.29 V against a 151.30-cycle baseline; final power
+80.96 / cycle_time.
+"""
+
+import pytest
+
+from repro.bench import test1_behavior as make_test1_behavior
+from repro.bench import test1_fig1c_stg as make_fig1c_stg
+from repro.hw import table1_library
+from repro.power import estimate_power, scaled_vdd_for_schedule
+from repro.stg import average_schedule_length, state_probabilities
+
+from .conftest import once
+
+
+@pytest.fixture(scope="module")
+def example1():
+    beh = make_test1_behavior()
+    stg = make_fig1c_stg(beh)
+    est = estimate_power(stg, beh.graph, table1_library(), vdd=5.0)
+    return beh, stg, est
+
+
+def test_example1_power_model(benchmark, example1):
+    beh, stg, _ = example1
+
+    def run():
+        return estimate_power(stg, beh.graph, table1_library(), vdd=5.0)
+
+    est = once(benchmark, run)
+    length = est.schedule_length
+    vdd = scaled_vdd_for_schedule(length, 151.30)
+    power = est.total_energy * vdd ** 2 / 151.30
+
+    print("\n=== Example 1 (TEST1 power estimate) ===")
+    print(f"{'metric':28} {'paper':>10} {'ours':>10}")
+    rows = [
+        ("avg schedule length", 119.11, length),
+        ("incrementer energy", 34.27, est.fu_energy["incr1"]),
+        ("comparator energy", 108.75, est.fu_energy["comp1"]),
+        ("adder energy", 63.64, est.fu_energy["cla1"]),
+        ("multiplier energy", 41.70, est.fu_energy["w_mult1"]),
+        ("register energy", 99.38, est.register_energy),
+        ("memory energy", 93.10, est.memory_energy),
+        ("total energy (Vdd^2)", 665.58, est.total_energy),
+        ("scaled Vdd (V)", 4.29, vdd),
+        ("power (/cycle_time)", 80.96, power),
+    ]
+    for label, paper, ours in rows:
+        print(f"{label:28} {paper:>10.2f} {ours:>10.2f}")
+    for label, paper, ours in rows:
+        assert ours == pytest.approx(paper, rel=0.05), label
+
+
+def test_example1_state_probabilities(benchmark, example1):
+    beh, stg, _ = example1
+    probs = once(benchmark, lambda: state_probabilities(stg))
+    by_label = {stg.states[sid].label: p for sid, p in probs.items()}
+    paper = {"S0": 0.008, "S1": 0.008, "S2": 0.153, "S3": 0.259,
+             "S4": 0.149, "S5": 0.404, "S6": 0.003, "S7": 0.008,
+             "S8": 0.008}
+    print("\nstate probabilities (paper / ours):")
+    for label in sorted(paper):
+        print(f"  {label}: {paper[label]:.3f} / {by_label[label]:.3f}")
+    for label, expected in paper.items():
+        assert by_label[label] == pytest.approx(expected, abs=0.01)

@@ -1,0 +1,90 @@
+"""Experiment: Example 3 / Figure 4 — distributivity across basic blocks.
+
+With one multiplier and two subtracters, the matched thread of the
+Figure-4(a) CDFG takes three datapath cycles (two serialized multiplies
+feeding a subtract); after the cross-join factoring it takes two (one
+subtract, one multiply).  Other threads are untouched, and the two
+generated implementations are mutually exclusive.
+"""
+
+import pytest
+
+from repro.bench import (example3_allocation, example3_behavior,
+                         matched_path_probs)
+from repro.cdfg import GuardAnalysis, OpKind, execute
+from repro.hw import dac98_library
+from repro.sched import SchedConfig, Scheduler
+from repro.transforms import Distributivity
+
+from .conftest import once
+
+LIB = dac98_library()
+
+#: Condition-resolution state + output latch, excluded when counting
+#: the paper's datapath cycles.
+OVERHEAD_STATES = 2
+
+
+def schedule_length(behavior, take_c):
+    probs = matched_path_probs(behavior, take_c)
+    result = Scheduler(behavior, LIB, example3_allocation(),
+                       SchedConfig(), probs).schedule()
+    return result.average_length()
+
+
+@pytest.fixture(scope="module")
+def transformed():
+    behavior = example3_behavior()
+    cands = [c for c in Distributivity().find(behavior)
+             if "across joins" in c.description]
+    assert cands, "cross-block site must be recognized"
+    return behavior, cands[0].apply(behavior)
+
+
+def test_example3_matched_thread_3_to_2_cycles(benchmark, transformed):
+    original, rewritten = transformed
+
+    def run():
+        return (schedule_length(original, True),
+                schedule_length(rewritten, True))
+
+    before, after = once(benchmark, run)
+    print("\n=== Example 3 (cross-block distributivity) ===")
+    print(f"matched thread: {before - OVERHEAD_STATES:.0f} -> "
+          f"{after - OVERHEAD_STATES:.0f} datapath cycles "
+          f"(paper: 3 -> 2)")
+    assert before - OVERHEAD_STATES == pytest.approx(3.0)
+    assert after - OVERHEAD_STATES == pytest.approx(2.0)
+
+
+def test_example3_other_threads_unaffected(benchmark, transformed):
+    original, rewritten = transformed
+
+    def run():
+        return (schedule_length(original, False),
+                schedule_length(rewritten, False))
+
+    before, after = once(benchmark, run)
+    assert after == pytest.approx(before)
+
+
+def test_example3_functionality_every_thread(transformed):
+    original, rewritten = transformed
+    for c in (5, 0, -7):
+        stim = {"x1": 3, "x2": 11, "x3": 4, "x4": 50, "x5": 8, "c": c}
+        assert execute(rewritten, stim).outputs \
+            == execute(original, stim).outputs
+
+
+def test_example3_single_multiplier_after_rewrite(transformed):
+    _original, rewritten = transformed
+    muls = [n.id for n in rewritten.graph if n.kind is OpKind.MUL]
+    assert len(muls) == 1
+
+
+def test_example3_implementations_mutually_exclusive(transformed):
+    _original, rewritten = transformed
+    g = rewritten.graph
+    subs = [n.id for n in g if n.kind is OpKind.SUB]
+    assert len(subs) == 2
+    assert GuardAnalysis(g).mutually_exclusive(*subs)

@@ -1,0 +1,74 @@
+"""Experiment: Table 2, throughput-optimization columns.
+
+For every circuit, run M1 (schedule only), Flamel (transform-first,
+static heuristics) and FACT (schedule-guided search) under the Table-3
+allocation and 25 ns clock, and report cycles⁻¹ × 1000 per CDFG
+iteration next to the paper's values.
+
+Shape requirements (absolute values depend on our reconstructed
+sources and traces; see EXPERIMENTS.md):
+
+* FACT ≥ Flamel ≥ M1 for every circuit;
+* FIR shows the largest FACT gain (≥ 4× — paper 6×, via strength
+  reduction to a fully pipelined shift-add datapath);
+* Test2 lands at the paper's exact 2.0 / 2.0 / 2.5 row;
+* PPS: Flamel = FACT (pure tree-height reduction, paper 333 = 333);
+* the FACT/M1 geomean is ≥ 1.8 (paper mean 2.7×).
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.bench.table2 import (ThroughputRow, format_throughput_table,
+                                run_throughput_row)
+
+from .conftest import once
+
+_ROWS: Dict[str, ThroughputRow] = {}
+
+ORDER = ["gcd", "fir", "test2", "sintran", "igf", "pps"]
+
+
+def _row(name: str) -> ThroughputRow:
+    if name not in _ROWS:
+        _ROWS[name] = run_throughput_row(name)
+    return _ROWS[name]
+
+
+@pytest.mark.parametrize("name", ORDER)
+def test_table2_throughput_row(benchmark, name):
+    row = once(benchmark, lambda: _row(name))
+    ours = row.ours()
+    paper = row.circuit.paper_throughput
+    print(f"\n{name}: ours M1/Fl/FACT = "
+          f"{ours[0]:.1f}/{ours[1]:.1f}/{ours[2]:.1f}  "
+          f"paper = {paper[0]}/{paper[1]}/{paper[2]}")
+    # Ordering: FACT >= Flamel >= M1 (small tolerance for estimator
+    # noise).
+    assert ours[2] >= ours[1] * 0.99
+    assert ours[1] >= ours[0] * 0.99
+
+
+def test_table2_throughput_summary(benchmark):
+    rows = once(benchmark, lambda: [_row(n) for n in ORDER])
+    print()
+    print(format_throughput_table(rows))
+    by_name = {r.circuit.name: r for r in rows}
+
+    # FIR: the headline result — strength reduction pipelines to ~II 1.
+    assert by_name["fir"].fact_over_m1 >= 4.0
+    # Test2: the Example-2 row, exact.
+    t2 = by_name["test2"].ours()
+    assert t2[0] == pytest.approx(2.0, abs=0.1)
+    assert t2[2] == pytest.approx(2.5, abs=0.15)
+    # PPS: associativity alone; Flamel matches FACT.
+    pps = by_name["pps"].ours()
+    assert pps[1] == pytest.approx(pps[2], rel=0.05)
+    assert pps[0] == pytest.approx(125.0, abs=2.0)
+    # Aggregate factor.
+    geomean = 1.0
+    for row in rows:
+        geomean *= row.fact_over_m1
+    geomean **= 1.0 / len(rows)
+    assert geomean >= 1.8, f"geomean FACT/M1 {geomean:.2f}"

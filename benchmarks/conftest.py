@@ -1,0 +1,15 @@
+"""Shared configuration for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables / figures.  The
+heavy experiments (full FACT searches) run exactly once per session via
+``benchmark.pedantic(rounds=1, iterations=1)`` and cache their results
+in module-scope fixtures, so asserting on several aspects of one
+experiment does not re-run it.
+"""
+
+import pytest
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

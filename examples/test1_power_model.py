@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Example 1 walkthrough: the paper's worked power estimate for TEST1.
+
+Reconstructs the Figure-1(c) schedule, runs the Markov analysis of the
+paper's reference [10], prices every component with the Table-1 library,
+and performs the supply-voltage scaling — printing our numbers next to
+the paper's at each step.
+
+Run:  python examples/test1_power_model.py
+"""
+
+from repro.bench import (test1_behavior, test1_branch_probs,
+                         test1_fig1c_stg)
+from repro.hw import table1_allocation, table1_library
+from repro.power import estimate_power, scaled_vdd_for_schedule
+from repro.sched import Scheduler, SchedConfig
+from repro.stg import average_schedule_length, state_probabilities
+
+
+def main() -> None:
+    behavior = test1_behavior()
+    library = table1_library()
+
+    # The Figure-1(c) STG (reconstructed from the paper's arithmetic).
+    stg = test1_fig1c_stg(behavior)
+    print(f"Figure-1(c) STG: {len(stg)} states")
+
+    length = average_schedule_length(stg)
+    print(f"average schedule length: {length:.2f} cycles "
+          f"(paper: 119.11)")
+
+    probs = state_probabilities(stg)
+    print("state probabilities (paper P_S5 = 0.404):")
+    for sid in stg.state_ids():
+        label = stg.states[sid].label
+        print(f"  {label}: {probs[sid]:.3f}")
+
+    est = estimate_power(stg, behavior.graph, library, vdd=5.0)
+    print("\nper-component energy (Vdd^2 units):")
+    paper = {"incr1": 34.27, "comp1": 108.75, "cla1": 63.64,
+             "w_mult1": 41.70}
+    for fu, energy in sorted(est.fu_energy.items()):
+        print(f"  {fu:10} {energy:7.2f}  (paper {paper.get(fu, 0):.2f})")
+    print(f"  {'registers':10} {est.register_energy:7.2f}  (paper 99.38)")
+    print(f"  {'memory':10} {est.memory_energy:7.2f}  (paper 93.10)")
+    print(f"total energy: {est.total_energy:.2f} (paper 665.58)")
+
+    # Vdd scaling against the untransformed design's 151.30 cycles.
+    vdd = scaled_vdd_for_schedule(length, 151.30)
+    power = est.total_energy * vdd ** 2 / 151.30
+    print(f"\nscaled Vdd: {vdd:.2f} V (paper 4.29 V)")
+    print(f"power: {power:.2f} / cycle_time (paper 80.96)")
+
+    # For comparison: what our own scheduler produces for TEST1 under
+    # the same branch probabilities.
+    result = Scheduler(behavior, library, table1_allocation(),
+                       SchedConfig(),
+                       test1_branch_probs(behavior)).schedule()
+    print(f"\nour scheduler on the same behavior: "
+          f"{result.average_length():.2f} cycles, "
+          f"{result.n_states()} states")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a reproduction of FACT (Lakshminarayana & Jha, DAC 1998).
+
+FACT applies throughput- and power-optimizing transformations to
+control-flow intensive behavioral descriptions, guided by scheduling
+information and able to transcend basic-block boundaries.
+
+Public API highlights:
+
+* :mod:`repro.lang` — BDL behavioral-language frontend.
+* :mod:`repro.cdfg` — CDFG IR, builder, interpreter, analysis.
+* :mod:`repro.sched` — CFI scheduler producing state transition graphs.
+* :mod:`repro.stg` — STG model and Markov performance analysis.
+* :mod:`repro.power` — high-level power estimation and Vdd scaling.
+* :mod:`repro.transforms` — the transformation library.
+* :mod:`repro.core` — STG partitioning, the Apply_transforms search,
+  and the top-level :class:`~repro.core.fact.Fact` driver.
+* :mod:`repro.baselines` — M1 (no transformations) and Flamel
+  (transform-first) reference flows.
+* :mod:`repro.bench` — the paper's benchmark circuits and allocations.
+"""
+
+__version__ = "0.1.0"

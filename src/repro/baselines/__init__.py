@@ -1,0 +1,6 @@
+"""Reference flows: M1 (schedule only) and Flamel (transform-first)."""
+
+from .flamel import FlamelResult, run_flamel, static_metric
+from .m1 import run_m1
+
+__all__ = ["FlamelResult", "run_flamel", "run_m1", "static_metric"]

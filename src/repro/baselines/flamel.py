@@ -1,0 +1,127 @@
+"""Flamel baseline (Trickey, 1987): transform first, schedule after.
+
+Flamel applies the same kind of transformation suite as FACT and can
+also cross basic-block boundaries, but it selects transformations with
+*static dataflow heuristics* — no scheduling feedback.  We model its
+selection as greedy hill climbing on a lexicographic metric:
+
+1. weighted critical-path length (ns) of each region, scaled by loop
+   nesting (inner regions execute more often) — tree height reduction
+   and speculation improve this;
+2. total operation cost (Σ delays) — constant folding and CSE improve
+   this, and it *rejects* moves like strength reduction that trade one
+   multiply for several adds, which is precisely why Flamel misses the
+   schedule-level wins FACT finds (Table 2's FIR row).
+
+After the greedy fixpoint the behavior goes through the same scheduler
+as everyone else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
+                            SeqRegion)
+from ..errors import ReproError
+from ..hw import Allocation, Library
+from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.types import BranchProbs, ResourceModel, SchedConfig
+from ..transforms import TransformLibrary, flamel_library
+
+#: Assumed executions of a loop body per entry, for metric weighting.
+LOOP_WEIGHT = 10.0
+
+
+def static_metric(behavior: Behavior, library: Library,
+                  allocation: Allocation) -> Tuple[float, float, int]:
+    """Lexicographic cost, lower is better.
+
+    ``(weighted critical path ns, total op cost ns, guarded-op count)``
+    — the last component lets the greedy climb out of plateaus where a
+    single speculation step does not yet shorten the critical path.
+    """
+    rm = ResourceModel(behavior.graph, library, allocation)
+    g = behavior.graph
+
+    def critical_path(nodes) -> float:
+        ids = set(nodes)
+        if not ids:
+            return 0.0
+        height = {}
+        for nid in reversed(g.topo_order(ids)):
+            succ = max((height.get(s, 0.0) for s in g.succs(nid)
+                        if s in ids), default=0.0)
+            height[nid] = rm.delay_of(nid) + succ
+        return max(height.values(), default=0.0)
+
+    def walk(region: Region, weight: float) -> float:
+        if isinstance(region, BlockRegion):
+            return weight * critical_path(region.nodes)
+        if isinstance(region, SeqRegion):
+            return sum(walk(c, weight) for c in region.children)
+        if isinstance(region, LoopRegion):
+            w = weight * (region.trip_count if region.trip_count
+                          is not None else LOOP_WEIGHT)
+            return (w * critical_path(region.cond_nodes)
+                    + walk(region.body, w))
+        return 0.0
+
+    path = walk(behavior.region, 1.0)
+    cost = sum(rm.delay_of(nid) for nid in g.node_ids())
+    guarded = sum(1 for nid in g.node_ids()
+                  if g.control_inputs(nid)
+                  and rm.resource_of(nid) is not None)
+    return (path, cost, guarded)
+
+
+@dataclass
+class FlamelResult:
+    """Greedy transformation outcome plus the final schedule."""
+
+    behavior: Behavior
+    result: ScheduleResult
+    steps: int
+    applied: Tuple[str, ...]
+
+
+def run_flamel(behavior: Behavior, library: Library,
+               allocation: Allocation,
+               config: Optional[SchedConfig] = None,
+               branch_probs: Optional[BranchProbs] = None,
+               transforms: Optional[TransformLibrary] = None,
+               max_steps: int = 40) -> FlamelResult:
+    """Greedy static transformation, then scheduling."""
+    transforms = transforms or flamel_library()
+    current = behavior
+    current_metric = static_metric(current, library, allocation)
+    applied = []
+    steps = 0
+    size_cap = 6 * max(len(behavior.graph), 16)
+    for _ in range(max_steps):
+        best_metric = current_metric
+        best_behavior = None
+        best_desc = ""
+        for cand in transforms.candidates(current):
+            try:
+                candidate_behavior = cand.apply(current)
+            except ReproError:
+                continue
+            if len(candidate_behavior.graph) > size_cap:
+                continue  # runaway growth guard
+            metric = static_metric(candidate_behavior, library,
+                                   allocation)
+            if metric < best_metric:
+                best_metric = metric
+                best_behavior = candidate_behavior
+                best_desc = f"{cand.transform}:{cand.description}"
+        if best_behavior is None:
+            break
+        current = best_behavior
+        current_metric = best_metric
+        applied.append(best_desc)
+        steps += 1
+    result = Scheduler(current, library, allocation, config,
+                       branch_probs).schedule()
+    return FlamelResult(current, result, steps, tuple(applied))

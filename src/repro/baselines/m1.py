@@ -1,0 +1,25 @@
+"""M1 baseline: behavioral synthesis without transformation search.
+
+"Method M1 just takes the input CDFG through behavioral synthesis,
+giving it access to only those transformations supported by our
+scheduling algorithm" (paper Section 5) — i.e. the scheduler's implicit
+loop unrolling, functional pipelining and concurrent-loop optimization
+still apply, but no CDFG rewriting happens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cdfg.regions import Behavior
+from ..hw import Allocation, Library
+from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.types import BranchProbs, SchedConfig
+
+
+def run_m1(behavior: Behavior, library: Library, allocation: Allocation,
+           config: Optional[SchedConfig] = None,
+           branch_probs: Optional[BranchProbs] = None) -> ScheduleResult:
+    """Schedule the untransformed behavior."""
+    return Scheduler(behavior, library, allocation, config,
+                     branch_probs).schedule()

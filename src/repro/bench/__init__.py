@@ -1,0 +1,19 @@
+"""The paper's benchmark circuits, allocations and libraries."""
+
+from .allocations import TABLE2_CLOCK_NS, TABLE3, allocation_for
+from .circuits import CIRCUITS, Circuit, circuit
+from .example3 import (EXAMPLE3_ALLOCATION, example3_allocation,
+                       example3_behavior, matched_path_probs)
+from .figures import kernel_table, phase_diagram
+from .test1 import (P_IF_TAKEN, P_LOOP_CLOSE, TEST1_SOURCE, Test1Nodes,
+                    test1_behavior, test1_branch_probs, test1_fig1c_stg,
+                    test1_nodes)
+
+__all__ = [
+    "CIRCUITS", "Circuit", "EXAMPLE3_ALLOCATION", "P_IF_TAKEN",
+    "P_LOOP_CLOSE", "TABLE2_CLOCK_NS", "TABLE3", "TEST1_SOURCE",
+    "Test1Nodes", "allocation_for", "circuit", "example3_allocation",
+    "kernel_table", "phase_diagram",
+    "example3_behavior", "matched_path_probs", "test1_behavior",
+    "test1_branch_probs", "test1_fig1c_stg", "test1_nodes",
+]

@@ -1,0 +1,36 @@
+"""Allocation constraints for the paper's experiments (Table 3).
+
+FU type names follow Section 5's library: a1 adder, sb1 subtracter,
+mt1 multiplier, cp1 less-than comparator, e1 equality comparator,
+i1 incrementer, n1 multi-bit inverter, s1 shifter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import BenchError
+from ..hw import Allocation
+
+#: Table 3, row by circuit.
+TABLE3: Dict[str, Dict[str, int]] = {
+    "gcd": {"sb1": 2, "cp1": 1, "e1": 1},
+    "fir": {"a1": 1, "sb1": 4, "mt1": 1, "n1": 4},
+    "test2": {"a1": 2, "sb1": 2, "cp1": 2, "i1": 2},
+    "sintran": {"a1": 4, "sb1": 4, "mt1": 5, "cp1": 1, "i1": 1, "n1": 2},
+    "igf": {"a1": 1, "sb1": 1, "mt1": 2, "cp1": 1, "i1": 1, "s1": 1},
+    "pps": {"a1": 5},
+}
+
+#: Clock period constraint for every Table-2 run (ns).
+TABLE2_CLOCK_NS = 25.0
+
+
+def allocation_for(circuit: str) -> Allocation:
+    """The Table-3 allocation for ``circuit`` (case-insensitive)."""
+    key = circuit.lower()
+    if key not in TABLE3:
+        raise BenchError(
+            f"no Table-3 allocation for {circuit!r}; known: "
+            f"{sorted(TABLE3)}")
+    return Allocation(dict(TABLE3[key]))

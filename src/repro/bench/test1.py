@@ -1,0 +1,132 @@
+"""TEST1 — the paper's running example (Figure 1, Example 1).
+
+Provides the behavior (from the BDL source of Figure 1(a)), the branch
+probabilities quoted in Example 1, and a faithful reconstruction of the
+Figure 1(c) STG used to validate the power model against the paper's
+published numbers (state probabilities, 119.11-cycle average schedule
+length, per-FU energies, 665.58 Vdd² total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..cdfg.ops import OpKind
+from ..cdfg.regions import Behavior
+from ..errors import BenchError
+from ..lang import compile_source
+from ..stg.model import ScheduledOp, Stg
+
+TEST1_SOURCE = """
+proc test1(in c1, in c2, array x[256], out a) {
+    var i = 0;
+    var acc = 0;
+    while (c2 > i) {          // >1
+        if (i < c1) {         // <1
+            var t1 = acc + 7; // +1
+            acc = 13 * t1;    // *1
+        } else {
+            acc = acc + 17;   // +2
+        }
+        i = i + 1;            // ++1
+        x[i] = acc;           // S
+    }
+    a = acc;
+}
+"""
+
+#: Example 1's measured branch behavior.
+P_LOOP_CLOSE = 0.98
+P_IF_TAKEN = 0.37
+
+
+def test1_behavior() -> Behavior:
+    """The TEST1 behavior, compiled from BDL."""
+    return compile_source(TEST1_SOURCE)
+
+
+@dataclass
+class Test1Nodes:
+    """The Figure-1 operation ids within the compiled graph."""
+
+    gt: int      # >1 : c2 > i
+    lt: int      # <1 : i < c1
+    add7: int    # +1 : acc + 7
+    mul: int     # *1 : 13 * t1
+    add17: int   # +2 : acc + 17
+    inc: int     # ++1 : i + 1
+    store: int   # S   : x[i] = acc
+
+
+def test1_nodes(behavior: Behavior) -> Test1Nodes:
+    """Locate the seven annotated operations of Figure 1(b)."""
+    by_kind: Dict[OpKind, list] = {}
+    for node in behavior.graph:
+        by_kind.setdefault(node.kind, []).append(node.id)
+    try:
+        adds = by_kind[OpKind.ADD]
+        mul = by_kind[OpKind.MUL][0]
+    except (KeyError, IndexError):
+        raise BenchError("TEST1 graph missing expected operations")
+    # +1 is the add feeding the multiply.
+    mul_srcs = set(behavior.graph.data_inputs(mul))
+    add7 = next(a for a in adds if a in mul_srcs)
+    add17 = next(a for a in adds if a != add7)
+    return Test1Nodes(
+        gt=by_kind[OpKind.GT][0],
+        lt=by_kind[OpKind.LT][0],
+        add7=add7,
+        mul=mul,
+        add17=add17,
+        inc=by_kind[OpKind.INC][0],
+        store=by_kind[OpKind.STORE][0],
+    )
+
+
+def test1_branch_probs(behavior: Behavior) -> Dict[int, float]:
+    """Example 1's profiled probabilities keyed by condition node id."""
+    nodes = test1_nodes(behavior)
+    return {nodes.gt: P_LOOP_CLOSE, nodes.lt: P_IF_TAKEN}
+
+
+def test1_fig1c_stg(behavior: Behavior) -> Stg:
+    """Reconstruct the Figure 1(c) schedule as an STG.
+
+    The schedule overlaps iterations: state S5 executes the store of
+    iteration *i* together with the increment and comparisons of
+    iteration *i+1* (the paper's ``S.0`` / ``++1_1`` / ``<1_1``
+    annotations); the 23ns multiply spans states S2 and S4.
+    """
+    n = test1_nodes(behavior)
+    stg = Stg("test1_fig1c")
+    s = {}
+    s[0] = stg.add_state(label="S0")  # init (constants: cost-free)
+    s[1] = stg.add_state([ScheduledOp(n.inc), ScheduledOp(n.gt),
+                          ScheduledOp(n.lt)], label="S1")
+    s[2] = stg.add_state([ScheduledOp(n.add7), ScheduledOp(n.mul)],
+                         label="S2")
+    s[3] = stg.add_state([ScheduledOp(n.add17)], label="S3")
+    s[4] = stg.add_state(label="S4")  # multiply completes
+    s[5] = stg.add_state([ScheduledOp(n.store), ScheduledOp(n.inc, 1),
+                          ScheduledOp(n.gt, 1), ScheduledOp(n.lt, 1)],
+                         label="S5")
+    s[6] = stg.add_state(label="S6")
+    s[7] = stg.add_state(label="S7")
+    s[8] = stg.add_state(label="S8")
+    p, q = P_LOOP_CLOSE, P_IF_TAKEN
+    stg.add_transition(s[0], s[1], 1.0)
+    stg.add_transition(s[1], s[2], p * q, "<1")
+    stg.add_transition(s[1], s[3], p * (1 - q), "!<1")
+    stg.add_transition(s[1], s[7], 1 - p, "!>1")
+    stg.add_transition(s[2], s[4], 1.0)
+    stg.add_transition(s[4], s[5], 1.0)
+    stg.add_transition(s[3], s[5], 1.0)
+    stg.add_transition(s[5], s[2], p * q, "<1_1")
+    stg.add_transition(s[5], s[3], p * (1 - q), "!<1_1")
+    stg.add_transition(s[5], s[6], 1 - p, "!>1_1")
+    stg.add_transition(s[6], s[7], 1.0)
+    stg.add_transition(s[7], s[8], 1.0)
+    stg.entry, stg.exit = s[0], s[8]
+    stg.validate()
+    return stg

@@ -1,0 +1,29 @@
+"""Control-data flow graph (CDFG) infrastructure.
+
+The CDFG is the behavioral IR of the whole library: a token-passing
+operation graph (:mod:`repro.cdfg.ir`) with an explicit region tree
+(:mod:`repro.cdfg.regions`), an imperative builder
+(:mod:`repro.cdfg.builder`), executable semantics
+(:mod:`repro.cdfg.interp`), guard / mutual-exclusion analysis
+(:mod:`repro.cdfg.analysis`), and DOT export (:mod:`repro.cdfg.dot`).
+"""
+
+from .analysis import Guard, GuardAnalysis, conflicts, direct_guard, implies
+from .builder import BehaviorBuilder
+from .dot import behavior_to_dot, graph_to_dot
+from .interp import ExecResult, Interpreter, execute
+from .ir import Graph, Node
+from .ops import (COMPARISONS, DEFAULT_WIDTH, FREE_KINDS, OpKind, evaluate,
+                  info, is_associative, is_commutative, wrap)
+from .regions import (ArrayDecl, Behavior, BlockRegion, LoopRegion, LoopVar,
+                      Region, SeqRegion)
+from .validate import validate_behavior
+
+__all__ = [
+    "ArrayDecl", "Behavior", "BehaviorBuilder", "BlockRegion", "COMPARISONS",
+    "DEFAULT_WIDTH", "ExecResult", "FREE_KINDS", "Graph", "Guard",
+    "GuardAnalysis", "Interpreter", "LoopRegion", "LoopVar", "Node",
+    "OpKind", "Region", "SeqRegion", "behavior_to_dot", "conflicts",
+    "direct_guard", "evaluate", "execute", "graph_to_dot", "implies",
+    "info", "is_associative", "is_commutative", "validate_behavior", "wrap",
+]

@@ -1,0 +1,429 @@
+"""Structured construction of CDFGs.
+
+:class:`BehaviorBuilder` offers a small imperative API for building a
+:class:`~repro.cdfg.regions.Behavior` the way a frontend lowers an AST:
+
+* expression helpers (``add``, ``sub``, ``mul``, comparisons, ``load``,
+  ``store``, ...) create operation nodes, automatically guarded by the
+  enclosing conditional context;
+* ``if_`` performs **if-conversion**: operations in both branches are
+  emitted into the same block with complementary guards, and variables
+  assigned in either branch are merged through ``JOIN`` nodes whose
+  inputs are guarded producers (the paper's Figure 4 structure);
+* ``loop`` creates a :class:`~repro.cdfg.regions.LoopRegion` with header
+  joins for the loop-carried variables.
+
+The BDL frontend (:mod:`repro.lang.lower`) and the benchmark circuits
+(:mod:`repro.bench`) are both thin layers over this builder.
+
+Example::
+
+    b = BehaviorBuilder("countdown")
+    n = b.input("n")
+    b.assign("i", n)
+    with b.loop("L0", carried=["i"]):
+        b.loop_cond(b.gt(b.var("i"), b.const(0)))
+        b.assign("i", b.dec(b.var("i")))
+    b.output("i")
+    behavior = b.finish()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CdfgError
+from .ir import Graph
+from .ops import OpKind, info
+from .regions import (ArrayDecl, Behavior, BlockRegion, LoopRegion, LoopVar,
+                      Region, SeqRegion)
+
+
+class _LoopCtx:
+    """Internal bookkeeping for a loop under construction."""
+
+    def __init__(self, region: LoopRegion, saved_env: Dict[str, int]) -> None:
+        self.region = region
+        self.saved_env = saved_env
+        self.in_cond = True
+
+
+class BehaviorBuilder:
+    """Imperative builder producing a validated :class:`Behavior`."""
+
+    def __init__(self, name: str) -> None:
+        self.behavior = Behavior(name)
+        self.graph: Graph = self.behavior.graph
+        self._env: Dict[str, int] = {}
+        self._guards: List[Tuple[int, bool]] = []
+        # region construction stack: list of (SeqRegion, current block)
+        self._seq_stack: List[SeqRegion] = [self.behavior.region]  # type: ignore[list-item]
+        self._block_stack: List[Optional[BlockRegion]] = [None]
+        self._loop_stack: List[_LoopCtx] = []
+        # memory ordering: per array, last store node and loads since
+        self._last_store: Dict[str, Optional[int]] = {}
+        self._loads_since: Dict[str, List[int]] = {}
+        self._const_cache: Dict[int, int] = {}
+        self._if_frames: List["_IfFrame"] = []
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Interface declarations
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> int:
+        """Declare a scalar input and bind ``name`` to it."""
+        nid = self.graph.add_node(OpKind.INPUT, var=name, name=name)
+        self.behavior.inputs.append(name)
+        self._env[name] = nid
+        return nid
+
+    def output(self, name: str, src: Optional[int] = None) -> int:
+        """Declare a scalar output reading ``src`` (default: var ``name``)."""
+        nid = self.graph.add_node(OpKind.OUTPUT, var=name, name=name)
+        self.behavior.outputs.append(name)
+        self.graph.set_data_edge(src if src is not None else self.var(name),
+                                 nid, 0)
+        return nid
+
+    def array(self, name: str, size: int, ports: int = 1) -> None:
+        """Declare an array mapped to its own memory."""
+        if name in self.behavior.arrays:
+            raise CdfgError(f"array {name!r} declared twice")
+        self.behavior.arrays[name] = ArrayDecl(name, size, ports)
+        self._last_store[name] = None
+        self._loads_since[name] = []
+
+    # ------------------------------------------------------------------
+    # Environment
+    # ------------------------------------------------------------------
+    def var(self, name: str) -> int:
+        """Node currently producing the value of variable ``name``."""
+        try:
+            return self._env[name]
+        except KeyError:
+            raise CdfgError(f"variable {name!r} read before assignment") \
+                from None
+
+    def has_var(self, name: str) -> bool:
+        """True if ``name`` has been assigned."""
+        return name in self._env
+
+    def assign(self, name: str, src: int) -> None:
+        """Bind variable ``name`` to the value produced by node ``src``."""
+        if src not in self.graph:
+            raise CdfgError(f"assign of unknown node {src}")
+        self._env[name] = src
+
+    # ------------------------------------------------------------------
+    # Expression helpers
+    # ------------------------------------------------------------------
+    def const(self, value: int) -> int:
+        """A constant node (cached per value)."""
+        if value not in self._const_cache:
+            self._const_cache[value] = self.graph.add_node(
+                OpKind.CONST, value=value)
+        return self._const_cache[value]
+
+    def op(self, kind: OpKind, *operands: int, name: str = "") -> int:
+        """Emit an operation node, guarded by the current context."""
+        expected = info(kind).arity
+        if expected is not None and len(operands) != expected:
+            raise CdfgError(
+                f"{kind.value} expects {expected} operands, got "
+                f"{len(operands)}")
+        nid = self.graph.add_node(kind, name=name)
+        for port, src in enumerate(operands):
+            self.graph.set_data_edge(src, nid, port)
+        self._apply_guards(nid)
+        self._place(nid)
+        return nid
+
+    def add(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.ADD, a, b, name=name)
+
+    def sub(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.SUB, a, b, name=name)
+
+    def mul(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.MUL, a, b, name=name)
+
+    def div(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.DIV, a, b, name=name)
+
+    def mod(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.MOD, a, b, name=name)
+
+    def neg(self, a: int, name: str = "") -> int:
+        return self.op(OpKind.NEG, a, name=name)
+
+    def inc(self, a: int, name: str = "") -> int:
+        return self.op(OpKind.INC, a, name=name)
+
+    def dec(self, a: int, name: str = "") -> int:
+        return self.op(OpKind.DEC, a, name=name)
+
+    def shl(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.SHL, a, b, name=name)
+
+    def shr(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.SHR, a, b, name=name)
+
+    def bnot(self, a: int, name: str = "") -> int:
+        return self.op(OpKind.BNOT, a, name=name)
+
+    def lt(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.LT, a, b, name=name)
+
+    def gt(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.GT, a, b, name=name)
+
+    def le(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.LE, a, b, name=name)
+
+    def ge(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.GE, a, b, name=name)
+
+    def eq(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.EQ, a, b, name=name)
+
+    def ne(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.NE, a, b, name=name)
+
+    def land(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.LAND, a, b, name=name)
+
+    def lor(self, a: int, b: int, name: str = "") -> int:
+        return self.op(OpKind.LOR, a, b, name=name)
+
+    def lnot(self, a: int, name: str = "") -> int:
+        return self.op(OpKind.LNOT, a, name=name)
+
+    def load(self, array: str, index: int, name: str = "") -> int:
+        """Emit a memory read ``array[index]``."""
+        self._check_array(array)
+        nid = self.graph.add_node(OpKind.LOAD, array=array, name=name)
+        self.graph.set_data_edge(index, nid, 0)
+        self._apply_guards(nid)
+        self._place(nid)
+        last = self._last_store.get(array)
+        if last is not None:
+            self.graph.add_order_edge(last, nid)
+        self._loads_since[array].append(nid)
+        return nid
+
+    def store(self, array: str, index: int, value: int,
+              name: str = "") -> int:
+        """Emit a memory write ``array[index] = value``."""
+        self._check_array(array)
+        nid = self.graph.add_node(OpKind.STORE, array=array, name=name)
+        self.graph.set_data_edge(index, nid, 0)
+        self.graph.set_data_edge(value, nid, 1)
+        self._apply_guards(nid)
+        self._place(nid)
+        last = self._last_store.get(array)
+        if last is not None:
+            self.graph.add_order_edge(last, nid)
+        for load in self._loads_since[array]:
+            self.graph.add_order_edge(load, nid)
+        self._last_store[array] = nid
+        self._loads_since[array] = []
+        return nid
+
+    def _check_array(self, array: str) -> None:
+        if array not in self.behavior.arrays:
+            raise CdfgError(f"array {array!r} not declared")
+
+    # ------------------------------------------------------------------
+    # Control structure
+    # ------------------------------------------------------------------
+    @contextmanager
+    def if_(self, cond: int) -> Iterator[None]:
+        """If-converted conditional; use :meth:`otherwise` for the else.
+
+        Example::
+
+            with b.if_(c):
+                b.assign("a", b.add(b.var("a"), b.const(1)))
+                b.otherwise()
+                b.assign("a", b.sub(b.var("a"), b.const(1)))
+        """
+        saved_env = dict(self._env)
+        self._guards.append((cond, True))
+        self._if_frames.append(_IfFrame(cond, saved_env))
+        try:
+            yield
+        finally:
+            frame = self._if_frames.pop()
+            self._guards.pop()
+            if not frame.else_taken:
+                frame.then_env = dict(self._env)
+                self._env = dict(frame.saved_env)
+            self._merge_if(frame)
+
+    def otherwise(self) -> None:
+        """Switch the innermost :meth:`if_` to its else branch."""
+        if not self._if_frames:
+            raise CdfgError("otherwise() outside of if_()")
+        frame = self._if_frames[-1]
+        if frame.else_taken:
+            raise CdfgError("otherwise() called twice")
+        frame.else_taken = True
+        frame.then_env = dict(self._env)
+        self._env = dict(frame.saved_env)
+        cond, _pol = self._guards.pop()
+        self._guards.append((cond, False))
+
+    def _merge_if(self, frame: "_IfFrame") -> None:
+        """Create JOIN merges for variables assigned in either branch."""
+        then_env = frame.then_env
+        else_env = dict(self._env)
+        changed = sorted(
+            name for name in set(then_env) | set(else_env)
+            if then_env.get(name) != frame.saved_env.get(name)
+            or else_env.get(name) != frame.saved_env.get(name))
+        for name in changed:
+            then_src = then_env.get(name)
+            else_src = else_env.get(name)
+            if then_src is None or else_src is None:
+                # Assigned on one path, undefined on the other: the value
+                # is only meaningful under that path; keep the guarded def.
+                self._env[name] = then_src if then_src is not None \
+                    else else_src  # type: ignore[assignment]
+                continue
+            t = self._guarded_value(then_src, frame.cond, True)
+            e = self._guarded_value(else_src, frame.cond, False)
+            join = self.graph.add_node(OpKind.JOIN, name=name)
+            self.graph.set_data_edge(t, join, 0)
+            self.graph.set_data_edge(e, join, 1)
+            self._place(join)
+            self._env[name] = join
+
+    def _guarded_value(self, src: int, cond: int, polarity: bool) -> int:
+        """Ensure ``src`` executes only under ``(cond, polarity)``.
+
+        If the producer already carries that guard it is used directly;
+        otherwise a guarded COPY is inserted so the JOIN can tell which
+        side fired.
+        """
+        if (cond, polarity) in self.graph.control_inputs(src):
+            return src
+        cp = self.graph.add_node(OpKind.COPY)
+        self.graph.set_data_edge(src, cp, 0)
+        self._apply_guards(cp)
+        self.graph.add_control_edge(cond, cp, polarity)
+        self._place(cp)
+        return cp
+
+    @contextmanager
+    def loop(self, name: str, carried: Sequence[str],
+             trip_count: Optional[int] = None) -> Iterator[LoopRegion]:
+        """Build a pre-tested loop.
+
+        Statements emitted before :meth:`loop_cond` form the condition
+        section (re-evaluated each iteration); statements after it form
+        the body.
+
+        Args:
+            name: loop label ("L1", ...).
+            carried: variables whose values cross iteration boundaries
+                (assigned inside and live across iterations or after the
+                loop).  Each must already be assigned.
+            trip_count: statically-known iteration count, if any.
+        """
+        if self._guards:
+            raise CdfgError("loops inside if-branches are not supported; "
+                            "restructure the behavior")
+        region = LoopRegion(name=name, trip_count=trip_count)
+        for var in carried:
+            join = self.graph.add_node(OpKind.JOIN, name=var)
+            self.graph.set_data_edge(self.var(var), join, 0)
+            region.loop_vars.append(LoopVar(var, join))
+            self._env[var] = join
+        self._append_region(region)
+        ctx = _LoopCtx(region, dict(self._env))
+        self._loop_stack.append(ctx)
+        # Condition nodes collect into region.cond_nodes via _place();
+        # after loop_cond() the body SeqRegion takes over.
+        body = SeqRegion()
+        region.body = body
+        self._seq_stack.append(body)
+        self._block_stack.append(None)
+        saved_stores = dict(self._last_store)
+        saved_loads = {k: list(v) for k, v in self._loads_since.items()}
+        try:
+            yield region
+        finally:
+            if ctx.in_cond:
+                raise CdfgError(f"loop {name}: loop_cond() never called")
+            # Latch loop-carried updates into header joins.
+            for lv in region.loop_vars:
+                self.graph.set_data_edge(self._env[lv.name], lv.join, 1)
+                self._env[lv.name] = lv.join
+            self._seq_stack.pop()
+            self._block_stack.pop()
+            self._loop_stack.pop()
+            # Memory state after a loop is unknown relative to inside:
+            # reset tracking so later accesses serialize against nothing
+            # stale (inter-region ordering is sequential by construction).
+            self._last_store = saved_stores
+            self._loads_since = saved_loads
+
+    def loop_cond(self, cond: int) -> None:
+        """Mark ``cond`` as the continuation condition of the open loop."""
+        if not self._loop_stack:
+            raise CdfgError("loop_cond() outside of loop()")
+        ctx = self._loop_stack[-1]
+        if not ctx.in_cond:
+            raise CdfgError(f"loop {ctx.region.name}: loop_cond() called "
+                            f"twice")
+        ctx.region.cond = cond
+        ctx.in_cond = False
+
+    # ------------------------------------------------------------------
+    # Region plumbing
+    # ------------------------------------------------------------------
+    def _place(self, nid: int) -> None:
+        """Attach a freshly-created op node to the right region."""
+        if self._loop_stack and self._loop_stack[-1].in_cond:
+            self._loop_stack[-1].region.cond_nodes.append(nid)
+            return
+        block = self._block_stack[-1]
+        if block is None:
+            block = BlockRegion()
+            self._seq_stack[-1].children.append(block)
+            self._block_stack[-1] = block
+        block.add(nid)
+
+    def _append_region(self, region: Region) -> None:
+        self._seq_stack[-1].children.append(region)
+        self._block_stack[-1] = None  # force a fresh block afterwards
+
+    def _apply_guards(self, nid: int) -> None:
+        for cond, pol in self._guards:
+            self.graph.add_control_edge(cond, nid, pol)
+
+    # ------------------------------------------------------------------
+    def finish(self, validate: bool = True) -> Behavior:
+        """Finalize and (by default) validate the behavior."""
+        if self._finished:
+            raise CdfgError("finish() called twice")
+        if self._loop_stack:
+            raise CdfgError("finish() inside an open loop")
+        if self._if_frames:
+            raise CdfgError("finish() inside an open if")
+        self._finished = True
+        if validate:
+            from .validate import validate_behavior
+            validate_behavior(self.behavior)
+        return self.behavior
+
+
+class _IfFrame:
+    """State of an open ``if_`` context."""
+
+    def __init__(self, cond: int, saved_env: Dict[str, int]) -> None:
+        self.cond = cond
+        self.saved_env = saved_env
+        self.then_env: Dict[str, int] = {}
+        self.else_taken = False

@@ -1,0 +1,105 @@
+"""Graphviz (DOT) export for CDFGs and behaviors.
+
+Data dependencies are drawn as solid arcs and control dependencies as
+dashed arcs annotated ``+`` / ``-``, matching the paper's Figure 1(b)
+conventions.  Order (memory serialization) edges are dotted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ir import Graph
+from .ops import OpKind
+from .regions import Behavior, BlockRegion, LoopRegion, SeqRegion
+
+_SHAPES = {
+    OpKind.CONST: "plaintext",
+    OpKind.INPUT: "invhouse",
+    OpKind.OUTPUT: "house",
+    OpKind.JOIN: "trapezium",
+    OpKind.SELECT: "invtrapezium",
+    OpKind.LOAD: "box3d",
+    OpKind.STORE: "box3d",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r'\"') + '"'
+
+
+def graph_to_dot(graph: Graph, name: Optional[str] = None) -> str:
+    """Render ``graph`` as a DOT digraph string."""
+    lines = [f"digraph {_quote(name or graph.name)} {{",
+             "  node [fontsize=10];"]
+    for nid in graph.node_ids():
+        node = graph.nodes[nid]
+        shape = _SHAPES.get(node.kind, "ellipse")
+        lines.append(
+            f"  n{nid} [label={_quote(f'{nid}: {node.label()}')} "
+            f"shape={shape}];")
+    for nid in graph.node_ids():
+        for port, src in sorted(graph.input_ports(nid).items()):
+            lines.append(f"  n{src} -> n{nid} [label=\"{port}\"];")
+        for src, pol in graph.control_inputs(nid):
+            mark = "+" if pol else "-"
+            lines.append(
+                f"  n{src} -> n{nid} [style=dashed label=\"{mark}\"];")
+        for src in sorted(graph.order_preds(nid)):
+            lines.append(f"  n{src} -> n{nid} [style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def behavior_to_dot(behavior: Behavior) -> str:
+    """Render a behavior with region clusters as a DOT digraph string."""
+    graph = behavior.graph
+    lines = [f"digraph {_quote(behavior.name)} {{",
+             "  compound=true; node [fontsize=10];"]
+    counter = [0]
+
+    def emit_region(region, indent: str) -> None:
+        if isinstance(region, SeqRegion):
+            for child in region.children:
+                emit_region(child, indent)
+            return
+        counter[0] += 1
+        cid = counter[0]
+        if isinstance(region, BlockRegion):
+            lines.append(f"{indent}subgraph cluster_{cid} {{")
+            lines.append(f"{indent}  label=\"block\"; style=dashed;")
+            for nid in sorted(region.nodes):
+                _emit_node(nid, indent + "  ")
+            lines.append(f"{indent}}}")
+        elif isinstance(region, LoopRegion):
+            lines.append(f"{indent}subgraph cluster_{cid} {{")
+            lines.append(
+                f"{indent}  label={_quote('loop ' + region.name)};")
+            for lv in region.loop_vars:
+                _emit_node(lv.join, indent + "  ")
+            for nid in region.cond_nodes:
+                _emit_node(nid, indent + "  ")
+            emit_region(region.body, indent + "  ")
+            lines.append(f"{indent}}}")
+
+    def _emit_node(nid: int, indent: str) -> None:
+        node = graph.nodes[nid]
+        shape = _SHAPES.get(node.kind, "ellipse")
+        lines.append(
+            f"{indent}n{nid} [label={_quote(f'{nid}: {node.label()}')} "
+            f"shape={shape}];")
+
+    emit_region(behavior.region, "  ")
+    for nid in sorted(behavior.free_node_ids()):
+        _emit_node(nid, "  ")
+    for nid in graph.node_ids():
+        for port, src in sorted(graph.input_ports(nid).items()):
+            lines.append(f"  n{src} -> n{nid} [label=\"{port}\"];")
+        for src, pol in graph.control_inputs(nid):
+            mark = "+" if pol else "-"
+            lines.append(
+                f"  n{src} -> n{nid} [style=dashed label=\"{mark}\"];")
+        for src in sorted(graph.order_preds(nid)):
+            lines.append(f"  n{src} -> n{nid} [style=dotted];")
+    lines.append("}")
+    return "\n".join(lines)

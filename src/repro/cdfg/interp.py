@@ -1,0 +1,281 @@
+"""Executable semantics for CDFGs.
+
+The interpreter walks a :class:`~repro.cdfg.regions.Behavior` and executes
+it over concrete integer inputs, following the token-passing rules of the
+paper's CDFG model:
+
+* an operation executes only when its guards (control edges) are
+  satisfied by the values of their source condition nodes;
+* a ``JOIN`` assumes the value of whichever of its inputs actually
+  executed (exactly one may execute per evaluation);
+* a ``SELECT`` picks its left (port 0) or right (port 1) input depending
+  on its select input (port 2);
+* loop-carried variables flow through header joins: port 0 seeds the
+  first iteration, port 1 latches the value from the previous iteration.
+
+The interpreter is the ground truth used by the profiler (branch
+probabilities, Section 4.1) and by the test suite to check that every
+transformation preserves functionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..errors import InterpError, InterpLimitError
+from .ir import Graph
+from .ops import OpKind, evaluate, wrap
+from .regions import Behavior, BlockRegion, LoopRegion, Region, SeqRegion
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one behavioral execution.
+
+    Attributes:
+        outputs: final value of each scalar output.
+        arrays: final contents of every array.
+        cond_counts: per condition node id, ``[false_count, true_count]``
+            over every evaluation of that node.
+        loop_iterations: per loop name, total body executions.
+        node_counts: number of times each node executed.
+        steps: total operation executions (interpreter work).
+    """
+
+    outputs: Dict[str, int] = field(default_factory=dict)
+    arrays: Dict[str, List[int]] = field(default_factory=dict)
+    cond_counts: Dict[int, List[int]] = field(default_factory=dict)
+    loop_iterations: Dict[str, int] = field(default_factory=dict)
+    node_counts: Dict[int, int] = field(default_factory=dict)
+    steps: int = 0
+
+
+class Interpreter:
+    """Executes a :class:`Behavior` over concrete inputs.
+
+    Args:
+        behavior: the behavior to execute.
+        max_steps: upper bound on total operation executions; exceeding
+            it raises :class:`~repro.errors.InterpLimitError` (guards
+            against non-terminating transformed behaviors).
+    """
+
+    def __init__(self, behavior: Behavior, max_steps: int = 2_000_000) -> None:
+        self.behavior = behavior
+        self.graph: Graph = behavior.graph
+        self.max_steps = max_steps
+        self._cond_ids = self._find_condition_nodes()
+
+    def _find_condition_nodes(self) -> Set[int]:
+        """Nodes whose boolean value steers control flow."""
+        g = self.graph
+        conds: Set[int] = set()
+        for nid in g.nodes:
+            if g.control_users(nid):
+                conds.add(nid)
+            if g.nodes[nid].kind is OpKind.SELECT:
+                conds.add(g.data_input(nid, 2))
+        for lp in self.behavior.loops():
+            if lp.cond >= 0:
+                conds.add(lp.cond)
+        return conds
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Optional[Dict[str, int]] = None,
+            arrays: Optional[Dict[str, Sequence[int]]] = None) -> ExecResult:
+        """Execute the behavior once.
+
+        Args:
+            inputs: values for scalar input variables (missing names
+                default to 0).
+            arrays: initial contents for declared arrays (missing arrays
+                are zero-filled; short lists are zero-padded).
+
+        Returns:
+            An :class:`ExecResult` with outputs, memory, and profile data.
+        """
+        inputs = dict(inputs or {})
+        self._values: Dict[int, int] = {}
+        self._result = ExecResult()
+        self._memory: Dict[str, List[int]] = {}
+        for decl in self.behavior.arrays.values():
+            init = list(arrays.get(decl.name, [])) if arrays else []
+            if len(init) > decl.size:
+                raise InterpError(
+                    f"initializer for array {decl.name} longer than its "
+                    f"declared size {decl.size}")
+            self._memory[decl.name] = (
+                [wrap(v) for v in init] + [0] * (decl.size - len(init)))
+
+        # Seed free nodes: inputs and constants.
+        for nid in self.graph.node_ids():
+            node = self.graph.nodes[nid]
+            if node.kind is OpKind.INPUT:
+                self._values[nid] = wrap(inputs.get(node.var or "", 0))
+            elif node.kind is OpKind.CONST:
+                if node.value is None:
+                    raise InterpError(f"CONST node {nid} has no value")
+                self._values[nid] = wrap(node.value)
+
+        self._eval_region(self.behavior.region)
+
+        for nid in self.graph.node_ids():
+            node = self.graph.nodes[nid]
+            if node.kind is OpKind.OUTPUT:
+                src = self.graph.data_input(nid, 0)
+                if src not in self._values:
+                    raise InterpError(
+                        f"output {node.var!r} was never assigned")
+                self._result.outputs[node.var or node.name] = self._values[src]
+        self._result.arrays = {k: list(v) for k, v in self._memory.items()}
+        return self._result
+
+    # ------------------------------------------------------------------
+    def _eval_region(self, region: Region) -> None:
+        if isinstance(region, SeqRegion):
+            for child in region.children:
+                self._eval_region(child)
+        elif isinstance(region, BlockRegion):
+            self._eval_nodes(region.nodes)
+        elif isinstance(region, LoopRegion):
+            self._eval_loop(region)
+        else:
+            raise InterpError(f"unknown region {type(region).__name__}")
+
+    def _eval_loop(self, loop: LoopRegion) -> None:
+        g = self.graph
+        for lv in loop.loop_vars:
+            init = g.data_input(lv.join, 0)
+            if init not in self._values:
+                raise InterpError(
+                    f"loop {loop.name}: initial value of {lv.name!r} "
+                    f"not available")
+            self._values[lv.join] = self._values[init]
+        iters = 0
+        while True:
+            self._eval_nodes(loop.cond_nodes)
+            if loop.cond not in self._values:
+                raise InterpError(f"loop {loop.name}: condition did not "
+                                  f"execute")
+            if not self._values[loop.cond]:
+                break
+            iters += 1
+            self._eval_region(loop.body)
+            latched = []
+            for lv in loop.loop_vars:
+                upd = g.data_input(lv.join, 1)
+                if upd not in self._values:
+                    raise InterpError(
+                        f"loop {loop.name}: update of {lv.name!r} did not "
+                        f"execute this iteration")
+                latched.append(self._values[upd])
+            for lv, val in zip(loop.loop_vars, latched):
+                self._values[lv.join] = val
+        self._result.loop_iterations[loop.name] = (
+            self._result.loop_iterations.get(loop.name, 0) + iters)
+
+    def _eval_nodes(self, nodes: Iterable[int]) -> None:
+        """Evaluate an acyclic guarded node set in topological order."""
+        g = self.graph
+        order = g.topo_order(nodes)
+        for nid in order:
+            self._values.pop(nid, None)
+        for nid in order:
+            if not self._guard_ok(nid):
+                continue
+            value = self._eval_node(nid)
+            if value is not None:
+                self._values[nid] = value
+            self._bump(nid)
+            if nid in self._cond_ids and value is not None:
+                counts = self._result.cond_counts.setdefault(nid, [0, 0])
+                counts[1 if value else 0] += 1
+
+    def _guard_ok(self, nid: int) -> bool:
+        for src, pol in self.graph.control_inputs(nid):
+            if src not in self._values:
+                return False
+            if bool(self._values[src]) != pol:
+                return False
+        return True
+
+    def _operand(self, nid: int, port: int) -> int:
+        src = self.graph.data_input(nid, port)
+        if src not in self._values:
+            raise InterpError(
+                f"node {nid} ({self.graph.nodes[nid].label()}) reads "
+                f"unexecuted node {src} "
+                f"({self.graph.nodes[src].label()}) on port {port}")
+        return self._values[src]
+
+    def _eval_node(self, nid: int) -> Optional[int]:
+        node = self.graph.nodes[nid]
+        kind = node.kind
+        if kind is OpKind.CONST:
+            return wrap(node.value or 0)
+        if kind is OpKind.INPUT:
+            return self._values.get(nid, 0)
+        if kind is OpKind.OUTPUT:
+            return None
+        if kind is OpKind.COPY:
+            return self._operand(nid, 0)
+        if kind is OpKind.JOIN:
+            fired = []
+            for port, src in sorted(self.graph.input_ports(nid).items()):
+                if src in self._values:
+                    fired.append((port, src))
+            if not fired:
+                return None  # join itself stays unexecuted
+            if len(fired) > 1:
+                vals = {self._values[src] for _p, src in fired}
+                if len(vals) > 1:
+                    raise InterpError(
+                        f"JOIN {nid} received tokens on multiple inputs "
+                        f"with differing values: {sorted(fired)}")
+            return self._values[fired[0][1]]
+        if kind is OpKind.SELECT:
+            sel = self._operand(nid, 2)
+            return self._operand(nid, 0 if sel else 1)
+        if kind is OpKind.LOAD:
+            return self._mem_access(nid, store=False)
+        if kind is OpKind.STORE:
+            self._mem_access(nid, store=True)
+            return None
+        operands = [self._operand(nid, p)
+                    for p in range(len(self.graph.data_inputs(nid)))]
+        try:
+            return evaluate(kind, *operands)
+        except ZeroDivisionError as exc:
+            raise InterpError(f"node {nid}: {exc}") from None
+
+    def _mem_access(self, nid: int, store: bool) -> Optional[int]:
+        node = self.graph.nodes[nid]
+        name = node.array or ""
+        if name not in self._memory:
+            raise InterpError(f"access to undeclared array {name!r}")
+        mem = self._memory[name]
+        index = self._operand(nid, 0)
+        if not 0 <= index < len(mem):
+            raise InterpError(
+                f"array {name}[{index}] out of bounds (size {len(mem)})")
+        if store:
+            mem[index] = wrap(self._operand(nid, 1))
+            return None
+        return mem[index]
+
+    def _bump(self, nid: int) -> None:
+        self._result.node_counts[nid] = (
+            self._result.node_counts.get(nid, 0) + 1)
+        self._result.steps += 1
+        if self._result.steps > self.max_steps:
+            raise InterpLimitError(
+                f"exceeded {self.max_steps} operation executions; "
+                f"behavior may not terminate")
+
+
+def execute(behavior: Behavior, inputs: Optional[Dict[str, int]] = None,
+            arrays: Optional[Dict[str, Sequence[int]]] = None,
+            max_steps: int = 2_000_000) -> ExecResult:
+    """Convenience wrapper: run ``behavior`` once and return the result."""
+    return Interpreter(behavior, max_steps=max_steps).run(inputs, arrays)

@@ -1,0 +1,209 @@
+"""Operation kinds for the token-passing CDFG.
+
+Each CDFG node carries an :class:`OpKind`.  This module centralizes the
+static properties of every kind — arity, algebraic properties used by the
+transformation library (commutativity / associativity / distributive
+pairs), and a Python evaluator used by the CDFG interpreter.
+
+The evaluators implement fixed-width two's-complement integer arithmetic
+(default 32 bits) so that behavior matches what synthesized hardware
+would compute, and so that transformed and untransformed CDFGs can be
+compared bit-exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+#: Default datapath width, in bits, for interpreter arithmetic.
+DEFAULT_WIDTH = 32
+
+
+def wrap(value: int, width: int = DEFAULT_WIDTH) -> int:
+    """Wrap ``value`` into signed two's-complement range for ``width`` bits."""
+    mask = (1 << width) - 1
+    value &= mask
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+class OpKind(enum.Enum):
+    """The operation alphabet of the CDFG."""
+
+    # Sources / sinks
+    CONST = "const"
+    INPUT = "input"
+    OUTPUT = "output"
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    NEG = "neg"
+    INC = "inc"
+    DEC = "dec"
+    SHL = "shl"
+    SHR = "shr"
+    # Bitwise
+    BAND = "band"
+    BOR = "bor"
+    BXOR = "bxor"
+    BNOT = "bnot"
+    # Comparison
+    LT = "lt"
+    GT = "gt"
+    LE = "le"
+    GE = "ge"
+    EQ = "eq"
+    NE = "ne"
+    # Logical
+    LAND = "land"
+    LOR = "lor"
+    LNOT = "lnot"
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    # Control / merge
+    JOIN = "join"
+    SELECT = "select"
+    COPY = "copy"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an :class:`OpKind`.
+
+    Attributes:
+        arity: number of data inputs; ``None`` for variable arity (JOIN).
+        commutative: operand order is irrelevant.
+        associative: ``(a op b) op c == a op (b op c)``.
+        has_output: the node produces a data value.
+        evaluator: pure function over operand values, or ``None`` for
+            kinds with bespoke interpreter handling (JOIN, LOAD, ...).
+    """
+
+    arity: Optional[int]
+    commutative: bool = False
+    associative: bool = False
+    has_output: bool = True
+    evaluator: Optional[Callable[..., int]] = None
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("CDFG division by zero")
+    return int(a / b)  # truncate toward zero, like C
+
+
+def _mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("CDFG modulo by zero")
+    return a - _div(a, b) * b
+
+
+def _shl(a: int, b: int) -> int:
+    return a << (b & (DEFAULT_WIDTH - 1))
+
+
+def _shr(a: int, b: int) -> int:
+    return a >> (b & (DEFAULT_WIDTH - 1))
+
+
+OP_INFO: Dict[OpKind, OpInfo] = {
+    OpKind.CONST: OpInfo(arity=0),
+    OpKind.INPUT: OpInfo(arity=0),
+    OpKind.OUTPUT: OpInfo(arity=1, has_output=False),
+    OpKind.ADD: OpInfo(2, commutative=True, associative=True,
+                       evaluator=lambda a, b: a + b),
+    OpKind.SUB: OpInfo(2, evaluator=lambda a, b: a - b),
+    OpKind.MUL: OpInfo(2, commutative=True, associative=True,
+                       evaluator=lambda a, b: a * b),
+    OpKind.DIV: OpInfo(2, evaluator=_div),
+    OpKind.MOD: OpInfo(2, evaluator=_mod),
+    OpKind.NEG: OpInfo(1, evaluator=lambda a: -a),
+    OpKind.INC: OpInfo(1, evaluator=lambda a: a + 1),
+    OpKind.DEC: OpInfo(1, evaluator=lambda a: a - 1),
+    OpKind.SHL: OpInfo(2, evaluator=_shl),
+    OpKind.SHR: OpInfo(2, evaluator=_shr),
+    OpKind.BAND: OpInfo(2, commutative=True, associative=True,
+                        evaluator=lambda a, b: a & b),
+    OpKind.BOR: OpInfo(2, commutative=True, associative=True,
+                       evaluator=lambda a, b: a | b),
+    OpKind.BXOR: OpInfo(2, commutative=True, associative=True,
+                        evaluator=lambda a, b: a ^ b),
+    OpKind.BNOT: OpInfo(1, evaluator=lambda a: ~a),
+    OpKind.LT: OpInfo(2, evaluator=lambda a, b: int(a < b)),
+    OpKind.GT: OpInfo(2, evaluator=lambda a, b: int(a > b)),
+    OpKind.LE: OpInfo(2, evaluator=lambda a, b: int(a <= b)),
+    OpKind.GE: OpInfo(2, evaluator=lambda a, b: int(a >= b)),
+    OpKind.EQ: OpInfo(2, commutative=True, evaluator=lambda a, b: int(a == b)),
+    OpKind.NE: OpInfo(2, commutative=True, evaluator=lambda a, b: int(a != b)),
+    OpKind.LAND: OpInfo(2, commutative=True, associative=True,
+                        evaluator=lambda a, b: int(bool(a) and bool(b))),
+    OpKind.LOR: OpInfo(2, commutative=True, associative=True,
+                       evaluator=lambda a, b: int(bool(a) or bool(b))),
+    OpKind.LNOT: OpInfo(1, evaluator=lambda a: int(not a)),
+    OpKind.LOAD: OpInfo(1),
+    OpKind.STORE: OpInfo(2, has_output=False),
+    OpKind.JOIN: OpInfo(None),
+    OpKind.SELECT: OpInfo(3),
+    OpKind.COPY: OpInfo(1, evaluator=lambda a: a),
+}
+
+#: Comparison kinds (map to comparator functional units).
+COMPARISONS = frozenset({OpKind.LT, OpKind.GT, OpKind.LE, OpKind.GE,
+                         OpKind.EQ, OpKind.NE})
+
+#: Kinds that never occupy a functional unit (wiring / control plumbing).
+FREE_KINDS = frozenset({OpKind.CONST, OpKind.INPUT, OpKind.OUTPUT,
+                        OpKind.JOIN, OpKind.COPY})
+
+#: Pairs (mul_like, add_like) over which distributivity holds:
+#: ``a*b (+/-) a*c == a*(b (+/-) c)``.
+DISTRIBUTIVE_PAIRS: Tuple[Tuple[OpKind, OpKind], ...] = (
+    (OpKind.MUL, OpKind.ADD),
+    (OpKind.MUL, OpKind.SUB),
+    (OpKind.BAND, OpKind.BOR),
+)
+
+#: For comparisons, the kind obtained by swapping the operands
+#: (``a < b  ==  b > a``).  Used by the commutativity transformation.
+SWAPPED_COMPARISON: Dict[OpKind, OpKind] = {
+    OpKind.LT: OpKind.GT,
+    OpKind.GT: OpKind.LT,
+    OpKind.LE: OpKind.GE,
+    OpKind.GE: OpKind.LE,
+    OpKind.EQ: OpKind.EQ,
+    OpKind.NE: OpKind.NE,
+}
+
+
+def info(kind: OpKind) -> OpInfo:
+    """Return the :class:`OpInfo` for ``kind``."""
+    return OP_INFO[kind]
+
+
+def is_commutative(kind: OpKind) -> bool:
+    """True if operand order is irrelevant for ``kind``."""
+    return OP_INFO[kind].commutative
+
+
+def is_associative(kind: OpKind) -> bool:
+    """True if ``kind`` is associative."""
+    return OP_INFO[kind].associative
+
+
+def evaluate(kind: OpKind, *operands: int, width: int = DEFAULT_WIDTH) -> int:
+    """Evaluate a pure operation on integer operands with wraparound.
+
+    Raises:
+        ValueError: if ``kind`` has no pure evaluator.
+    """
+    op = OP_INFO[kind]
+    if op.evaluator is None:
+        raise ValueError(f"operation {kind.value} has no pure evaluator")
+    return wrap(op.evaluator(*operands), width)

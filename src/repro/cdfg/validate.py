@@ -1,0 +1,154 @@
+"""Structural well-formedness checks for behaviors.
+
+``validate_behavior`` raises :class:`~repro.errors.CdfgValidationError`
+on the first problem found.  It is called by
+:meth:`BehaviorBuilder.finish` and re-run by the test suite after every
+transformation, so transformations cannot silently corrupt the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..errors import CdfgValidationError
+from .ir import Graph
+from .ops import OpKind, info
+from .regions import Behavior, BlockRegion, LoopRegion, Region, SeqRegion
+
+#: Kinds allowed to live outside the region tree.
+_FREE_OK = {OpKind.CONST, OpKind.INPUT, OpKind.OUTPUT}
+
+
+def validate_behavior(behavior: Behavior) -> None:
+    """Check structural invariants of ``behavior``.
+
+    Raises:
+        CdfgValidationError: describing the first violation found.
+    """
+    g = behavior.graph
+    _check_arities(g)
+    _check_region_partition(behavior)
+    _check_regions(behavior, behavior.region)
+    _check_interface(behavior)
+
+
+def _check_arities(g: Graph) -> None:
+    for nid in g.node_ids():
+        node = g.nodes[nid]
+        op = info(node.kind)
+        try:
+            inputs = g.data_inputs(nid)
+        except Exception as exc:  # non-contiguous ports
+            raise CdfgValidationError(str(exc)) from None
+        if op.arity is not None and len(inputs) != op.arity:
+            raise CdfgValidationError(
+                f"node {nid} ({node.label()}): expected {op.arity} data "
+                f"inputs, has {len(inputs)}")
+        if node.kind is OpKind.JOIN and len(inputs) < 2:
+            raise CdfgValidationError(
+                f"JOIN node {nid} must have at least 2 inputs, has "
+                f"{len(inputs)}")
+        if node.kind is OpKind.CONST and node.value is None:
+            raise CdfgValidationError(f"CONST node {nid} has no value")
+        if node.kind in (OpKind.INPUT, OpKind.OUTPUT) and not node.var:
+            raise CdfgValidationError(
+                f"{node.kind.value} node {nid} has no variable name")
+        if node.kind in (OpKind.LOAD, OpKind.STORE) and not node.array:
+            raise CdfgValidationError(
+                f"{node.kind.value} node {nid} has no array name")
+        for src, _pol in g.control_inputs(nid):
+            if src not in g:
+                raise CdfgValidationError(
+                    f"node {nid} guarded by unknown node {src}")
+
+
+def _check_region_partition(behavior: Behavior) -> None:
+    g = behavior.graph
+    seen: Set[int] = set()
+    for region in behavior.region.walk():
+        owned: Set[int]
+        if isinstance(region, BlockRegion):
+            owned = set(region.nodes)
+        elif isinstance(region, LoopRegion):
+            owned = {lv.join for lv in region.loop_vars}
+            owned.update(region.cond_nodes)
+        else:
+            continue
+        dup = owned & seen
+        if dup:
+            raise CdfgValidationError(
+                f"nodes {sorted(dup)[:5]} owned by more than one region")
+        missing = owned - set(g.nodes)
+        if missing:
+            raise CdfgValidationError(
+                f"region references unknown nodes {sorted(missing)[:5]}")
+        seen |= owned
+    for nid in set(g.nodes) - seen:
+        if g.nodes[nid].kind not in _FREE_OK:
+            raise CdfgValidationError(
+                f"node {nid} ({g.nodes[nid].label()}) is not owned by any "
+                f"region and is not a free kind")
+
+
+def _check_regions(behavior: Behavior, region: Region) -> None:
+    g = behavior.graph
+    if isinstance(region, SeqRegion):
+        for child in region.children:
+            _check_regions(behavior, child)
+    elif isinstance(region, BlockRegion):
+        try:
+            g.topo_order(region.nodes)
+        except Exception as exc:
+            raise CdfgValidationError(
+                f"block region is cyclic: {exc}") from None
+    elif isinstance(region, LoopRegion):
+        if region.cond < 0:
+            raise CdfgValidationError(
+                f"loop {region.name}: no condition node")
+        joins = {lv.join for lv in region.loop_vars}
+        if region.cond not in region.cond_nodes and region.cond not in joins:
+            raise CdfgValidationError(
+                f"loop {region.name}: condition node {region.cond} is not "
+                f"in the loop's condition section")
+        for lv in region.loop_vars:
+            node = g.nodes.get(lv.join)
+            if node is None or node.kind is not OpKind.JOIN:
+                raise CdfgValidationError(
+                    f"loop {region.name}: loop variable {lv.name!r} header "
+                    f"{lv.join} is not a JOIN node")
+            ports = g.input_ports(lv.join)
+            if 0 not in ports or 1 not in ports:
+                raise CdfgValidationError(
+                    f"loop {region.name}: header join of {lv.name!r} needs "
+                    f"both an initial (port 0) and an update (port 1) input")
+        try:
+            g.topo_order(region.cond_nodes)
+        except Exception as exc:
+            raise CdfgValidationError(
+                f"loop {region.name}: condition section cyclic: "
+                f"{exc}") from None
+        _check_regions(behavior, region.body)
+    else:
+        raise CdfgValidationError(
+            f"unknown region type {type(region).__name__}")
+
+
+def _check_interface(behavior: Behavior) -> None:
+    g = behavior.graph
+    declared_in = set(behavior.inputs)
+    declared_out = set(behavior.outputs)
+    seen_in: Set[str] = set()
+    seen_out: Set[str] = set()
+    for node in g:
+        if node.kind is OpKind.INPUT:
+            seen_in.add(node.var or "")
+        elif node.kind is OpKind.OUTPUT:
+            seen_out.add(node.var or "")
+    if seen_in - declared_in or declared_in - seen_in:
+        raise CdfgValidationError(
+            f"input declarations {sorted(declared_in)} do not match input "
+            f"nodes {sorted(seen_in)}")
+    if seen_out - declared_out or declared_out - seen_out:
+        raise CdfgValidationError(
+            f"output declarations {sorted(declared_out)} do not match "
+            f"output nodes {sorted(seen_out)}")

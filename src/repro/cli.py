@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE``        — parse + lower a BDL file, print CDFG stats
+  (``--dot`` emits Graphviz).
+* ``run FILE k=v ...``    — execute a behavior on given inputs.
+* ``schedule FILE``       — schedule and print STG statistics
+  (``--alloc a1=2,sb1=1`` sets the allocation, ``--dot`` emits the STG).
+* ``optimize FILE``       — run the full FACT flow
+  (``--objective power``).
+* ``table2 [CIRCUIT...]`` — regenerate the paper's Table-2 rows.
+
+Examples::
+
+    python -m repro compile examples/gcd.bdl --dot > gcd.dot
+    python -m repro optimize examples/gcd.bdl --alloc sb1=2,cp1=1,e1=1
+    python -m repro table2 gcd pps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .bench.table2 import (format_power_table, format_throughput_table,
+                           run_power_row, run_throughput_row)
+from .cdfg.dot import behavior_to_dot
+from .core.fact import Fact, FactConfig
+from .core.search import SearchConfig
+from .errors import ReproError
+from .hw import Allocation, dac98_library
+from .lang import compile_source
+from .profiling import profile, uniform_traces
+from .sched import SchedConfig, Scheduler
+
+
+def _parse_alloc(text: Optional[str]) -> Allocation:
+    counts: Dict[str, int] = {}
+    if text:
+        for item in text.split(","):
+            name, _, value = item.partition("=")
+            if not value:
+                raise SystemExit(f"bad allocation item {item!r}; expected "
+                                 f"name=count")
+            counts[name.strip()] = int(value)
+    else:
+        # A generous default: two of everything.
+        counts = {name: 2 for name in dac98_library().fu_types}
+    return Allocation(counts)
+
+
+def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(f"bad input {pair!r}; expected name=value")
+        out[name] = int(value)
+    return out
+
+
+def _load(path: str):
+    try:
+        with open(path) as handle:
+            return compile_source(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except ReproError as exc:
+        raise SystemExit(f"{path}: {exc}")
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    behavior = _load(args.file)
+    if args.dot:
+        print(behavior_to_dot(behavior))
+        return 0
+    stats = behavior.graph.stats()
+    print(f"{behavior.name}: {stats['nodes']} nodes, "
+          f"{stats['data_edges']} data edges, "
+          f"{stats['control_edges']} control edges")
+    print(f"inputs: {behavior.inputs}  outputs: {behavior.outputs}  "
+          f"arrays: {sorted(behavior.arrays)}")
+    print(f"loops: {[lp.name for lp in behavior.loops()]}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    behavior = _load(args.file)
+    from .cdfg.interp import execute
+    result = execute(behavior, _parse_inputs(args.inputs))
+    for name, value in sorted(result.outputs.items()):
+        print(f"{name} = {value}")
+    for name, iters in sorted(result.loop_iterations.items()):
+        print(f"# loop {name}: {iters} iterations")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    behavior = _load(args.file)
+    library = dac98_library()
+    allocation = _parse_alloc(args.alloc)
+    probs = None
+    if args.profile_traces > 0:
+        traces = uniform_traces(behavior, args.profile_traces,
+                                lo=1, hi=255, seed=args.seed)
+        probs = profile(behavior, traces).branch_probs
+    try:
+        result = Scheduler(behavior, library, allocation,
+                           SchedConfig(clock=args.clock),
+                           probs).schedule()
+    except ReproError as exc:
+        raise SystemExit(f"scheduling failed: {exc}")
+    if args.dot:
+        print(result.stg.to_dot())
+        return 0
+    print(f"{behavior.name}: {result.n_states()} states, expected "
+          f"{result.average_length():.2f} cycles per execution "
+          f"(throughput x1000 = {1000 * result.throughput():.2f})")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    behavior = _load(args.file)
+    library = dac98_library()
+    allocation = _parse_alloc(args.alloc)
+    traces = uniform_traces(behavior, args.profile_traces or 12,
+                            lo=1, hi=255, seed=args.seed)
+    fact = Fact(library, config=FactConfig(
+        sched=SchedConfig(clock=args.clock),
+        search=SearchConfig(max_outer_iters=args.iterations,
+                            seed=args.seed)))
+    try:
+        result = fact.optimize(behavior, allocation, traces=traces,
+                               objective=args.objective)
+    except ReproError as exc:
+        raise SystemExit(f"optimization failed: {exc}")
+    print(f"initial: {result.initial_length:.2f} cycles")
+    print(f"optimized: {result.best_length:.2f} cycles "
+          f"({result.speedup:.2f}x)")
+    for step in result.best.lineage:
+        print(f"  - {step}")
+    if args.objective == "power":
+        report = result.power_report(library)
+        print(f"power: {report['initial_power']:.2f} -> "
+              f"{report['optimized_power']:.2f} "
+              f"({100 * report['reduction']:.1f}% at "
+              f"{report['scaled_vdd']:.2f} V)")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    names = args.circuits or ["gcd", "fir", "test2", "sintran", "igf",
+                              "pps"]
+    rows = []
+    for name in names:
+        print(f"running {name}...", file=sys.stderr)
+        rows.append(run_throughput_row(name))
+    print(format_throughput_table(rows))
+    if args.power:
+        prows = []
+        for name in names:
+            print(f"running {name} (power)...", file=sys.stderr)
+            prows.append(run_power_row(name))
+        print()
+        print(format_power_table(prows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FACT (DAC 1998) reproduction: throughput- and "
+                    "power-optimizing transformations for CFI behaviors")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="parse and lower a BDL file")
+    p.add_argument("file")
+    p.add_argument("--dot", action="store_true",
+                   help="emit the CDFG as Graphviz DOT")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a behavior")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", metavar="name=value")
+    p.set_defaults(func=cmd_run)
+
+    for name, func in (("schedule", cmd_schedule),
+                       ("optimize", cmd_optimize)):
+        p = sub.add_parser(name)
+        p.add_argument("file")
+        p.add_argument("--alloc", help="e.g. a1=2,sb1=1,cp1=1")
+        p.add_argument("--clock", type=float, default=25.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--profile-traces", type=int, default=12)
+        if name == "schedule":
+            p.add_argument("--dot", action="store_true",
+                           help="emit the STG as Graphviz DOT")
+        else:
+            p.add_argument("--objective",
+                           choices=("throughput", "power"),
+                           default="throughput")
+            p.add_argument("--iterations", type=int, default=6,
+                           help="search outer iterations")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("table2", help="regenerate the paper's Table 2")
+    p.add_argument("circuits", nargs="*",
+                   help="subset of circuits (default: all six)")
+    p.add_argument("--power", action="store_true",
+                   help="also run the power-optimization columns")
+    p.set_defaults(func=cmd_table2)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""FACT's core: partitioning, the transformation search, the driver."""
+
+from .fact import Fact, FactConfig, FactResult
+from .objectives import POWER, THROUGHPUT, Objective
+from .partition import (StgBlock, hot_cdfg_nodes, partition_stg,
+                        relative_frequencies)
+from .search import (Evaluated, SearchConfig, SearchResult,
+                     TransformSearch)
+
+__all__ = [
+    "Evaluated", "Fact", "FactConfig", "FactResult", "Objective", "POWER",
+    "SearchConfig", "SearchResult", "StgBlock", "THROUGHPUT",
+    "TransformSearch", "hot_cdfg_nodes", "partition_stg",
+    "relative_frequencies",
+]

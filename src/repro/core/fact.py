@@ -1,0 +1,170 @@
+"""The FACT driver (paper Figure 5).
+
+End-to-end flow:
+
+1. **Schedule** the input behavior with the CFI scheduler (step 1).
+2. **Profile** the CDFG against typical input traces to obtain branch
+   probabilities (reused for every rescheduling).
+3. **Partition** the STG into hot blocks by relative transition
+   frequency (step 2) and collect the CDFG operations they execute
+   (step 3) — the search focuses its candidates there.
+4. Run **Apply_transforms** (steps 4–7): candidate transformations are
+   applied, the results rescheduled, and throughput or power estimated
+   on the schedule; a rank-Boltzmann subset seeds the next generation.
+
+For the power objective, the untransformed design's schedule length is
+the Vdd-scaling baseline (Example 1's iso-throughput rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..cdfg.regions import Behavior
+from ..errors import SearchError
+from ..hw import Allocation, Library, dac98_library
+from ..power.model import PowerEstimate, estimate_power
+from ..power.vdd import scaled_vdd_for_schedule
+from ..profiling.profiler import Profile, profile
+from ..profiling.traces import TraceSet
+from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.types import BranchProbs, SchedConfig
+from ..transforms import TransformLibrary, default_library
+from .objectives import POWER, THROUGHPUT, Objective
+from .partition import hot_cdfg_nodes
+from .search import Evaluated, SearchConfig, SearchResult, TransformSearch
+
+
+@dataclass
+class FactConfig:
+    """Configuration of the whole FACT flow."""
+
+    sched: SchedConfig = field(default_factory=SchedConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+    partition_threshold: float = 0.1
+    focus_on_hot_blocks: bool = True
+    vdd: float = 5.0
+    vt: float = 1.0
+
+
+@dataclass
+class FactResult:
+    """Everything produced by one optimization run."""
+
+    objective: str
+    initial: Evaluated
+    best: Evaluated
+    search: SearchResult
+    profile: Optional[Profile] = None
+    hot_nodes: Optional[Set[int]] = None
+
+    # -- throughput metrics --------------------------------------------
+    @property
+    def initial_length(self) -> float:
+        assert self.initial.result is not None
+        return self.initial.result.average_length()
+
+    @property
+    def best_length(self) -> float:
+        assert self.best.result is not None
+        return self.best.result.average_length()
+
+    def throughput_x1000(self, of_initial: bool = False) -> float:
+        """The paper's Table-2 metric: cycles⁻¹ × 1000."""
+        length = self.initial_length if of_initial else self.best_length
+        return 1000.0 / length
+
+    @property
+    def speedup(self) -> float:
+        return self.initial_length / self.best_length
+
+    # -- power metrics ---------------------------------------------------
+    def power_report(self, library: Library,
+                     cycle_time: float = 1.0) -> Dict[str, float]:
+        """Initial vs optimized power, with Vdd scaling for the latter."""
+        assert self.initial.result is not None
+        assert self.best.result is not None
+        base_len = self.initial_length
+        init_est = estimate_power(self.initial.result.stg,
+                                  self.initial.result.behavior.graph,
+                                  library, vdd=5.0,
+                                  cycle_time=cycle_time)
+        best_est = estimate_power(self.best.result.stg,
+                                  self.best.result.behavior.graph,
+                                  library, vdd=5.0, cycle_time=cycle_time)
+        vdd = scaled_vdd_for_schedule(min(self.best_length, base_len),
+                                      base_len)
+        best_power = (best_est.total_energy * vdd ** 2
+                      / (max(base_len, self.best_length) * cycle_time))
+        return {
+            "initial_power": init_est.power,
+            "optimized_power": best_power,
+            "scaled_vdd": vdd,
+            "reduction": 1.0 - best_power / init_est.power
+            if init_est.power > 0 else 0.0,
+        }
+
+
+class Fact:
+    """The FACT optimizer: transformations guided by scheduling."""
+
+    def __init__(self, library: Optional[Library] = None,
+                 transforms: Optional[TransformLibrary] = None,
+                 config: Optional[FactConfig] = None) -> None:
+        self.library = library or dac98_library()
+        self.transforms = transforms or default_library()
+        self.config = config or FactConfig()
+
+    def optimize(self, behavior: Behavior, allocation: Allocation,
+                 traces: Optional[TraceSet] = None,
+                 objective: str = THROUGHPUT,
+                 branch_probs: Optional[BranchProbs] = None
+                 ) -> FactResult:
+        """Run the full FACT flow on ``behavior``.
+
+        Args:
+            behavior: the input CDFG + regions.
+            allocation: functional-unit allocation constraints.
+            traces: typical input traces for profiling (optional if
+                ``branch_probs`` is supplied or defaults suffice).
+            objective: ``"throughput"`` or ``"power"``.
+            branch_probs: precomputed branch probabilities (skip
+                profiling).
+        """
+        prof: Optional[Profile] = None
+        if branch_probs is None and traces is not None:
+            prof = profile(behavior, traces)
+            branch_probs = dict(prof.branch_probs)
+
+        # Step 1: schedule the untransformed behavior.
+        initial_result = Scheduler(behavior, self.library, allocation,
+                                   self.config.sched,
+                                   branch_probs).schedule()
+
+        if objective == POWER:
+            obj = Objective(POWER,
+                            baseline_length=initial_result
+                            .average_length(),
+                            vdd=self.config.vdd, vt=self.config.vt)
+        elif objective == THROUGHPUT:
+            obj = Objective(THROUGHPUT)
+        else:
+            raise SearchError(f"unknown objective {objective!r}")
+
+        # Step 2/3: partition into hot blocks; focus the search there.
+        hot: Optional[Set[int]] = None
+        if self.config.focus_on_hot_blocks:
+            hot = hot_cdfg_nodes(initial_result.stg,
+                                 self.config.partition_threshold)
+            if not hot:
+                hot = None
+
+        search = TransformSearch(
+            self.transforms, self.library, allocation, obj,
+            sched_config=self.config.sched, branch_probs=branch_probs,
+            config=self.config.search, hot_nodes=hot)
+        result = search.run(behavior)
+        return FactResult(objective=objective, initial=result.initial,
+                          best=result.best, search=result, profile=prof,
+                          hot_nodes=hot)

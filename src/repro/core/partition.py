@@ -1,0 +1,111 @@
+"""STG partitioning (paper Section 4.1).
+
+Transitions are ranked by *relative frequency* — the probability of
+being in the source state times the probability of taking the edge —
+and those above a threshold seed "STG blocks": connected groups of
+states grown by the union procedure the paper describes (augment a
+block when one endpoint is already inside, fuse two blocks when an edge
+spans them).
+
+The resulting blocks are the hot regions the transformation search
+focuses on; each block also exposes the set of CDFG operations its
+states execute (the paper's step 3: "identify the portion of the CDFG
+which corresponds to the STG block").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..stg.markov import expected_visits, state_probabilities
+from ..stg.model import Stg, Transition
+
+
+@dataclass
+class StgBlock:
+    """A connected group of frequently-visited states."""
+
+    states: Set[int] = field(default_factory=set)
+    #: total relative frequency of the transitions that formed the block
+    weight: float = 0.0
+
+    def cdfg_nodes(self, stg: Stg) -> Set[int]:
+        """CDFG operations executed inside this block."""
+        out: Set[int] = set()
+        for sid in self.states:
+            for op in stg.states[sid].ops:
+                out.add(op.node)
+        return out
+
+
+def relative_frequencies(stg: Stg) -> List[Tuple[Transition, float]]:
+    """``(transition, P(source) × P(edge | source))`` pairs, descending."""
+    probs = state_probabilities(stg)
+    ranked = [(t, probs.get(t.src, 0.0) * t.prob)
+              for t in stg.transitions]
+    ranked.sort(key=lambda pair: (-pair[1], pair[0].src, pair[0].dst))
+    return ranked
+
+
+def partition_stg(stg: Stg, threshold: float = 0.1) -> List[StgBlock]:
+    """Partition the STG into disjoint hot blocks.
+
+    Args:
+        stg: the scheduled behavior.
+        threshold: keep transitions whose relative frequency is at least
+            ``threshold × max_frequency``.
+
+    Returns:
+        Disjoint blocks, most frequent first.  States whose traffic is
+        entirely below threshold belong to no block (they are the cold
+        remainder the algorithm leaves untouched).
+    """
+    ranked = relative_frequencies(stg)
+    if not ranked:
+        return []
+    cutoff = ranked[0][1] * threshold
+    chosen = [(t, f) for t, f in ranked if f >= cutoff and f > 0]
+
+    block_of: Dict[int, StgBlock] = {}
+    blocks: List[StgBlock] = []
+    for t, freq in chosen:
+        src_blk = block_of.get(t.src)
+        dst_blk = block_of.get(t.dst)
+        if src_blk is None and dst_blk is None:
+            blk = StgBlock({t.src, t.dst}, freq)
+            blocks.append(blk)
+            block_of[t.src] = blk
+            block_of[t.dst] = blk
+        elif src_blk is not None and dst_blk is None:
+            src_blk.states.add(t.dst)
+            src_blk.weight += freq
+            block_of[t.dst] = src_blk
+        elif src_blk is None and dst_blk is not None:
+            dst_blk.states.add(t.src)
+            dst_blk.weight += freq
+            block_of[t.src] = dst_blk
+        elif src_blk is not dst_blk:
+            # Fuse the two blocks.
+            assert src_blk is not None and dst_blk is not None
+            src_blk.states |= dst_blk.states
+            src_blk.weight += dst_blk.weight + freq
+            for sid in dst_blk.states:
+                block_of[sid] = src_blk
+            blocks.remove(dst_blk)
+        else:
+            src_blk.weight += freq
+    blocks.sort(key=lambda b: -b.weight)
+    return blocks
+
+
+def hot_cdfg_nodes(stg: Stg, threshold: float = 0.1,
+                   max_blocks: Optional[int] = None) -> Set[int]:
+    """CDFG nodes inside the hottest blocks (search focus set)."""
+    blocks = partition_stg(stg, threshold)
+    if max_blocks is not None:
+        blocks = blocks[:max_blocks]
+    out: Set[int] = set()
+    for blk in blocks:
+        out |= blk.cdfg_nodes(stg)
+    return out

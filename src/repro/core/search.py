@@ -1,0 +1,210 @@
+"""The ``Apply_transforms`` search (paper Figure 6).
+
+A population-based hybrid of iterative improvement and simulated
+annealing:
+
+* ``In_set`` holds the behaviors seeding the current generation;
+* each generation applies every candidate transformation to every seed,
+  forming ``Behavior_set``;
+* every member is **rescheduled** and scored with the objective — this
+  is where scheduling information guides transformation selection;
+* members are ranked by score and a fixed-size subset is drawn with
+  probability ratio ``e^(−k·rank_i) / e^(−k·rank_j)``; ``k`` grows
+  linearly with the outer iteration, so early generations tolerate bad
+  moves and later ones favor the best;
+* the loop stops when an outer iteration fails to improve the best
+  score (or a hard iteration cap is reached).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..cdfg.regions import Behavior
+from ..errors import ReproError, ScheduleError, SearchError, TransformError
+from ..hw import Allocation, Library
+from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.types import BranchProbs, SchedConfig
+from ..transforms.base import Candidate, TransformLibrary
+from .objectives import Objective
+
+
+@dataclass
+class SearchConfig:
+    """Tuning knobs for ``Apply_transforms``.
+
+    ``k(outer) = k0 + k_step × outer`` is the paper's monotonically
+    increasing selection-pressure parameter.
+    """
+
+    max_outer_iters: int = 6
+    max_moves: int = 2        # the paper's MAX_MOVES inner loop
+    in_set_size: int = 3      # the fixed-size subset kept per move
+    k0: float = 0.3
+    k_step: float = 0.4
+    max_candidates_per_seed: int = 64
+    seed: int = 0
+
+
+@dataclass
+class Evaluated:
+    """A behavior with its schedule and score."""
+
+    behavior: Behavior
+    result: Optional[ScheduleResult]
+    score: float
+    lineage: Tuple[str, ...] = ()
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one ``Apply_transforms`` run."""
+
+    best: Evaluated
+    initial: Evaluated
+    generations: int = 0
+    evaluated_count: int = 0
+    history: List[float] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """initial score / best score (>1 means the search helped)."""
+        if self.best.score <= 0:
+            return float("inf")
+        return self.initial.score / self.best.score
+
+
+class TransformSearch:
+    """Runs the Figure-6 loop over one behavior."""
+
+    def __init__(self, transforms: TransformLibrary, library: Library,
+                 allocation: Allocation, objective: Objective,
+                 sched_config: Optional[SchedConfig] = None,
+                 branch_probs: Optional[BranchProbs] = None,
+                 config: Optional[SearchConfig] = None,
+                 hot_nodes: Optional[Set[int]] = None) -> None:
+        self.transforms = transforms
+        self.library = library
+        self.allocation = allocation
+        self.objective = objective
+        self.sched_config = sched_config or SchedConfig()
+        self.branch_probs = branch_probs
+        self.config = config or SearchConfig()
+        self.hot_nodes = hot_nodes
+        self._rng = random.Random(self.config.seed)
+        self._evaluations = 0
+        self._fresh_from: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def evaluate(self, behavior: Behavior,
+                 lineage: Tuple[str, ...] = ()) -> Evaluated:
+        """Reschedule a behavior and score it (inf if unschedulable).
+
+        A tiny datapath-cost tie-break is added to the objective so
+        that, among schedule-equivalent candidates, the one that sheds
+        operations ranks first — multi-step improvements (factor →
+        hoist, strength-reduce → re-associate) then survive selection
+        even when their first step alone does not shorten the schedule.
+        """
+        self._evaluations += 1
+        try:
+            result = Scheduler(behavior, self.library, self.allocation,
+                               self.sched_config,
+                               self.branch_probs).schedule()
+            score = self.objective.evaluate(result)
+            score += 1e-7 * self._datapath_cost(behavior)
+        except ReproError:
+            return Evaluated(behavior, None, float("inf"), lineage)
+        return Evaluated(behavior, result, score, lineage)
+
+    def _datapath_cost(self, behavior: Behavior) -> float:
+        """Σ of FU delays over the graph — a static size proxy."""
+        from ..sched.types import ResourceModel
+        rm = ResourceModel(behavior.graph, self.library, self.allocation)
+        return sum(rm.delay_of(nid) for nid in behavior.graph.node_ids())
+
+    def run(self, behavior: Behavior) -> SearchResult:
+        """Optimize ``behavior``; returns the best design found."""
+        initial = self.evaluate(behavior)
+        if initial.result is None:
+            raise SearchError(
+                "the input behavior itself cannot be scheduled under "
+                "the given allocation")
+        # Nodes created by rewrites get ids above the input's: they are
+        # products of hot-region rewriting and stay in focus.
+        self._fresh_from = max(behavior.graph.nodes, default=-1) + 1
+        best = initial
+        in_set: List[Evaluated] = [initial]
+        history = [initial.score]
+        outer = 0
+        cfg = self.config
+        while outer < cfg.max_outer_iters:
+            improved = False
+            for _move in range(cfg.max_moves):
+                generation = self._expand(in_set)
+                if not generation:
+                    break
+                generation.sort(key=lambda e: e.score)
+                if generation[0].score < best.score - 1e-9:
+                    best = generation[0]
+                    improved = True
+                history.append(best.score)
+                k = cfg.k0 + cfg.k_step * outer
+                in_set = self._select(generation, k)
+            outer += 1
+            if not improved:
+                break
+        return SearchResult(best=best, initial=initial, generations=outer,
+                            evaluated_count=self._evaluations,
+                            history=history)
+
+    # ------------------------------------------------------------------
+    def _expand(self, in_set: Sequence[Evaluated]) -> List[Evaluated]:
+        """Apply candidate transformations to every seed behavior."""
+        out: List[Evaluated] = []
+        for seed in in_set:
+            candidates = self.transforms.candidates(seed.behavior)
+            if self.hot_nodes is not None:
+                fresh = self._fresh_from if self._fresh_from is not None \
+                    else 0
+                candidates = [
+                    c for c in candidates
+                    if c.touches(self.hot_nodes)
+                    or any(s >= fresh for s in c.sites)]
+            if len(candidates) > self.config.max_candidates_per_seed:
+                candidates = self._rng.sample(
+                    candidates, self.config.max_candidates_per_seed)
+            for cand in candidates:
+                try:
+                    transformed = cand.apply(seed.behavior)
+                except ReproError:
+                    continue
+                out.append(self.evaluate(
+                    transformed,
+                    seed.lineage + (f"{cand.transform}:"
+                                    f"{cand.description}",)))
+        return out
+
+    def _select(self, ranked: List[Evaluated], k: float
+                ) -> List[Evaluated]:
+        """Draw the next In_set with probability ∝ e^(−k·rank)."""
+        size = min(self.config.in_set_size, len(ranked))
+        pool = list(range(len(ranked)))
+        chosen: List[Evaluated] = []
+        for _ in range(size):
+            weights = [math.exp(-k * rank) for rank in pool]
+            total = sum(weights)
+            r = self._rng.random() * total
+            acc = 0.0
+            pick = pool[-1]
+            for rank, w in zip(pool, weights):
+                acc += w
+                if r < acc:
+                    pick = rank
+                    break
+            pool.remove(pick)
+            chosen.append(ranked[pick])
+        return chosen

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CdfgError(ReproError):
+    """Structural problem in a CDFG (bad edge, unknown node, type clash)."""
+
+
+class CdfgValidationError(CdfgError):
+    """A CDFG failed a well-formedness check."""
+
+
+class InterpError(ReproError):
+    """The token-passing interpreter hit an unexecutable state."""
+
+
+class InterpLimitError(InterpError):
+    """The interpreter exceeded its step budget (probable livelock)."""
+
+
+class LangError(ReproError):
+    """Base class for behavioral-language frontend errors."""
+
+
+class LexError(LangError):
+    """Invalid character or token in BDL source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LangError):
+    """Syntax error in BDL source."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(LangError):
+    """Well-formed syntax with an invalid meaning (undeclared variable...)."""
+
+
+class ScheduleError(ReproError):
+    """The scheduler could not produce a legal schedule."""
+
+
+class AllocationError(ScheduleError):
+    """Allocation constraints cannot implement the behavior at all."""
+
+
+class StgError(ReproError):
+    """Structural problem in a state transition graph."""
+
+
+class MarkovError(ReproError):
+    """STG probability analysis failed (e.g. no absorbing state)."""
+
+
+class PowerError(ReproError):
+    """Power-model failure (unknown FU type, infeasible Vdd solve)."""
+
+
+class TransformError(ReproError):
+    """A transformation could not be applied to the given site."""
+
+
+class SearchError(ReproError):
+    """The transformation-search driver was misconfigured."""
+
+
+class SynthError(ReproError):
+    """RTL synthesis (binding / allocation / reporting) failure."""
+
+
+class BenchError(ReproError):
+    """A benchmark circuit definition is inconsistent."""

@@ -1,0 +1,31 @@
+"""BDL — the behavioral description language frontend.
+
+BDL is a small C-like language matching the paper's example syntax
+(Figure 1(a)).  :func:`compile_source` goes from source text to a
+validated :class:`~repro.cdfg.regions.Behavior`::
+
+    from repro.lang import compile_source
+
+    beh = compile_source('''
+        proc gcd(in a, in b, out g) {
+            while (a != b) {
+                if (a < b) { b = b - a; } else { a = a - b; }
+            }
+            g = a;
+        }
+    ''')
+"""
+
+from .astnodes import (ArrayAssign, ArrayRef, Assign, Binary, Expr, For, If,
+                       IntLit, Param, Proc, Stmt, Unary, VarDecl, VarRef,
+                       While, assigned_vars, used_vars)
+from .lexer import TokKind, Token, tokenize
+from .lower import Lowerer, compile_source
+from .parser import Parser, parse
+
+__all__ = [
+    "ArrayAssign", "ArrayRef", "Assign", "Binary", "Expr", "For", "If",
+    "IntLit", "Lowerer", "Param", "Parser", "Proc", "Stmt", "TokKind",
+    "Token", "Unary", "VarDecl", "VarRef", "While", "assigned_vars",
+    "compile_source", "parse", "tokenize", "used_vars",
+]

@@ -1,0 +1,128 @@
+"""Lexer for BDL, the behavioral description language.
+
+BDL is the small C-like language the paper's examples are written in
+(Figure 1(a)).  The lexer produces a flat list of :class:`Token` with
+line/column positions for error reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import LexError
+
+
+class TokKind(enum.Enum):
+    """Token categories."""
+
+    IDENT = "ident"
+    INT = "int"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "proc", "in", "out", "array", "var", "if", "else", "while", "for",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+              "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|",
+              "^")
+
+_PUNCT = "(){}[],;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token."""
+
+    kind: TokKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize BDL ``source``.
+
+    Supports ``//`` line comments and ``/* */`` block comments.
+
+    Raises:
+        LexError: on an unrecognized character.
+    """
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment",
+                               start_line, start_col)
+            advance(2)
+            continue
+        if ch.isdigit():
+            start = i
+            start_line, start_col = line, col
+            while i < n and source[i].isdigit():
+                advance(1)
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise LexError(f"bad numeric literal near "
+                               f"{source[start:i + 1]!r}", line, col)
+            tokens.append(Token(TokKind.INT, source[start:i],
+                                start_line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(TokKind.OP, op, line, col))
+                advance(len(op))
+                break
+        else:
+            if ch in _PUNCT:
+                tokens.append(Token(TokKind.PUNCT, ch, line, col))
+                advance(1)
+            else:
+                raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokKind.EOF, "", line, col))
+    return tokens

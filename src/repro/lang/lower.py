@@ -1,0 +1,221 @@
+"""Lowering: BDL AST → :class:`~repro.cdfg.regions.Behavior`.
+
+The pass is a thin layer over :class:`~repro.cdfg.builder.BehaviorBuilder`:
+
+* ``if`` statements are if-converted (guards + JOIN merges);
+* loops become :class:`~repro.cdfg.regions.LoopRegion`; the loop-carried
+  variable set is computed as *assigned inside the loop ∩ defined before
+  it* — a variable first defined inside the loop is a per-iteration
+  temporary and needs no header join;
+* ``x + 1`` / ``x - 1`` are peephole-lowered to ``INC`` / ``DEC`` so
+  they can map onto the paper's incrementer functional units (Fig. 1's
+  ``++`` annotation);
+* ``for`` loops with constant bounds record their trip count on the
+  loop region, which the scheduler's concurrent-loop optimizer uses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cdfg.builder import BehaviorBuilder
+from ..cdfg.regions import Behavior
+from ..errors import CdfgError, SemanticError
+from .astnodes import (ArrayAssign, ArrayRef, Assign, Binary, Expr, For, If,
+                       IntLit, Proc, Stmt, Unary, VarDecl, VarRef, While,
+                       assigned_vars)
+from .parser import parse
+
+_BINARY_KINDS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "<<": "shl", ">>": "shr",
+    "<": "lt", ">": "gt", "<=": "le", ">=": "ge", "==": "eq", "!=": "ne",
+    "&&": "land", "||": "lor",
+}
+
+_BITWISE = {"&": "BAND", "|": "BOR", "^": "BXOR"}
+
+
+class Lowerer:
+    """Lowers a parsed :class:`Proc` into a behavior."""
+
+    def __init__(self, proc: Proc) -> None:
+        self.proc = proc
+        self.builder = BehaviorBuilder(proc.name)
+
+    def lower(self) -> Behavior:
+        """Run the lowering and return a validated behavior."""
+        b = self.builder
+        out_params: List[str] = []
+        for p in self.proc.params:
+            if p.direction == "in":
+                b.input(p.name)
+            elif p.direction == "out":
+                out_params.append(p.name)
+            else:
+                b.array(p.name, p.size)
+        self._lower_stmts(self.proc.body)
+        for name in out_params:
+            if not b.has_var(name):
+                raise SemanticError(
+                    f"output parameter {name!r} is never assigned")
+            b.output(name)
+        try:
+            return b.finish()
+        except CdfgError as exc:
+            raise SemanticError(str(exc)) from exc
+
+    # ------------------------------------------------------------------
+    def _lower_stmts(self, stmts: List[Stmt]) -> None:
+        for stmt in stmts:
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: Stmt) -> None:
+        b = self.builder
+        try:
+            if isinstance(stmt, VarDecl):
+                src = self._expr(stmt.init) if stmt.init is not None \
+                    else b.const(0)
+                b.assign(stmt.name, src)
+            elif isinstance(stmt, Assign):
+                b.assign(stmt.name, self._expr(stmt.value))
+            elif isinstance(stmt, ArrayAssign):
+                b.store(stmt.name, self._expr(stmt.index),
+                        self._expr(stmt.value))
+            elif isinstance(stmt, If):
+                self._lower_if(stmt)
+            elif isinstance(stmt, While):
+                self._lower_while(stmt)
+            elif isinstance(stmt, For):
+                self._lower_for(stmt)
+            else:
+                raise SemanticError(
+                    f"unsupported statement {type(stmt).__name__}")
+        except CdfgError as exc:
+            raise SemanticError(
+                f"{stmt.line}:{stmt.column}: {exc}") from exc
+
+    def _lower_if(self, stmt: If) -> None:
+        b = self.builder
+        cond = self._expr(stmt.cond)
+        with b.if_(cond):
+            self._lower_stmts(stmt.then_body)
+            if stmt.else_body:
+                b.otherwise()
+                self._lower_stmts(stmt.else_body)
+
+    def _carried(self, body: List[Stmt], extra: Optional[str] = None) -> List[str]:
+        names = assigned_vars(body)
+        if extra is not None:
+            names = names | {extra}
+        return sorted(n for n in names if self.builder.has_var(n))
+
+    def _lower_while(self, stmt: While) -> None:
+        b = self.builder
+        with b.loop(stmt.label, carried=self._carried(stmt.body)):
+            b.loop_cond(self._expr(stmt.cond))
+            self._lower_stmts(stmt.body)
+
+    def _lower_for(self, stmt: For) -> None:
+        b = self.builder
+        b.assign(stmt.var, self._expr(stmt.init))
+        carried = self._carried(stmt.body, extra=stmt.var)
+        trip = _static_trip_count(stmt)
+        with b.loop(stmt.label, carried=carried, trip_count=trip):
+            b.loop_cond(self._expr(stmt.cond))
+            self._lower_stmts(stmt.body)
+            b.assign(stmt.var, self._expr(stmt.update))
+
+    # ------------------------------------------------------------------
+    def _expr(self, expr: Optional[Expr]) -> int:
+        b = self.builder
+        if expr is None:
+            raise SemanticError("missing expression")
+        if isinstance(expr, IntLit):
+            return b.const(expr.value)
+        if isinstance(expr, VarRef):
+            try:
+                return b.var(expr.name)
+            except CdfgError as exc:
+                raise SemanticError(
+                    f"{expr.line}:{expr.column}: {exc}") from exc
+        if isinstance(expr, ArrayRef):
+            return b.load(expr.name, self._expr(expr.index))
+        if isinstance(expr, Unary):
+            if expr.op == "-":
+                if isinstance(expr.operand, IntLit):
+                    return b.const(-expr.operand.value)
+                return b.neg(self._expr(expr.operand))
+            if expr.op == "!":
+                return b.lnot(self._expr(expr.operand))
+            if expr.op == "~":
+                return b.bnot(self._expr(expr.operand))
+            raise SemanticError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, Binary):
+            return self._binary(expr)
+        raise SemanticError(f"unsupported expression {type(expr).__name__}")
+
+    def _binary(self, expr: Binary) -> int:
+        b = self.builder
+        # Peephole: x + 1 -> INC, x - 1 -> DEC (maps to incrementer FUs).
+        if expr.op == "+":
+            if isinstance(expr.right, IntLit) and expr.right.value == 1:
+                return b.inc(self._expr(expr.left))
+            if isinstance(expr.left, IntLit) and expr.left.value == 1:
+                return b.inc(self._expr(expr.right))
+        if expr.op == "-" and isinstance(expr.right, IntLit) \
+                and expr.right.value == 1:
+            return b.dec(self._expr(expr.left))
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        if expr.op in _BINARY_KINDS:
+            return getattr(b, _BINARY_KINDS[expr.op])(left, right)
+        if expr.op in _BITWISE:
+            from ..cdfg.ops import OpKind
+            return b.op(OpKind[_BITWISE[expr.op]], left, right)
+        raise SemanticError(f"unknown binary operator {expr.op!r}")
+
+
+def _static_trip_count(stmt: For) -> Optional[int]:
+    """Trip count of ``for (v=c0; v<c1; v=v+c2)`` with constant bounds."""
+    if not isinstance(stmt.init, IntLit) or not isinstance(stmt.cond, Binary):
+        return None
+    cond = stmt.cond
+    if not (isinstance(cond.left, VarRef) and cond.left.name == stmt.var
+            and isinstance(cond.right, IntLit)):
+        return None
+    upd = stmt.update
+    if not (isinstance(upd, Binary) and upd.op in ("+", "-")
+            and isinstance(upd.left, VarRef) and upd.left.name == stmt.var
+            and isinstance(upd.right, IntLit)):
+        return None
+    start = stmt.init.value
+    bound = cond.right.value
+    step = upd.right.value if upd.op == "+" else -upd.right.value
+    if step == 0:
+        return None
+    count = 0
+    v = start
+    for _ in range(10_000_000):
+        if cond.op == "<" and not v < bound:
+            break
+        if cond.op == "<=" and not v <= bound:
+            break
+        if cond.op == ">" and not v > bound:
+            break
+        if cond.op == ">=" and not v >= bound:
+            break
+        if cond.op == "!=" and not v != bound:
+            break
+        if cond.op not in ("<", "<=", ">", ">=", "!="):
+            return None
+        count += 1
+        v += step
+    else:
+        return None
+    return count
+
+
+def compile_source(source: str) -> Behavior:
+    """Parse and lower BDL ``source`` into a validated behavior."""
+    return Lowerer(parse(source)).lower()

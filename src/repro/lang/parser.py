@@ -1,0 +1,267 @@
+"""Recursive-descent parser for BDL.
+
+Grammar (C-like, expression precedence matches C)::
+
+    proc      := 'proc' IDENT '(' [param {',' param}] ')' block
+    param     := 'in' IDENT | 'out' IDENT | 'array' IDENT '[' INT ']'
+    block     := '{' {stmt} '}'
+    stmt      := 'var' IDENT ['=' expr] ';'
+               | IDENT '=' expr ';'
+               | IDENT '[' expr ']' '=' expr ';'
+               | 'if' '(' expr ')' block ['else' (block | if_stmt)]
+               | 'while' '(' expr ')' block
+               | 'for' '(' IDENT '=' expr ';' expr ';' IDENT '=' expr ')'
+                 block
+               | ';'
+    expr      := C-precedence binary/unary expression over
+                 INT, IDENT, IDENT '[' expr ']', '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParseError
+from .astnodes import (ArrayAssign, ArrayRef, Assign, Binary, Expr, For, If,
+                       IntLit, Param, Proc, Stmt, Unary, VarDecl, VarRef,
+                       While)
+from .lexer import TokKind, Token, tokenize
+
+#: Binary operator precedence levels, loosest first (C order).
+_PRECEDENCE: List[List[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    """Parses a token stream into a :class:`Proc` AST."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._loop_counter = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind is not TokKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        tok = self._cur
+        return ParseError(f"{message} (found {tok.text!r})",
+                          tok.line, tok.column)
+
+    def _expect(self, text: str) -> Token:
+        tok = self._cur
+        if tok.text != text or tok.kind is TokKind.EOF:
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        tok = self._cur
+        if tok.kind is not TokKind.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _accept(self, text: str) -> bool:
+        if self._cur.text == text and self._cur.kind is not TokKind.EOF:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar --------------------------------------------------------
+    def parse_proc(self) -> Proc:
+        """Parse a complete procedure and require EOF afterwards."""
+        start = self._expect("proc")
+        name = self._expect_ident().text
+        self._expect("(")
+        params: List[Param] = []
+        if self._cur.text != ")":
+            params.append(self._parse_param())
+            while self._accept(","):
+                params.append(self._parse_param())
+        self._expect(")")
+        body = self._parse_block()
+        if self._cur.kind is not TokKind.EOF:
+            raise self._error("trailing input after procedure")
+        return Proc(name, params, body, line=start.line, column=start.column)
+
+    def _parse_param(self) -> Param:
+        tok = self._cur
+        if self._accept("in"):
+            name = self._expect_ident().text
+            return Param("in", name, line=tok.line, column=tok.column)
+        if self._accept("out"):
+            name = self._expect_ident().text
+            return Param("out", name, line=tok.line, column=tok.column)
+        if self._accept("array"):
+            name = self._expect_ident().text
+            self._expect("[")
+            size_tok = self._cur
+            if size_tok.kind is not TokKind.INT:
+                raise self._error("expected array size")
+            self._advance()
+            self._expect("]")
+            return Param("array", name, size=int(size_tok.text),
+                         line=tok.line, column=tok.column)
+        raise self._error("expected 'in', 'out' or 'array'")
+
+    def _parse_block(self) -> List[Stmt]:
+        self._expect("{")
+        stmts: List[Stmt] = []
+        while not self._accept("}"):
+            if self._cur.kind is TokKind.EOF:
+                raise self._error("unexpected end of input in block")
+            stmt = self._parse_stmt()
+            if stmt is not None:
+                stmts.append(stmt)
+        return stmts
+
+    def _parse_stmt(self) -> Optional[Stmt]:
+        tok = self._cur
+        if self._accept(";"):
+            return None
+        if self._accept("var"):
+            name = self._expect_ident().text
+            init: Optional[Expr] = None
+            if self._accept("="):
+                init = self._parse_expr()
+            self._expect(";")
+            return VarDecl(name=name, init=init, line=tok.line,
+                           column=tok.column)
+        if self._cur.text == "if":
+            return self._parse_if()
+        if self._cur.text == "while":
+            return self._parse_while()
+        if self._cur.text == "for":
+            return self._parse_for()
+        if self._cur.kind is TokKind.IDENT:
+            name = self._advance().text
+            if self._accept("["):
+                index = self._parse_expr()
+                self._expect("]")
+                self._expect("=")
+                value = self._parse_expr()
+                self._expect(";")
+                return ArrayAssign(name=name, index=index, value=value,
+                                   line=tok.line, column=tok.column)
+            self._expect("=")
+            value = self._parse_expr()
+            self._expect(";")
+            return Assign(name=name, value=value, line=tok.line,
+                          column=tok.column)
+        raise self._error("expected statement")
+
+    def _parse_if(self) -> If:
+        tok = self._expect("if")
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        then_body = self._parse_block()
+        else_body: List[Stmt] = []
+        if self._accept("else"):
+            if self._cur.text == "if":
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return If(cond=cond, then_body=then_body, else_body=else_body,
+                  line=tok.line, column=tok.column)
+
+    def _parse_while(self) -> While:
+        tok = self._expect("while")
+        self._loop_counter += 1
+        label = f"L{self._loop_counter}"  # pre-order: outer loops first
+        self._expect("(")
+        cond = self._parse_expr()
+        self._expect(")")
+        body = self._parse_block()
+        return While(cond=cond, body=body, label=label,
+                     line=tok.line, column=tok.column)
+
+    def _parse_for(self) -> For:
+        tok = self._expect("for")
+        self._expect("(")
+        var = self._expect_ident().text
+        self._expect("=")
+        init = self._parse_expr()
+        self._expect(";")
+        cond = self._parse_expr()
+        self._expect(";")
+        update_var = self._expect_ident().text
+        if update_var != var:
+            raise ParseError(
+                f"for-loop update must assign {var!r}, not {update_var!r}",
+                tok.line, tok.column)
+        self._expect("=")
+        update = self._parse_expr()
+        self._expect(")")
+        self._loop_counter += 1
+        label = f"L{self._loop_counter}"
+        body = self._parse_block()
+        return For(var=var, init=init, cond=cond, update=update, body=body,
+                   label=label, line=tok.line, column=tok.column)
+
+    # -- expressions ----------------------------------------------------
+    def _parse_expr(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self._parse_unary()
+        expr = self._parse_binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self._cur.kind is TokKind.OP and self._cur.text in ops:
+            tok = self._advance()
+            right = self._parse_binary(level + 1)
+            expr = Binary(op=tok.text, left=expr, right=right,
+                          line=tok.line, column=tok.column)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        tok = self._cur
+        if tok.kind is TokKind.OP and tok.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return Unary(op=tok.text, operand=operand,
+                         line=tok.line, column=tok.column)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        tok = self._cur
+        if tok.kind is TokKind.INT:
+            self._advance()
+            return IntLit(value=int(tok.text), line=tok.line,
+                          column=tok.column)
+        if tok.kind is TokKind.IDENT:
+            self._advance()
+            if self._accept("["):
+                index = self._parse_expr()
+                self._expect("]")
+                return ArrayRef(name=tok.text, index=index,
+                                line=tok.line, column=tok.column)
+            return VarRef(name=tok.text, line=tok.line, column=tok.column)
+        if self._accept("("):
+            expr = self._parse_expr()
+            self._expect(")")
+            return expr
+        raise self._error("expected expression")
+
+
+def parse(source: str) -> Proc:
+    """Parse BDL source text into a :class:`Proc` AST."""
+    return Parser(tokenize(source)).parse_proc()

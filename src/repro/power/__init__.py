@@ -1,0 +1,11 @@
+"""High-level power estimation and supply-voltage scaling."""
+
+from .model import DEFAULT_REG_ACCESSES_PER_OP, PowerEstimate, estimate_power
+from .report import format_power_estimate
+from .vdd import delay_factor, scaled_vdd_for_schedule, slowdown, solve_vdd
+
+__all__ = [
+    "DEFAULT_REG_ACCESSES_PER_OP", "PowerEstimate", "delay_factor",
+    "estimate_power", "format_power_estimate", "scaled_vdd_for_schedule",
+    "slowdown", "solve_vdd",
+]

@@ -1,0 +1,33 @@
+"""Human-readable power reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .model import PowerEstimate
+
+
+def format_power_estimate(est: PowerEstimate,
+                          title: Optional[str] = None) -> str:
+    """Render a :class:`PowerEstimate` as an aligned text breakdown.
+
+    Energies are per execution, in the paper's Vdd²-normalized units;
+    the final line applies ``Vdd²`` and the schedule length.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'component':<14} {'ops':>10} {'energy':>10}")
+    for fu in sorted(est.fu_energy):
+        lines.append(f"{fu:<14} {est.fu_ops.get(fu, 0.0):>10.2f} "
+                     f"{est.fu_energy[fu]:>10.2f}")
+    lines.append(f"{'registers':<14} {'':>10} "
+                 f"{est.register_energy:>10.2f}")
+    lines.append(f"{'memory':<14} {'':>10} {est.memory_energy:>10.2f}")
+    lines.append(f"{'overhead':<14} {'':>10} "
+                 f"{est.overhead_energy:>10.2f}")
+    lines.append(f"{'total':<14} {'':>10} {est.total_energy:>10.2f}")
+    lines.append(
+        f"schedule {est.schedule_length:.2f} cycles @ Vdd {est.vdd:.2f} V"
+        f" -> power {est.power:.2f} / cycle_time")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Supply-voltage scaling (paper Section 2.2, Example 1).
+
+Power optimization trades the throughput gained by transformations for
+quadratic energy savings: the supply voltage is lowered until the
+transformed design's average schedule length (which stretches as gates
+slow down) matches the untransformed baseline.
+
+First-order delay model (paper footnote 1, Weste & Eshraghian):
+``delay = k × Vdd / (Vdd − Vt)²``.
+"""
+
+from __future__ import annotations
+
+from ..errors import PowerError
+
+
+def delay_factor(vdd: float, vt: float = 1.0) -> float:
+    """The Vdd-dependent part of gate delay: ``Vdd / (Vdd − Vt)²``."""
+    if vdd <= vt:
+        raise PowerError(f"Vdd {vdd} must exceed Vt {vt}")
+    return vdd / (vdd - vt) ** 2
+
+
+def slowdown(vdd_new: float, vdd_initial: float = 5.0,
+             vt: float = 1.0) -> float:
+    """Delay multiplier when moving from ``vdd_initial`` to ``vdd_new``."""
+    return delay_factor(vdd_new, vt) / delay_factor(vdd_initial, vt)
+
+
+def solve_vdd(target_slowdown: float, vdd_initial: float = 5.0,
+              vt: float = 1.0, tol: float = 1e-9) -> float:
+    """The supply voltage at which delays stretch by ``target_slowdown``.
+
+    Solves ``slowdown(v) = target_slowdown`` for ``v`` by bisection
+    (the slowdown is strictly decreasing in ``v`` above ``2·Vt``, where
+    designs operate).
+
+    Args:
+        target_slowdown: desired delay multiplier, ≥ 1.
+
+    Raises:
+        PowerError: for a speed-up request (slowdown < 1) — scaling
+            *up* past the nominal supply is out of the model's scope.
+    """
+    if target_slowdown < 1.0 - 1e-9:
+        raise PowerError(
+            f"cannot scale Vdd for a speed-up (slowdown "
+            f"{target_slowdown:.4f} < 1)")
+    if target_slowdown <= 1.0 + 1e-12:
+        return vdd_initial
+    lo = max(2.0 * vt, vt + 1e-6)  # stay on the monotonic branch
+    hi = vdd_initial
+    if slowdown(lo, vdd_initial, vt) < target_slowdown:
+        # Even the minimum usable supply is too fast to slow down this
+        # much; return the floor (the model's validity edge).
+        return lo
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if slowdown(mid, vdd_initial, vt) > target_slowdown:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def scaled_vdd_for_schedule(new_length: float, baseline_length: float,
+                            vdd_initial: float = 5.0,
+                            vt: float = 1.0) -> float:
+    """Example 1's scaling rule.
+
+    A transformed design finishing in ``new_length`` cycles (at the
+    nominal supply) may be slowed by ``baseline_length / new_length``
+    before it loses to the untransformed baseline; return the supply
+    voltage realizing exactly that slowdown.
+    """
+    if new_length <= 0 or baseline_length <= 0:
+        raise PowerError("schedule lengths must be positive")
+    if new_length >= baseline_length:
+        return vdd_initial  # no slack to trade
+    return solve_vdd(baseline_length / new_length, vdd_initial, vt)

@@ -1,0 +1,10 @@
+"""Trace generation and CDFG profiling."""
+
+from .profiler import Profile, profile
+from .traces import (TraceCase, TraceSet, gaussian_ar_sequence,
+                     gaussian_traces, uniform_traces)
+
+__all__ = [
+    "Profile", "TraceCase", "TraceSet", "gaussian_ar_sequence",
+    "gaussian_traces", "profile", "uniform_traces",
+]

@@ -1,0 +1,226 @@
+"""Path-based scheduling of guarded blocks.
+
+An if-converted block contains operations guarded by condition literals
+(control edges).  Hardware controllers realize this as *branching state
+sequences* (paper Figure 1(c): the taken path goes through different
+states than the else path), so the block scheduler recursively:
+
+1. schedules the operations whose guards are already resolved,
+2. picks the earliest-resolving condition that still guards pending
+   operations,
+3. splits the state sequence at that condition's completion cycle, and
+4. recurses into both polarities with the condition added to the
+   resolved assignment.
+
+Operations that could not finish before the split are re-scheduled
+inside both branches (the controller duplicates them per path, exactly
+like an FSM synthesized from a branching schedule).  A pending guard
+whose condition resolved *before* the current fragment (in an enclosing
+prefix or another block) causes an immediate entry branch: the fragment
+then has one weighted entry per polarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..cdfg.analysis import GuardAnalysis
+from ..cdfg.ir import Graph
+from ..cdfg.ops import OpKind
+from ..cdfg.regions import Behavior
+from ..errors import ScheduleError
+from ..stg.model import Stg
+from .acyclic import schedule_acyclic
+from .fragments import Frag, Port, states_from_schedule
+from .restable import LinearTable
+from .types import BranchProbs, ResourceModel, SchedConfig, prob_true
+
+
+@dataclass
+class ScheduleContext:
+    """Everything the fragment schedulers need, bundled."""
+
+    behavior: Behavior
+    graph: Graph
+    rm: ResourceModel
+    config: SchedConfig
+    probs: Optional[BranchProbs]
+    stg: Stg
+    guards: GuardAnalysis
+
+    def prob(self, cond: int) -> float:
+        """Profiled probability that ``cond`` is true.
+
+        Respects the behavior's condition aliases (a cloned condition
+        inherits the original's profile) and weights (a condition that
+        advances ``w`` iterations per check sees ``p → p/(w-(w-1)p)``,
+        preserving the expected iteration count under unrolling).
+        """
+        base = self.behavior.cond_aliases.get(cond, cond)
+        p = prob_true(self.probs, base, self.config.default_branch_prob)
+        w = self.behavior.cond_weights.get(cond, 1)
+        if w > 1:
+            p = p / (w - (w - 1) * p)
+        return p
+
+    def with_stg(self, stg: Stg) -> "ScheduleContext":
+        """The same context writing into a different STG."""
+        return ScheduleContext(self.behavior, self.graph, self.rm,
+                               self.config, self.probs, stg, self.guards)
+
+
+def block_fragment(ctx: ScheduleContext, node_ids: Iterable[int],
+                   assignment: Optional[Dict[int, bool]] = None,
+                   label: str = "", _depth: int = 0) -> Frag:
+    """Schedule a guarded block into a branching STG fragment."""
+    assignment = dict(assignment or {})
+    ids = set(node_ids)
+    graph = ctx.graph
+    if _depth > 64:
+        raise ScheduleError("guard nesting deeper than 64; giving up")
+    if len(ctx.stg) > ctx.config.max_states:
+        raise ScheduleError(
+            f"schedule exceeded {ctx.config.max_states} states "
+            f"(path explosion)")
+
+    status = _classify_all(graph, ids, assignment)
+    ready = [nid for nid in sorted(ids) if status[nid] == "ready"]
+    pending = [nid for nid in sorted(ids) if status[nid] == "pending"]
+
+    # Conditions resolved before this fragment (outside the id set and
+    # not yet assigned) force an immediate entry branch.
+    external = _external_conds(graph, pending, ids, assignment)
+    if external:
+        return _entry_branch(ctx, ids, assignment, min(external), label,
+                             _depth)
+
+    if not ready and not pending:
+        return Frag.empty()
+    if not ready:
+        raise ScheduleError(
+            "block has guarded operations but no schedulable condition; "
+            "malformed guard nesting")
+
+    table = LinearTable(ctx.rm.capacity_of)
+    sched = schedule_acyclic(graph, ready, ctx.rm, ctx.config, table)
+
+    if not pending:
+        return states_from_schedule(ctx.stg, graph, ctx.rm, sched,
+                                    label=label)
+
+    # Branch on the earliest-finishing scheduled condition that guards
+    # pending work.
+    candidates: Set[int] = set()
+    for nid in pending:
+        for cond, _pol in graph.control_inputs(nid):
+            if cond in sched.slots and cond not in assignment:
+                candidates.add(cond)
+    if not candidates:
+        raise ScheduleError(
+            f"pending guarded ops {pending[:5]} reference conditions that "
+            f"never resolve; malformed guards")
+    branch_cond = min(candidates,
+                      key=lambda c: (sched.slots[c].end_cycle, c))
+    split = sched.slots[branch_cond].end_cycle
+
+    leftover = [nid for nid in ready
+                if sched.slots[nid].end_cycle > split]
+    shared = states_from_schedule(ctx.stg, graph, ctx.rm, sched,
+                                  last_cycle=split, label=label)
+    branch_state = shared.exits[0][0]
+
+    p = ctx.prob(branch_cond)
+    exits: List[Port] = []
+    for polarity, prob in ((True, p), (False, 1.0 - p)):
+        sub_assignment = dict(assignment)
+        sub_assignment[branch_cond] = polarity
+        frag = block_fragment(ctx, leftover + pending, sub_assignment,
+                              label=f"{label}{'T' if polarity else 'F'}",
+                              _depth=_depth + 1)
+        tag = f"{'' if polarity else '!'}c{branch_cond}"
+        if frag.is_empty:
+            exits.append((branch_state, prob, tag))
+        else:
+            for eid, weight, _elabel in frag.entries:
+                ctx.stg.add_transition(branch_state, eid, prob * weight,
+                                       tag)
+            exits.extend(frag.exits)
+    return Frag(shared.entries, exits)
+
+
+def _entry_branch(ctx: ScheduleContext, ids: Set[int],
+                  assignment: Dict[int, bool], cond: int, label: str,
+                  depth: int) -> Frag:
+    """Branch immediately (no shared prefix) on a pre-resolved cond."""
+    p = ctx.prob(cond)
+    entries: List[Port] = []
+    exits: List[Port] = []
+    for polarity, prob in ((True, p), (False, 1.0 - p)):
+        sub_assignment = dict(assignment)
+        sub_assignment[cond] = polarity
+        frag = block_fragment(ctx, ids, sub_assignment,
+                              label=f"{label}{'T' if polarity else 'F'}",
+                              _depth=depth + 1)
+        tag = f"{'' if polarity else '!'}c{cond}"
+        if frag.is_empty:
+            # Nothing executes on this polarity: materialize an idle
+            # state so the path remains representable.
+            idle = ctx.stg.add_state(label=f"{label}idle")
+            frag = Frag.linear(idle, idle)
+        for eid, weight, _elabel in frag.entries:
+            entries.append((eid, prob * weight, tag))
+        exits.extend(frag.exits)
+    return Frag(entries, exits)
+
+
+def _external_conds(graph: Graph, pending: List[int], ids: Set[int],
+                    assignment: Dict[int, bool]) -> Set[int]:
+    out: Set[int] = set()
+    for nid in pending:
+        for cond, _pol in graph.control_inputs(nid):
+            if cond not in ids and cond not in assignment:
+                out.add(cond)
+    return out
+
+
+def _classify_all(graph: Graph, ids: Set[int],
+                  assignment: Dict[int, bool]) -> Dict[int, str]:
+    """Classify every node as dead / ready / pending.
+
+    A node is *dead* when a guard contradicts the assignment (or, for
+    non-joins, when a value it reads is dead), *pending* when a guard is
+    still unresolved or it consumes a pending value, and *ready*
+    otherwise.  Joins fire on whichever input executed, so a join is
+    dead only if all its in-block inputs are dead.
+    """
+    status: Dict[int, str] = {}
+    for nid in graph.topo_order(ids):
+        s = _literal_status(graph, nid, assignment)
+        in_ids = [src for src in graph.input_ports(nid).values()
+                  if src in ids]
+        upstream = [status[src] for src in in_ids if src in status]
+        if graph.nodes[nid].kind is OpKind.JOIN:
+            if upstream and all(u == "dead" for u in upstream):
+                s = "dead"
+            elif s != "dead" and any(u == "pending" for u in upstream):
+                s = "pending"
+        else:
+            if any(u == "dead" for u in upstream):
+                s = "dead"
+            elif s != "dead" and any(u == "pending" for u in upstream):
+                s = "pending"
+        status[nid] = s
+    return status
+
+
+def _literal_status(graph: Graph, nid: int,
+                    assignment: Dict[int, bool]) -> str:
+    pending = False
+    for cond, pol in graph.control_inputs(nid):
+        if cond in assignment:
+            if assignment[cond] != pol:
+                return "dead"
+        else:
+            pending = True
+    return "pending" if pending else "ready"

@@ -1,0 +1,192 @@
+"""The scheduler driver: behavior → state transition graph.
+
+:class:`Scheduler` walks the behavior's region tree and assembles STG
+fragments:
+
+* blocks — branching path-based schedules (:mod:`repro.sched.branching`);
+* loops — sequential or software-pipelined, whichever yields the
+  shorter expected schedule (:mod:`repro.sched.loops`);
+* runs of adjacent independent loops — concurrent phase kernels when
+  they beat back-to-back execution (:mod:`repro.sched.concurrent`).
+
+This provides the paper's scheduler interface (their reference [13],
+Wavesched): loop unrolling, functional pipelining across ``if``
+constructs, and concurrent loop optimization, all behind one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..cdfg.analysis import GuardAnalysis
+from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
+                            SeqRegion)
+from ..errors import ScheduleError
+from ..hw import Allocation, Library
+from ..stg.markov import average_schedule_length, throughput
+from ..stg.model import Stg
+from .branching import ScheduleContext, block_fragment
+from .concurrent import concurrent_fragment, independent
+from .fragments import Frag, compose, connect, single_entry
+from .loops import loop_fragment
+from .types import BranchProbs, ResourceModel, SchedConfig
+
+
+@dataclass
+class ScheduleResult:
+    """A scheduled behavior: the STG plus the inputs that produced it."""
+
+    stg: Stg
+    behavior: Behavior
+    library: Library
+    allocation: Allocation
+    config: SchedConfig
+    branch_probs: Optional[BranchProbs] = None
+
+    def average_length(self) -> float:
+        """Expected cycles per execution (paper's average schedule
+        length)."""
+        return average_schedule_length(self.stg)
+
+    def throughput(self) -> float:
+        """Executions per cycle."""
+        return throughput(self.stg)
+
+    def n_states(self) -> int:
+        return len(self.stg)
+
+
+class Scheduler:
+    """Schedules a behavior under a library / allocation / clock."""
+
+    def __init__(self, behavior: Behavior, library: Library,
+                 allocation: Allocation,
+                 config: Optional[SchedConfig] = None,
+                 branch_probs: Optional[BranchProbs] = None) -> None:
+        self.behavior = behavior
+        self.library = library
+        self.allocation = allocation
+        self.config = config or SchedConfig()
+        self.branch_probs = branch_probs
+
+    def schedule(self) -> ScheduleResult:
+        """Produce the STG.
+
+        Raises:
+            ScheduleError: if the allocation cannot implement some
+                operation at all.
+        """
+        behavior = self.behavior
+        stg = Stg(behavior.name)
+        rm = ResourceModel(
+            behavior.graph, self.library, self.allocation,
+            array_ports={name: decl.ports
+                         for name, decl in behavior.arrays.items()})
+        ctx = ScheduleContext(
+            behavior=behavior, graph=behavior.graph, rm=rm,
+            config=self.config, probs=self.branch_probs, stg=stg,
+            guards=GuardAnalysis(behavior.graph))
+        frag = self._region(ctx, behavior.region)
+        exit_sid = stg.add_state(label="done")
+        if frag.is_empty:
+            entry_sid = stg.add_state(label="entry")
+            stg.add_transition(entry_sid, exit_sid, 1.0)
+        else:
+            connect(stg, frag.exits, [(exit_sid, 1.0, "")])
+            entry_sid = single_entry(stg, frag, label="entry")
+        stg.entry, stg.exit = entry_sid, exit_sid
+        stg.validate()
+        return ScheduleResult(stg, behavior, self.library, self.allocation,
+                              self.config, self.branch_probs)
+
+    # ------------------------------------------------------------------
+    def _region(self, ctx: ScheduleContext, region: Region) -> Frag:
+        if isinstance(region, BlockRegion):
+            return block_fragment(ctx, region.nodes)
+        if isinstance(region, LoopRegion):
+            return loop_fragment(ctx, region, self._region)
+        if isinstance(region, SeqRegion):
+            return self._sequence(ctx, region.children)
+        raise ScheduleError(f"unknown region {type(region).__name__}")
+
+    def _sequence(self, ctx: ScheduleContext,
+                  children: List[Region]) -> Frag:
+        frags: List[Frag] = []
+        i = 0
+        while i < len(children):
+            child = children[i]
+            run = self._independent_loop_run(ctx, children, i)
+            if len(run) >= 2:
+                frag = self._best_loop_composition(ctx, run)
+                frags.append(frag)
+                i += len(run)
+                continue
+            frags.append(self._region(ctx, child))
+            i += 1
+        return compose(ctx.stg, frags)
+
+    def _independent_loop_run(self, ctx: ScheduleContext,
+                              children: List[Region],
+                              start: int) -> List[LoopRegion]:
+        """Maximal run of pairwise-independent adjacent loops."""
+        if not ctx.config.allow_concurrent_loops:
+            return []
+        run: List[LoopRegion] = []
+        for child in children[start:]:
+            if not isinstance(child, LoopRegion):
+                break
+            if any(not independent(ctx, child, other) for other in run):
+                break
+            run.append(child)
+        return run
+
+    def _best_loop_composition(self, ctx: ScheduleContext,
+                               run: List[LoopRegion]) -> Frag:
+        """Concurrent phases vs back-to-back loops: keep the shorter."""
+        conc_len = self._measure(
+            ctx, lambda c: concurrent_fragment(c, run))
+        seq_len = self._measure(
+            ctx, lambda c: compose(
+                c.stg, [loop_fragment(c, lp, self._region) for lp in run]))
+        if conc_len is not None and (seq_len is None
+                                     or conc_len < seq_len):
+            frag = concurrent_fragment(ctx, run)
+            assert frag is not None
+            return frag
+        return compose(
+            ctx.stg,
+            [loop_fragment(ctx, lp, self._region) for lp in run])
+
+    @staticmethod
+    def _measure(ctx: ScheduleContext,
+                 build: Callable[[ScheduleContext], Optional[Frag]]
+                 ) -> Optional[float]:
+        """Expected cycles of a fragment built into a scratch STG."""
+        scratch = Stg("scratch")
+        sub = ctx.with_stg(scratch)
+        try:
+            frag = build(sub)
+        except ScheduleError:
+            return None
+        if frag is None:
+            return None
+        entry = scratch.add_state(label="in")
+        exit_ = scratch.add_state(label="out")
+        if frag.is_empty:
+            scratch.add_transition(entry, exit_, 1.0)
+        else:
+            connect(scratch, [(entry, 1.0, "")], frag.entries)
+            connect(scratch, frag.exits, [(exit_, 1.0, "")])
+        scratch.entry, scratch.exit = entry, exit_
+        return average_schedule_length(scratch)
+
+
+def schedule_behavior(behavior: Behavior, library: Library,
+                      allocation: Allocation,
+                      config: Optional[SchedConfig] = None,
+                      branch_probs: Optional[BranchProbs] = None
+                      ) -> ScheduleResult:
+    """Convenience wrapper around :class:`Scheduler`."""
+    return Scheduler(behavior, library, allocation, config,
+                     branch_probs).schedule()

@@ -1,0 +1,126 @@
+"""STG fragments: composable pieces of a schedule under construction.
+
+A :class:`Frag` is a sub-graph of the STG being built, exposing
+
+* ``entries`` — weighted entry points ``(state, probability, label)``
+  whose probabilities sum to 1.  Most fragments have a single entry;
+  a fragment that *immediately* branches on an already-resolved
+  condition has one entry per polarity.
+* ``exits`` — dangling exits ``(state, probability, label)`` waiting to
+  be connected to whatever comes next.
+
+An *empty* fragment contributes no states (e.g. a block containing only
+cost-free wiring operations) and composes as the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..cdfg.ir import Graph
+from ..stg.model import ScheduledOp, Stg
+from .types import BlockSchedule, ResourceModel
+
+#: A weighted port: (state id, probability, transition label).
+Port = Tuple[int, float, str]
+
+
+@dataclass
+class Frag:
+    """A fragment of the STG with weighted entries and dangling exits."""
+
+    entries: List[Port] = field(default_factory=list)
+    exits: List[Port] = field(default_factory=list)
+
+    @staticmethod
+    def empty() -> "Frag":
+        return Frag()
+
+    @staticmethod
+    def linear(entry: int, exit_: int) -> "Frag":
+        return Frag([(entry, 1.0, "")], [(exit_, 1.0, "")])
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    @property
+    def sole_entry(self) -> int:
+        """The entry state, when the fragment has exactly one."""
+        assert len(self.entries) == 1
+        return self.entries[0][0]
+
+
+def connect(stg: Stg, exits: Sequence[Port],
+            entries: Sequence[Port]) -> None:
+    """Wire every dangling exit to every entry, multiplying weights."""
+    for sid, prob, label in exits:
+        for eid, weight, elabel in entries:
+            stg.add_transition(sid, eid, prob * weight,
+                               label or elabel)
+
+
+def single_entry(stg: Stg, frag: Frag, label: str = "") -> int:
+    """A state from which the fragment is entered with probability 1.
+
+    Creates a dispatch state only when the fragment has multiple
+    weighted entries.
+    """
+    if len(frag.entries) == 1:
+        return frag.sole_entry
+    dispatch = stg.add_state(label=label or "dispatch")
+    connect(stg, [(dispatch, 1.0, "")], frag.entries)
+    return dispatch
+
+
+def compose(stg: Stg, frags: Sequence[Frag]) -> Frag:
+    """Sequentially compose fragments, skipping empty ones."""
+    entries: List[Port] = []
+    pending: List[Port] = []
+    for frag in frags:
+        if frag.is_empty:
+            continue
+        if not entries:
+            entries = list(frag.entries)
+        else:
+            connect(stg, pending, frag.entries)
+        pending = list(frag.exits)
+    return Frag(entries, pending)
+
+
+def states_from_schedule(stg: Stg, graph: Graph, rm: ResourceModel,
+                         sched: BlockSchedule, *,
+                         last_cycle: Optional[int] = None, label: str = "",
+                         exec_probs: Optional[dict] = None) -> Frag:
+    """Emit one STG state per schedule cycle and chain them linearly.
+
+    Only cost-bearing operations (those occupying a resource or taking
+    time) appear in state op lists; joins, copies and constants are
+    wiring.  Multi-cycle operations are listed in their start state.
+
+    Args:
+        last_cycle: emit states only for cycles ``0..last_cycle`` and
+            skip ops finishing later (they are re-scheduled in branch
+            fragments); default is the whole schedule.
+        exec_probs: optional per-node execution probabilities (for
+            predicated operations in pipelined kernels).
+    """
+    n = sched.n_cycles if last_cycle is None else last_cycle + 1
+    if n <= 0:
+        return Frag.empty()
+    state_ids = []
+    for cycle in range(n):
+        ops = []
+        for nid in sched.ops_in_cycle(cycle):
+            slot = sched.slots[nid]
+            if last_cycle is not None and slot.end_cycle > last_cycle:
+                continue  # deferred to a branch fragment
+            if rm.resource_of(nid) is None and rm.delay_of(nid) <= 0:
+                continue
+            prob = exec_probs.get(nid, 1.0) if exec_probs else 1.0
+            ops.append(ScheduledOp(nid, iteration=0, exec_prob=prob))
+        state_ids.append(stg.add_state(ops, label=f"{label}{cycle}"))
+    for a, b in zip(state_ids, state_ids[1:]):
+        stg.add_transition(a, b, 1.0)
+    return Frag.linear(state_ids[0], state_ids[-1])

@@ -1,0 +1,12 @@
+"""State transition graphs and their performance analysis."""
+
+from .markov import (average_schedule_length, expected_visits,
+                     state_probabilities, throughput)
+from .model import ScheduledOp, State, Stg, Transition
+from .simulate import WalkResult, simulate, walk_once
+
+__all__ = [
+    "ScheduledOp", "State", "Stg", "Transition", "WalkResult",
+    "average_schedule_length", "expected_visits", "simulate",
+    "state_probabilities", "throughput", "walk_once",
+]

@@ -1,0 +1,111 @@
+"""Markov-chain performance analysis of STGs.
+
+Implements the method of Bhattacharya, Dey & Brglez (the paper's
+reference [10]) used throughout Section 2.2:
+
+* **expected visits** — how many times each state is entered during one
+  execution (entry → exit), from the fundamental matrix of the absorbing
+  chain;
+* **average schedule length** — expected cycles per execution = the sum
+  of expected visits (each state is one cycle);
+* **state probabilities** — the fraction of time spent in each state
+  over repeated executions (Example 1's ``P_Si`` values), i.e. expected
+  visits normalized by the average schedule length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..errors import MarkovError
+from .model import Stg
+
+#: Use a sparse linear solve above this many states.
+SPARSE_THRESHOLD = 600
+#: Refuse to analyze STGs beyond this size (degenerate schedules).
+MAX_STATES = 60_000
+
+
+def _sparse_solve(stg: Stg, index, n: int, e):
+    """Sparse ``(I − Qᵀ) v = e`` for large STGs."""
+    from scipy.sparse import identity, lil_matrix
+    from scipy.sparse.linalg import spsolve
+    q = lil_matrix((n, n))
+    for t in stg.transitions:
+        if t.src == stg.exit or t.dst == stg.exit:
+            continue
+        q[index[t.dst], index[t.src]] += t.prob  # transposed
+    a = (identity(n, format="csr") - q.tocsr())
+    return spsolve(a, e)
+
+
+def expected_visits(stg: Stg) -> Dict[int, float]:
+    """Expected number of entries into each state per execution.
+
+    Solves ``v = e_entry + Qᵀ v`` where ``Q`` is the transition matrix
+    restricted to transient (non-exit) states; the exit state is entered
+    exactly once.
+
+    Raises:
+        MarkovError: if the exit is unreachable or the chain does not
+            terminate with probability 1 (singular system).
+    """
+    stg.validate()
+    if stg.exit not in stg.reachable():
+        raise MarkovError(f"{stg.name}: exit state unreachable from entry")
+    transient = [sid for sid in stg.state_ids() if sid != stg.exit]
+    index = {sid: i for i, sid in enumerate(transient)}
+    n = len(transient)
+    if n == 0:
+        return {stg.exit: 1.0}
+    if n > MAX_STATES:
+        raise MarkovError(
+            f"{stg.name}: {n} states exceeds the analysis limit "
+            f"{MAX_STATES}; the schedule is degenerate")
+    e = np.zeros(n)
+    if stg.entry != stg.exit:
+        e[index[stg.entry]] = 1.0
+    try:
+        if n > SPARSE_THRESHOLD:
+            v = _sparse_solve(stg, index, n, e)
+        else:
+            q = np.zeros((n, n))
+            for t in stg.transitions:
+                if t.src == stg.exit or t.dst == stg.exit:
+                    continue
+                q[index[t.src], index[t.dst]] += t.prob
+            v = np.linalg.solve(np.eye(n) - q.T, e)
+    except Exception as exc:
+        raise MarkovError(
+            f"{stg.name}: absorbing-chain solve failed ({exc}); the STG "
+            f"may loop forever with probability 1") from None
+    if np.any(v < -1e-6):
+        raise MarkovError(f"{stg.name}: negative expected visits; "
+                          f"inconsistent probabilities")
+    visits = {sid: max(float(v[i]), 0.0) for sid, i in index.items()}
+    visits[stg.exit] = 1.0
+    return visits
+
+
+def average_schedule_length(stg: Stg) -> float:
+    """Expected cycles for one execution (entry → exit, inclusive)."""
+    return float(sum(expected_visits(stg).values()))
+
+
+def state_probabilities(stg: Stg) -> Dict[int, float]:
+    """Long-run fraction of cycles spent in each state (Example 1)."""
+    visits = expected_visits(stg)
+    total = sum(visits.values())
+    if total <= 0:
+        raise MarkovError(f"{stg.name}: zero total schedule length")
+    return {sid: v / total for sid, v in visits.items()}
+
+
+def throughput(stg: Stg) -> float:
+    """Executions completed per cycle (the paper reports 1000× this)."""
+    length = average_schedule_length(stg)
+    if length <= 0:
+        raise MarkovError(f"{stg.name}: non-positive schedule length")
+    return 1.0 / length

@@ -1,0 +1,26 @@
+"""RTL-level synthesis substrate.
+
+Stands in for the paper's "synthesized, placed, and routed" flow:
+functional-unit binding, left-edge register allocation, mux and
+controller estimation, area reporting, and activity-based power
+simulation (the IRSIM-CAP substitute).
+"""
+
+from .area import AreaReport, SynthesizedDesign, synthesize
+from .binding import Binding, FuInstance, bind_functional_units
+from .controller import ControllerEstimate, estimate_controller
+from .interconnect import InterconnectEstimate, estimate_interconnect
+from .netlist import netlist_text
+from .power_sim import SimulatedPower, activity_factor, simulate_power
+from .registers import (Lifetime, RegisterAllocation, allocate_registers,
+                        linearize_states, value_lifetimes)
+
+__all__ = [
+    "AreaReport", "Binding", "ControllerEstimate", "FuInstance",
+    "InterconnectEstimate", "Lifetime", "RegisterAllocation",
+    "SimulatedPower", "SynthesizedDesign", "activity_factor",
+    "allocate_registers", "bind_functional_units", "estimate_controller",
+    "estimate_interconnect", "linearize_states", "netlist_text",
+    "simulate_power",
+    "synthesize", "value_lifetimes",
+]

@@ -1,0 +1,77 @@
+"""Area reporting for a synthesized design."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..hw import Library
+from ..sched.driver import ScheduleResult
+from .binding import Binding, bind_functional_units
+from .controller import ControllerEstimate, estimate_controller
+from .interconnect import InterconnectEstimate, estimate_interconnect
+from .registers import RegisterAllocation, allocate_registers
+
+#: Normalized area per mux input.
+AREA_PER_MUX_INPUT = 0.08
+
+
+@dataclass
+class AreaReport:
+    """Area breakdown in the library's normalized units."""
+
+    fu_area: Dict[str, float] = field(default_factory=dict)
+    register_area: float = 0.0
+    memory_area: float = 0.0
+    mux_area: float = 0.0
+    controller_area: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (sum(self.fu_area.values()) + self.register_area
+                + self.memory_area + self.mux_area
+                + self.controller_area)
+
+
+@dataclass
+class SynthesizedDesign:
+    """Everything the RTL-level synthesis substrate produces."""
+
+    result: ScheduleResult
+    binding: Binding
+    registers: RegisterAllocation
+    interconnect: InterconnectEstimate
+    controller: ControllerEstimate
+    area: AreaReport
+
+
+def synthesize(result: ScheduleResult) -> SynthesizedDesign:
+    """Bind, allocate registers, estimate interconnect and controller."""
+    binding = bind_functional_units(result)
+    registers = allocate_registers(result)
+    interconnect = estimate_interconnect(result, binding, registers)
+    controller = estimate_controller(result)
+    area = _area_report(result, binding, registers, interconnect,
+                        controller)
+    return SynthesizedDesign(result, binding, registers, interconnect,
+                             controller, area)
+
+
+def _area_report(result: ScheduleResult, binding: Binding,
+                 registers: RegisterAllocation,
+                 interconnect: InterconnectEstimate,
+                 controller: ControllerEstimate) -> AreaReport:
+    library: Library = result.library
+    report = AreaReport()
+    for fu_type, instances in binding.instances.items():
+        if fu_type.startswith("mem:"):
+            report.memory_area += library.memory.area * len(instances)
+            continue
+        fu = library.fu_types.get(fu_type)
+        if fu is None:
+            continue
+        report.fu_area[fu_type] = fu.area * len(instances)
+    report.register_area = registers.count * library.register.area
+    report.mux_area = interconnect.mux_inputs * AREA_PER_MUX_INPUT
+    report.controller_area = controller.area
+    return report

@@ -1,0 +1,51 @@
+"""Controller (FSM) cost estimation.
+
+The controller is a Moore FSM over the STG: ``ceil(log2(#states))``
+state bits, one next-state/output logic term per transition, and one
+control signal per (state, controlled resource) pair.  Costs are
+normalized units compatible with the component library's area scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sched.driver import ScheduleResult
+
+#: Normalized area per FSM state bit (flip-flop + decode share).
+AREA_PER_STATE_BIT = 1.0
+#: Normalized area per transition term.
+AREA_PER_TRANSITION = 0.15
+#: Normalized area per state-op control point.
+AREA_PER_CONTROL_POINT = 0.05
+
+
+@dataclass
+class ControllerEstimate:
+    """FSM size summary."""
+
+    n_states: int
+    n_transitions: int
+    n_control_points: int
+
+    @property
+    def state_bits(self) -> int:
+        return max(1, math.ceil(math.log2(max(self.n_states, 2))))
+
+    @property
+    def area(self) -> float:
+        return (AREA_PER_STATE_BIT * self.state_bits
+                + AREA_PER_TRANSITION * self.n_transitions
+                + AREA_PER_CONTROL_POINT * self.n_control_points)
+
+
+def estimate_controller(result: ScheduleResult) -> ControllerEstimate:
+    """Estimate the FSM implementing the schedule."""
+    stg = result.stg
+    control_points = sum(len(state.ops) for state in stg.states.values())
+    return ControllerEstimate(
+        n_states=len(stg),
+        n_transitions=len(stg.transitions),
+        n_control_points=control_points,
+    )

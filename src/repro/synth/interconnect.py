@@ -1,0 +1,82 @@
+"""Interconnect (multiplexer) estimation.
+
+After binding, each FU instance port sees some number of distinct
+sources (registers / other instances / constants); each register sees
+some number of distinct writers.  Every source beyond the first implies
+a mux input.  The total mux-input count is the paper-era proxy for
+interconnect area and wiring energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from ..cdfg.ir import Graph
+from ..cdfg.ops import FREE_KINDS, OpKind
+from ..sched.driver import ScheduleResult
+from .binding import Binding, FuInstance
+from .registers import RegisterAllocation
+
+
+@dataclass
+class InterconnectEstimate:
+    """Mux requirements of the bound datapath."""
+
+    #: (instance, port) -> distinct data sources feeding it
+    port_sources: Dict[Tuple[FuInstance, int], Set[str]] = \
+        field(default_factory=dict)
+    #: register index -> distinct writers
+    register_writers: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def mux_inputs(self) -> int:
+        """Total mux inputs (each fan-in beyond one costs an input)."""
+        total = 0
+        for sources in self.port_sources.values():
+            total += max(0, len(sources) - 1)
+        for writers in self.register_writers.values():
+            total += max(0, len(writers) - 1)
+        return total
+
+
+def _source_name(graph: Graph, nid: int, binding: Binding,
+                 registers: RegisterAllocation) -> str:
+    """Stable label for the physical source of a value."""
+    node = graph.nodes[nid]
+    if node.kind is OpKind.CONST:
+        return f"const:{node.value}"
+    if node.kind is OpKind.INPUT:
+        return f"in:{node.var}"
+    if node.kind in FREE_KINDS:
+        # Joins/copies are wiring; collapse to their (first) producer.
+        ports = graph.input_ports(nid)
+        if ports:
+            return _source_name(graph, ports[min(ports)], binding,
+                                registers)
+        return f"wire:{nid}"
+    reg = registers.register_of.get(nid)
+    if reg is not None:
+        return f"reg:{reg}"
+    if nid in binding.assignment:
+        return f"fu:{binding.assignment[nid].name}"
+    return f"node:{nid}"
+
+
+def estimate_interconnect(result: ScheduleResult, binding: Binding,
+                          registers: RegisterAllocation
+                          ) -> InterconnectEstimate:
+    """Count distinct sources per FU port and writers per register."""
+    graph = result.behavior.graph
+    est = InterconnectEstimate()
+    for nid, instance in binding.assignment.items():
+        for port, src in graph.input_ports(nid).items():
+            key = (instance, port)
+            est.port_sources.setdefault(key, set()).add(
+                _source_name(graph, src, binding, registers))
+    for nid, reg in registers.register_of.items():
+        est.register_writers.setdefault(reg, set()).add(
+            _source_name(graph, nid, binding, registers)
+            if nid not in binding.assignment
+            else f"fu:{binding.assignment[nid].name}")
+    return est

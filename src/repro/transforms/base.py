@@ -1,0 +1,111 @@
+"""Transformation framework.
+
+A :class:`Transformation` enumerates *candidates* — concrete applicable
+sites — on a behavior.  Applying a candidate never mutates the input:
+it deep-copies the behavior (node ids are stable across copies), mutates
+the copy, runs dead-code elimination, and re-validates.  This is the
+contract the FACT search loop (paper Figure 6) relies on: candidates
+from one generation can be applied independently to produce the next
+``Behavior_set``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..cdfg.regions import Behavior, BlockRegion, LoopRegion
+from ..cdfg.validate import validate_behavior
+from ..errors import TransformError
+from .cleanup import dead_code_elimination
+
+
+@dataclass
+class Candidate:
+    """One applicable transformation instance.
+
+    Attributes:
+        transform: name of the transformation that produced it.
+        description: human-readable site description ("fold add #12").
+        mutate: function mutating a *copy* of the behavior in place.
+        sites: CDFG node ids the rewrite touches; the FACT driver uses
+            them to focus the search on hot STG blocks (Section 4.1).
+    """
+
+    transform: str
+    description: str
+    mutate: Callable[[Behavior], None]
+    sites: Tuple[int, ...] = ()
+
+    def touches(self, hot: Iterable[int]) -> bool:
+        """True if any site lies in ``hot`` (or sites are unknown)."""
+        if not self.sites:
+            return True
+        hot_set = set(hot)
+        return any(s in hot_set for s in self.sites)
+
+    def apply(self, behavior: Behavior, validate: bool = True,
+              hygiene: bool = True) -> Behavior:
+        """Apply to a fresh copy of ``behavior`` and return the result.
+
+        Graph hygiene (dead-code elimination plus common-subexpression
+        merging) runs after the rewrite: duplicates created by
+        re-association share their subtrees immediately, which is what
+        lets repeated tree balancing converge to parallel-prefix-style
+        networks instead of exploding the operation count.
+        """
+        out = behavior.copy()
+        self.mutate(out)
+        dead_code_elimination(out)
+        if hygiene:
+            from .cse import merge_duplicates_inplace
+            merge_duplicates_inplace(out)
+            dead_code_elimination(out)
+        if validate:
+            validate_behavior(out)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Candidate({self.transform}: {self.description})"
+
+
+class Transformation(ABC):
+    """A family of behavior-preserving rewrites."""
+
+    #: Short identifier used in reports and search logs.
+    name: str = "base"
+
+    @abstractmethod
+    def find(self, behavior: Behavior) -> List[Candidate]:
+        """Enumerate applicable candidates on ``behavior``."""
+
+
+@dataclass
+class TransformLibrary:
+    """The library handed to ``Apply_transforms`` (paper Fig. 6).
+
+    The default contents are created by
+    :func:`repro.transforms.default_library`; user-defined
+    transformations can be appended ("other transformations can easily
+    be incorporated within the framework").
+    """
+
+    transformations: List[Transformation] = field(default_factory=list)
+
+    def add(self, transformation: Transformation) -> "TransformLibrary":
+        self.transformations.append(transformation)
+        return self
+
+    def names(self) -> List[str]:
+        return [t.name for t in self.transformations]
+
+    def candidates(self, behavior: Behavior,
+                   only: Optional[Sequence[str]] = None) -> List[Candidate]:
+        """All candidates over the behavior, optionally filtered by name."""
+        out: List[Candidate] = []
+        for t in self.transformations:
+            if only is not None and t.name not in only:
+                continue
+            out.extend(t.find(behavior))
+        return out

@@ -1,0 +1,65 @@
+"""Commutativity: operand swapping.
+
+Two families:
+
+* swap operands of a commutative operation (``a+b → b+a``) — a
+  canonicalizing move that exposes other transformations (e.g. makes
+  the shared operand of a distributivity pattern line up);
+* flip a comparison while swapping operands (``a < b → b > a``) —
+  useful when the library prices comparator directions differently or
+  when a comparator output feeds inverted guards.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cdfg.ops import OpKind, SWAPPED_COMPARISON, is_commutative
+from ..cdfg.regions import Behavior
+from .base import Candidate, Transformation
+
+
+class Commutativity(Transformation):
+    """Swap the operands of binary operations."""
+
+    name = "commutativity"
+
+    def find(self, behavior: Behavior) -> List[Candidate]:
+        g = behavior.graph
+        out: List[Candidate] = []
+        for nid in g.node_ids():
+            node = g.nodes[nid]
+            if len(g.input_ports(nid)) != 2:
+                continue
+            if is_commutative(node.kind):
+                out.append(self._swap_candidate(nid, node.kind.value))
+            elif node.kind in SWAPPED_COMPARISON \
+                    and SWAPPED_COMPARISON[node.kind] is not node.kind:
+                out.append(self._flip_candidate(nid, node.kind))
+        return out
+
+    def _swap_candidate(self, nid: int, label: str) -> Candidate:
+        def mutate(b: Behavior) -> None:
+            _swap_operands(b, nid)
+
+        return Candidate(self.name, f"swap {label}#{nid}", mutate,
+                         sites=(nid,))
+
+    def _flip_candidate(self, nid: int, kind: OpKind) -> Candidate:
+        flipped = SWAPPED_COMPARISON[kind]
+
+        def mutate(b: Behavior) -> None:
+            _swap_operands(b, nid)
+            b.graph.nodes[nid].kind = flipped
+
+        return Candidate(self.name,
+                         f"flip {kind.value}#{nid} -> {flipped.value}",
+                         mutate, sites=(nid,))
+
+
+def _swap_operands(behavior: Behavior, nid: int) -> None:
+    g = behavior.graph
+    a = g.data_input(nid, 0)
+    b = g.data_input(nid, 1)
+    g.set_data_edge(b, nid, 0)
+    g.set_data_edge(a, nid, 1)

@@ -1,0 +1,128 @@
+"""Constant propagation and algebraic identity folding.
+
+Two candidate families:
+
+* **fold** — an operation whose data inputs are all constants is
+  replaced by its value;
+* **identity** — algebraic simplifications with one constant operand
+  (``x+0 → x``, ``x*1 → x``, ``x*0 → 0``, ``x-0 → x``, ``x<<0 → x``,
+  ``x/1 → x``).
+
+Sites whose result steers control flow (loop conditions, guard sources)
+are skipped: rewiring the controller is the scheduler's job, not a
+dataflow rewrite's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cdfg.ir import Graph
+from ..cdfg.ops import OP_INFO, OpKind, evaluate
+from ..cdfg.regions import Behavior
+from .base import Candidate, Transformation
+from .cleanup import discard_from_regions, fresh_const
+
+_FOLDABLE = {k for k, info in OP_INFO.items() if info.evaluator is not None}
+
+#: (kind, const operand port or None for either, const value) -> result
+#: "x" means the non-constant operand; "0" means the constant 0.
+_IDENTITIES: List[Tuple[OpKind, Optional[int], int, str]] = [
+    (OpKind.ADD, None, 0, "x"),
+    (OpKind.SUB, 1, 0, "x"),
+    (OpKind.MUL, None, 1, "x"),
+    (OpKind.MUL, None, 0, "0"),
+    (OpKind.DIV, 1, 1, "x"),
+    (OpKind.SHL, 1, 0, "x"),
+    (OpKind.SHR, 1, 0, "x"),
+    (OpKind.BOR, None, 0, "x"),
+    (OpKind.BAND, None, 0, "0"),
+    (OpKind.BXOR, None, 0, "x"),
+]
+
+
+def _is_control_source(behavior: Behavior, nid: int) -> bool:
+    if behavior.graph.control_users(nid):
+        return True
+    return any(loop.cond == nid for loop in behavior.loops())
+
+
+class ConstantPropagation(Transformation):
+    """Fold constant subexpressions and algebraic identities."""
+
+    name = "constprop"
+
+    def find(self, behavior: Behavior) -> List[Candidate]:
+        g = behavior.graph
+        out: List[Candidate] = []
+        for nid in g.node_ids():
+            node = g.nodes[nid]
+            if node.kind not in _FOLDABLE:
+                continue
+            if _is_control_source(behavior, nid):
+                continue
+            if not g.data_users(nid):
+                continue
+            inputs = g.data_inputs(nid)
+            values = [g.nodes[s].value if g.nodes[s].kind is OpKind.CONST
+                      else None for s in inputs]
+            if all(v is not None for v in values):
+                out.append(self._fold_candidate(nid, node.kind, values))
+                continue
+            ident = self._match_identity(nid, node.kind, inputs, values)
+            if ident is not None:
+                out.append(ident)
+        return out
+
+    def _fold_candidate(self, nid: int, kind: OpKind,
+                        values: List[Optional[int]]) -> Candidate:
+        vals = [v for v in values if v is not None]
+        result = evaluate(kind, *vals)
+
+        def mutate(b: Behavior) -> None:
+            const = fresh_const(b, result)
+            b.graph.replace_uses(nid, const)
+
+        return Candidate(self.name,
+                         f"fold {kind.value}#{nid} -> {result}", mutate,
+                         sites=(nid,))
+
+    def _match_identity(self, nid: int, kind: OpKind, inputs: List[int],
+                        values: List[Optional[int]]
+                        ) -> Optional[Candidate]:
+        for ikind, port, const_val, result in _IDENTITIES:
+            if kind is not ikind or len(inputs) != 2:
+                continue
+            ports = [port] if port is not None else [0, 1]
+            for p in ports:
+                if values[p] == const_val:
+                    other = inputs[1 - p]
+                    return self._identity_candidate(nid, kind, other,
+                                                    result)
+        return None
+
+    def _identity_candidate(self, nid: int, kind: OpKind, other: int,
+                            result: str) -> Candidate:
+        def mutate(b: Behavior) -> None:
+            g = b.graph
+            if result == "x":
+                g.replace_uses(nid, other)
+            else:
+                g.replace_uses(nid, fresh_const(b, 0))
+
+        label = "x" if result == "x" else "0"
+        return Candidate(self.name,
+                         f"identity {kind.value}#{nid} -> {label}", mutate,
+                         sites=(nid,))
+
+
+def fold_all_constants(behavior: Behavior) -> Behavior:
+    """Repeatedly fold until fixpoint (used by the Flamel baseline)."""
+    t = ConstantPropagation()
+    current = behavior
+    for _ in range(1000):
+        candidates = t.find(current)
+        if not candidates:
+            return current
+        current = candidates[0].apply(current)
+    return current

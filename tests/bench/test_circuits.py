@@ -1,0 +1,174 @@
+"""Benchmark circuits: functional correctness and configuration."""
+
+import math
+import random
+
+import pytest
+
+from repro.bench import TABLE3, allocation_for
+from repro.bench.circuits import CIRCUITS, circuit
+from repro.cdfg import execute, validate_behavior, wrap
+from repro.errors import BenchError
+
+
+class TestAllocations:
+    def test_table3_rows_present(self):
+        assert set(TABLE3) == {"gcd", "fir", "test2", "sintran", "igf",
+                               "pps"}
+
+    def test_gcd_row_matches_paper(self):
+        alloc = allocation_for("GCD")
+        assert alloc.counts == {"sb1": 2, "cp1": 1, "e1": 1}
+
+    def test_pps_is_adders_only(self):
+        assert allocation_for("pps").counts == {"a1": 5}
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(BenchError):
+            allocation_for("nonesuch")
+
+    def test_allocation_is_a_copy(self):
+        a = allocation_for("gcd")
+        a.counts["sb1"] = 99
+        assert allocation_for("gcd").counts["sb1"] == 2
+
+
+class TestCircuitDefinitions:
+    @pytest.mark.parametrize("name", sorted(CIRCUITS))
+    def test_compiles_and_validates(self, name):
+        beh = circuit(name).behavior()
+        validate_behavior(beh)
+
+    @pytest.mark.parametrize("name", sorted(CIRCUITS))
+    def test_traces_execute(self, name):
+        c = circuit(name)
+        beh = c.behavior()
+        traces = c.traces(beh)
+        assert len(traces) >= 4
+        case = traces.cases[0]
+        execute(beh, case.inputs, case.arrays, max_steps=5_000_000)
+
+    @pytest.mark.parametrize("name", sorted(CIRCUITS))
+    def test_paper_rows_recorded(self, name):
+        c = circuit(name)
+        assert len(c.paper_throughput) == 3
+        assert len(c.paper_power) == 2
+
+
+class TestGcdFunctional:
+    def test_matches_math_gcd(self):
+        beh = circuit("gcd").behavior()
+        rng = random.Random(1)
+        for _ in range(10):
+            a, b = rng.randint(1, 300), rng.randint(1, 300)
+            assert execute(beh, {"a": a, "b": b}).outputs["g"] \
+                == math.gcd(a, b)
+
+
+class TestFirFunctional:
+    COEFFS = [1, -2, -4, -8, 16, -32]
+
+    def reference(self, x):
+        hist = [0] * 6
+        out = []
+        for sample in x:
+            hist = [sample] + hist[:5]
+            out.append(wrap(sum(c * h
+                                for c, h in zip(self.COEFFS, hist))))
+        return out
+
+    def test_matches_reference_filter(self):
+        beh = circuit("fir").behavior()
+        rng = random.Random(2)
+        x = [rng.randint(-500, 500) for _ in range(64)]
+        res = execute(beh, arrays={"x": x})
+        assert res.arrays["y"] == self.reference(x)
+
+
+class TestTest2Functional:
+    def test_matches_reference(self):
+        beh = circuit("test2").behavior()
+        rng = random.Random(3)
+        arrays = {
+            "xa": [rng.randint(0, 99) for _ in range(128)],
+            "xb": [rng.randint(0, 99) for _ in range(128)],
+            "y1": [rng.randint(0, 99) for _ in range(512)],
+            "y2": [rng.randint(0, 99) for _ in range(512)],
+            "y3": [rng.randint(0, 99) for _ in range(512)],
+            "y4": [rng.randint(0, 99) for _ in range(512)],
+        }
+        res = execute(beh, arrays=arrays)
+        for i in range(100):
+            assert res.arrays["xd"][i] == arrays["xa"][i] + arrays["xb"][i]
+        for m in range(400):
+            expected = (arrays["y1"][m] + arrays["y2"][m]
+                        - (arrays["y3"][m] + arrays["y4"][m]))
+            assert res.arrays["y"][m] == expected
+
+
+class TestSintranFunctional:
+    def reference_sample(self, a, x):
+        q = a
+        if a > 511:
+            q = a - 512
+        if q > 255:
+            q = 512 - q
+        s = (5333 * q - ((q * q * q) >> 6)) >> 8
+        if a > 511:
+            s = -s
+        return wrap((x * s) >> 8)
+
+    def test_matches_reference(self):
+        beh = circuit("sintran").behavior()
+        rng = random.Random(4)
+        w = [rng.randint(0, 1023) for _ in range(192)]
+        x = [rng.randint(0, 1023) for _ in range(192)]
+        res = execute(beh, arrays={"w": w, "x": x},
+                      max_steps=5_000_000)
+        for k in range(192):
+            assert res.arrays["y"][k] == self.reference_sample(w[k], x[k])
+
+    def test_quadrant_symmetry(self):
+        """sin(a) == -sin(a + pi) in the fixed-point model."""
+        beh = circuit("sintran").behavior()
+        a = 137
+        res = execute(beh, arrays={"w": [a, a + 512], "x": [256, 256]},
+                      max_steps=5_000_000)
+        assert res.arrays["y"][0] == -res.arrays["y"][1]
+
+
+class TestIgfFunctional:
+    def reference(self, a, x):
+        term = x * 512
+        total = 0
+        n = 1
+        while term > 8:
+            total += term >> 6
+            term = (term * x - term * a) >> 10
+            n += 1
+        return wrap(total + n)
+
+    def test_matches_reference(self):
+        beh = circuit("igf").behavior()
+        for a, x in [(0, 1015), (1, 1020), (3, 1022), (2, 900)]:
+            res = execute(beh, {"a": a, "x": x}, max_steps=5_000_000)
+            assert res.outputs["g"] == self.reference(a, x)
+
+    def test_converges_quickly_for_small_x(self):
+        beh = circuit("igf").behavior()
+        res = execute(beh, {"a": 0, "x": 2})
+        assert res.loop_iterations["L1"] <= 3
+
+
+class TestPpsFunctional:
+    def test_prefix_sums(self):
+        beh = circuit("pps").behavior()
+        xs = {f"x{i}": (i + 1) * 3 for i in range(8)}
+        res = execute(beh, xs)
+        acc = 0
+        for i in range(8):
+            acc += xs[f"x{i}"]
+            assert res.outputs[f"s{i}"] == acc
+
+    def test_chaining_disabled_for_paper_fidelity(self):
+        assert circuit("pps").sched.allow_chaining is False

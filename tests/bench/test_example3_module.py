@@ -1,0 +1,46 @@
+"""Example-3 module helpers."""
+
+import pytest
+
+from repro.bench import (EXAMPLE3_ALLOCATION, example3_allocation,
+                         example3_behavior, matched_path_probs)
+from repro.cdfg import OpKind, execute, validate_behavior
+
+
+class TestExample3Behavior:
+    def test_validates(self):
+        validate_behavior(example3_behavior())
+
+    def test_structure_matches_figure4(self):
+        beh = example3_behavior()
+        kinds = {}
+        for n in beh.graph:
+            kinds[n.kind] = kinds.get(n.kind, 0) + 1
+        assert kinds[OpKind.MUL] == 2     # *1, *2
+        assert kinds[OpKind.SUB] == 1     # -1
+        assert kinds[OpKind.JOIN] == 2    # J1, J2
+
+    def test_thread_semantics(self):
+        beh = example3_behavior()
+        # C true: x1*x2 - x1*x3.
+        out = execute(beh, {"x1": 3, "x2": 7, "x3": 2, "x4": 0,
+                            "x5": 0, "c": 1})
+        assert out.outputs["r"] == 3 * 7 - 3 * 2
+        # C false: x4 - x5.
+        out = execute(beh, {"x1": 3, "x2": 7, "x3": 2, "x4": 50,
+                            "x5": 8, "c": 0})
+        assert out.outputs["r"] == 42
+
+    def test_allocation_is_fresh_copy(self):
+        a = example3_allocation()
+        a.counts["mt1"] = 99
+        assert example3_allocation().counts == EXAMPLE3_ALLOCATION
+
+    def test_matched_path_probs(self):
+        beh = example3_behavior()
+        on = matched_path_probs(beh, True)
+        off = matched_path_probs(beh, False)
+        (cond_on, p_on), = on.items()
+        (cond_off, p_off), = off.items()
+        assert cond_on == cond_off
+        assert (p_on, p_off) == (1.0, 0.0)

@@ -1,0 +1,53 @@
+"""Phase diagrams, kernel tables and power report formatting."""
+
+import pytest
+
+from repro.baselines import run_m1
+from repro.bench import circuit, kernel_table, phase_diagram
+from repro.hw import dac98_library
+from repro.power import estimate_power, format_power_estimate
+from repro.profiling import profile
+
+LIB = dac98_library()
+
+
+@pytest.fixture(scope="module")
+def test2_m1():
+    c = circuit("test2")
+    beh = c.behavior()
+    probs = profile(beh, c.traces(beh)).branch_probs
+    return run_m1(beh, LIB, c.allocation, c.sched, probs)
+
+
+class TestPhaseDiagram:
+    def test_fig2_node_structure(self, test2_m1):
+        text = phase_diagram(test2_m1)
+        # Figure 2(b): concurrent phase then the long loop alone.
+        assert "L1+L2" in text
+        assert "501.0 expected cycles" in text
+        lines = text.splitlines()
+        concurrent = next(l for l in lines if "L1+L2" in l)
+        solo = next(l for l in lines if " L2 " in l and "L1" not in l)
+        assert "200.0" in concurrent
+        assert "300.0" in solo
+
+    def test_kernel_table_shows_resource_contention(self, test2_m1):
+        text = kernel_table(test2_m1, "L1+L2")
+        # Untransformed: both adds of L3's body plus L1's add force the
+        # two-cycle kernel; the first cycle uses both adders.
+        assert "a1:[add, add]" in text
+
+    def test_unknown_phase(self, test2_m1):
+        assert "no states" in kernel_table(test2_m1, "nonesuch")
+
+
+class TestPowerReport:
+    def test_format_contains_components_and_total(self, test2_m1):
+        est = estimate_power(test2_m1.stg, test2_m1.behavior.graph, LIB)
+        text = format_power_estimate(est, title="test2 @ 5V")
+        assert text.startswith("test2 @ 5V")
+        assert "a1" in text
+        assert "memory" in text
+        assert "total" in text
+        assert f"{est.total_energy:.2f}" in text
+        assert "power" in text

@@ -1,0 +1,68 @@
+"""Table-2 harness unit tests (fast circuits only)."""
+
+import pytest
+
+from repro.bench.table2 import (MethodRun, PowerRow, ThroughputRow,
+                                _geo_mean, default_search_config,
+                                format_power_table,
+                                format_throughput_table,
+                                run_power_row, run_throughput_row)
+
+
+class TestGeoMean:
+    def test_basic(self):
+        assert _geo_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert _geo_mean([]) == 0.0
+
+
+@pytest.fixture(scope="module")
+def pps_row():
+    return run_throughput_row("pps")
+
+
+class TestThroughputRow:
+    def test_pps_values(self, pps_row):
+        m1, fl, fact = pps_row.ours()
+        assert m1 == pytest.approx(125.0, abs=1.0)
+        assert fact >= fl >= m1
+
+    def test_speedup_accessors(self, pps_row):
+        assert pps_row.fact_over_m1 == pytest.approx(
+            pps_row.m1.length / pps_row.fact.length)
+
+    def test_lineage_recorded(self, pps_row):
+        assert any("associativity" in step
+                   for step in pps_row.fact.lineage)
+
+    def test_format_table(self, pps_row):
+        text = format_throughput_table([pps_row])
+        assert "pps" in text
+        assert "geomean" in text
+        assert "125.0" in text
+
+
+class TestPowerRow:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return run_power_row("pps")
+
+    def test_reduction_positive(self, row):
+        assert 0.0 < row.reduction < 1.0
+        assert row.scaled_vdd < 5.0
+
+    def test_iso_throughput(self, row):
+        assert row.fact_length <= row.m1_length * 1.001
+
+    def test_format_table(self, row):
+        text = format_power_table([row])
+        assert "pps" in text
+        assert "mean power reduction" in text
+
+
+class TestSearchConfig:
+    def test_default_budget(self):
+        cfg = default_search_config(seed=5)
+        assert cfg.seed == 5
+        assert cfg.max_outer_iters >= 4

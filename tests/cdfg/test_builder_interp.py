@@ -1,0 +1,245 @@
+"""Builder + interpreter: end-to-end behavioral execution."""
+
+import math
+
+import pytest
+
+from repro.cdfg import BehaviorBuilder, OpKind, execute, wrap
+from repro.errors import CdfgError, InterpError, InterpLimitError
+
+
+def build_gcd():
+    b = BehaviorBuilder("gcd")
+    b.input("a")
+    b.input("b")
+    with b.loop("L0", carried=["a", "b"]):
+        b.loop_cond(b.ne(b.var("a"), b.var("b")))
+        c = b.lt(b.var("a"), b.var("b"))
+        with b.if_(c):
+            b.assign("b", b.sub(b.var("b"), b.var("a")))
+            b.otherwise()
+            b.assign("a", b.sub(b.var("a"), b.var("b")))
+    b.output("a")
+    return b.finish()
+
+
+def build_test1():
+    """The paper's Fig. 1(a) TEST1 fragment."""
+    b = BehaviorBuilder("test1")
+    b.input("c1")
+    b.input("c2")
+    b.array("x", 256)
+    b.assign("i", b.const(0))
+    b.assign("a", b.const(0))
+    with b.loop("L0", carried=["i", "a"]):
+        b.loop_cond(b.gt(b.var("c2"), b.var("i")))
+        c = b.lt(b.var("i"), b.var("c1"))
+        with b.if_(c):
+            t1 = b.add(b.var("a"), b.const(7), name="t1")
+            b.assign("a", b.mul(b.const(13), t1))
+            b.otherwise()
+            b.assign("a", b.add(b.var("a"), b.const(17)))
+        b.assign("i", b.add(b.var("i"), b.const(1)))
+        b.store("x", b.var("i"), b.var("a"))
+    b.output("a")
+    return b.finish()
+
+
+def ref_test1(c1, c2):
+    i = a = 0
+    x = [0] * 256
+    while c2 > i:
+        if i < c1:
+            a = wrap(13 * wrap(a + 7))
+        else:
+            a = wrap(a + 17)
+        i = i + 1
+        x[i] = a
+    return a, x
+
+
+class TestGcd:
+    @pytest.mark.parametrize("a,b,expected", [
+        (12, 18, 6), (18, 12, 6), (7, 13, 1), (100, 100, 100),
+        (1, 999, 1), (36, 48, 12),
+    ])
+    def test_matches_math_gcd(self, a, b, expected):
+        res = execute(build_gcd(), {"a": a, "b": b})
+        assert res.outputs["a"] == expected == math.gcd(a, b)
+
+    def test_profile_counts(self):
+        res = execute(build_gcd(), {"a": 12, "b": 18})
+        # 12,18 -> 12,6 -> 6,6 : two body iterations, three cond checks
+        assert res.loop_iterations["L0"] == 2
+        beh = build_gcd()
+        res = execute(beh, {"a": 12, "b": 18})
+        cond = beh.loop("L0").cond
+        assert res.cond_counts[cond] == [1, 2]
+
+    def test_zero_iterations(self):
+        res = execute(build_gcd(), {"a": 5, "b": 5})
+        assert res.outputs["a"] == 5
+        assert res.loop_iterations["L0"] == 0
+
+
+class TestTest1:
+    @pytest.mark.parametrize("c1,c2", [(0, 0), (3, 10), (10, 3), (5, 5),
+                                       (63, 63)])
+    def test_matches_reference(self, c1, c2):
+        res = execute(build_test1(), {"c1": c1, "c2": c2})
+        a, x = ref_test1(c1, c2)
+        assert res.outputs["a"] == a
+        assert res.arrays["x"] == x
+
+    def test_branch_probabilities_shape(self):
+        """With c1 < c2, the if is taken c1 times out of c2."""
+        beh = build_test1()
+        res = execute(beh, {"c1": 37, "c2": 100})
+        lt_nodes = [n.id for n in beh.graph if n.kind is OpKind.LT]
+        assert len(lt_nodes) == 1
+        assert res.cond_counts[lt_nodes[0]] == [63, 37]
+
+
+class TestIfConversion:
+    def test_one_sided_if(self):
+        b = BehaviorBuilder("oneside")
+        b.input("n")
+        b.assign("a", b.const(10))
+        with b.if_(b.gt(b.var("n"), b.const(0))):
+            b.assign("a", b.const(99))
+        b.output("a")
+        beh = b.finish()
+        assert execute(beh, {"n": 1}).outputs["a"] == 99
+        assert execute(beh, {"n": 0}).outputs["a"] == 10
+        assert execute(beh, {"n": -5}).outputs["a"] == 10
+
+    def test_nested_if(self):
+        b = BehaviorBuilder("nested")
+        b.input("p")
+        b.input("q")
+        b.assign("r", b.const(0))
+        with b.if_(b.gt(b.var("p"), b.const(0))):
+            with b.if_(b.gt(b.var("q"), b.const(0))):
+                b.assign("r", b.const(1))
+                b.otherwise()
+                b.assign("r", b.const(2))
+            b.otherwise()
+            b.assign("r", b.const(3))
+        b.output("r")
+        beh = b.finish()
+        assert execute(beh, {"p": 1, "q": 1}).outputs["r"] == 1
+        assert execute(beh, {"p": 1, "q": 0}).outputs["r"] == 2
+        assert execute(beh, {"p": 0, "q": 1}).outputs["r"] == 3
+
+    def test_constant_assignment_in_both_branches(self):
+        b = BehaviorBuilder("consts")
+        b.input("c")
+        with b.if_(b.var("c")):
+            b.assign("v", b.const(5))
+            b.otherwise()
+            b.assign("v", b.const(7))
+        b.output("v")
+        beh = b.finish()
+        assert execute(beh, {"c": 1}).outputs["v"] == 5
+        assert execute(beh, {"c": 0}).outputs["v"] == 7
+
+
+class TestLoops:
+    def test_nested_loops(self):
+        b = BehaviorBuilder("nested_loops")
+        b.input("n")
+        b.assign("total", b.const(0))
+        b.assign("i", b.const(0))
+        with b.loop("outer", carried=["i", "total"]):
+            b.loop_cond(b.lt(b.var("i"), b.var("n")))
+            b.assign("j", b.const(0))
+            with b.loop("inner", carried=["j", "total"]):
+                b.loop_cond(b.lt(b.var("j"), b.var("i")))
+                b.assign("total", b.add(b.var("total"), b.const(1)))
+                b.assign("j", b.add(b.var("j"), b.const(1)))
+            b.assign("i", b.add(b.var("i"), b.const(1)))
+        b.output("total")
+        beh = b.finish()
+        # total = sum_{i<n} i = n(n-1)/2
+        for n in (0, 1, 2, 5, 8):
+            assert execute(beh, {"n": n}).outputs["total"] == n * (n - 1) // 2
+
+    def test_constant_trip_count_recorded(self):
+        b = BehaviorBuilder("tc")
+        b.assign("i", b.const(0))
+        b.assign("s", b.const(0))
+        with b.loop("L", carried=["i", "s"], trip_count=8):
+            b.loop_cond(b.lt(b.var("i"), b.const(8)))
+            b.assign("s", b.add(b.var("s"), b.var("i")))
+            b.assign("i", b.add(b.var("i"), b.const(1)))
+        b.output("s")
+        beh = b.finish()
+        assert beh.loop("L").trip_count == 8
+        assert execute(beh).outputs["s"] == 28
+
+    def test_runaway_loop_hits_step_limit(self):
+        b = BehaviorBuilder("forever")
+        b.assign("i", b.const(0))
+        with b.loop("L", carried=["i"]):
+            b.loop_cond(b.ge(b.var("i"), b.const(0)))
+            b.assign("i", b.add(b.var("i"), b.const(0)))
+        b.output("i")
+        beh = b.finish()
+        with pytest.raises(InterpLimitError):
+            execute(beh, max_steps=1000)
+
+
+class TestMemory:
+    def test_store_then_load_ordering(self):
+        b = BehaviorBuilder("mem")
+        b.array("m", 8)
+        b.store("m", b.const(3), b.const(42))
+        b.assign("v", b.load("m", b.const(3)))
+        b.store("m", b.const(3), b.const(7))
+        b.output("v")
+        beh = b.finish()
+        res = execute(beh)
+        assert res.outputs["v"] == 42
+        assert res.arrays["m"][3] == 7
+
+    def test_array_initializer(self):
+        b = BehaviorBuilder("mem2")
+        b.array("m", 4)
+        b.assign("v", b.load("m", b.const(1)))
+        b.output("v")
+        beh = b.finish()
+        assert execute(beh, arrays={"m": [9, 8, 7, 6]}).outputs["v"] == 8
+
+    def test_out_of_bounds_raises(self):
+        b = BehaviorBuilder("oob")
+        b.input("i")
+        b.array("m", 4)
+        b.assign("v", b.load("m", b.var("i")))
+        b.output("v")
+        beh = b.finish()
+        with pytest.raises(InterpError):
+            execute(beh, {"i": 4})
+
+
+class TestBuilderErrors:
+    def test_read_before_assign(self):
+        b = BehaviorBuilder("bad")
+        with pytest.raises(CdfgError):
+            b.var("ghost")
+
+    def test_missing_loop_cond(self):
+        b = BehaviorBuilder("bad")
+        b.assign("i", b.const(0))
+        with pytest.raises(CdfgError):
+            with b.loop("L", carried=["i"]):
+                b.assign("i", b.inc(b.var("i")))
+
+    def test_undeclared_array(self):
+        b = BehaviorBuilder("bad")
+        with pytest.raises(CdfgError):
+            b.load("nope", b.const(0))
+
+    def test_otherwise_outside_if(self):
+        b = BehaviorBuilder("bad")
+        with pytest.raises(CdfgError):
+            b.otherwise()

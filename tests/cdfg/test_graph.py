@@ -1,0 +1,208 @@
+"""Graph API unit tests: edges, removal, topo order, copy, DOT."""
+
+import pytest
+
+from repro.cdfg import (Graph, GuardAnalysis, OpKind, conflicts,
+                        direct_guard, graph_to_dot, implies)
+from repro.errors import CdfgError
+
+
+def small_graph():
+    g = Graph("t")
+    a = g.add_node(OpKind.INPUT, var="a")
+    b = g.add_node(OpKind.INPUT, var="b")
+    add = g.add_node(OpKind.ADD)
+    g.set_data_edge(a, add, 0)
+    g.set_data_edge(b, add, 1)
+    return g, a, b, add
+
+
+class TestDataEdges:
+    def test_inputs_ordered_by_port(self):
+        g, a, b, add = small_graph()
+        assert g.data_inputs(add) == [a, b]
+
+    def test_set_edge_replaces_port(self):
+        g, a, b, add = small_graph()
+        g.set_data_edge(a, add, 1)
+        assert g.data_inputs(add) == [a, a]
+        assert (add, 1) not in g.data_users(b)
+
+    def test_missing_port_raises(self):
+        g, a, b, add = small_graph()
+        g.remove_data_edge(add, 0)
+        with pytest.raises(CdfgError):
+            g.data_inputs(add)
+
+    def test_replace_uses(self):
+        g, a, b, add = small_graph()
+        c = g.add_node(OpKind.CONST, value=5)
+        g.replace_uses(a, c)
+        assert g.data_inputs(add) == [c, b]
+        assert g.data_users(a) == []
+
+    def test_edge_from_output_node_rejected(self):
+        g, a, b, add = small_graph()
+        out = g.add_node(OpKind.OUTPUT, var="r")
+        g.set_data_edge(add, out, 0)
+        sink = g.add_node(OpKind.ADD)
+        with pytest.raises(CdfgError):
+            g.set_data_edge(out, sink, 0)  # OUTPUT has no output
+
+
+class TestRemoval:
+    def test_remove_node_cleans_edges(self):
+        g, a, b, add = small_graph()
+        g.remove_node(add)
+        assert add not in g
+        assert g.data_users(a) == []
+        assert g.data_users(b) == []
+
+    def test_remove_with_control_edges(self):
+        g, a, b, add = small_graph()
+        cond = g.add_node(OpKind.LT)
+        g.set_data_edge(a, cond, 0)
+        g.set_data_edge(b, cond, 1)
+        g.add_control_edge(cond, add, True)
+        g.remove_node(cond)
+        assert g.control_inputs(add) == []
+
+    def test_unknown_node_raises(self):
+        g, *_ = small_graph()
+        with pytest.raises(CdfgError):
+            g.node(999)
+
+
+class TestTopoOrder:
+    def test_respects_dependencies(self):
+        g, a, b, add = small_graph()
+        order = g.topo_order()
+        assert order.index(a) < order.index(add)
+        assert order.index(b) < order.index(add)
+
+    def test_subset_ignores_external_edges(self):
+        g, a, b, add = small_graph()
+        assert g.topo_order({add}) == [add]
+
+    def test_cycle_detected(self):
+        g = Graph()
+        x = g.add_node(OpKind.ADD)
+        y = g.add_node(OpKind.ADD)
+        c = g.add_node(OpKind.CONST, value=0)
+        g.set_data_edge(y, x, 0)
+        g.set_data_edge(c, x, 1)
+        g.set_data_edge(x, y, 0)
+        g.set_data_edge(c, y, 1)
+        with pytest.raises(CdfgError):
+            g.topo_order()
+
+    def test_deterministic_tie_break(self):
+        g = Graph()
+        nodes = [g.add_node(OpKind.CONST, value=i) for i in range(5)]
+        assert g.topo_order() == nodes
+
+
+class TestCopy:
+    def test_copy_preserves_ids_and_edges(self):
+        g, a, b, add = small_graph()
+        g.add_control_edge(a, add, True)
+        g.add_order_edge(a, b)
+        h = g.copy()
+        assert h.data_inputs(add) == [a, b]
+        assert h.control_inputs(add) == [(a, True)]
+        assert h.order_preds(b) == {a}
+
+    def test_copy_is_independent(self):
+        g, a, b, add = small_graph()
+        h = g.copy()
+        h.remove_node(add)
+        assert add in g
+
+    def test_fresh_ids_continue_after_copy(self):
+        g, *_ = small_graph()
+        h = g.copy()
+        new = h.add_node(OpKind.CONST, value=1)
+        assert new not in g
+
+
+class TestGuardAnalysis:
+    def test_conflicting_polarities_are_mutex(self):
+        g = Graph()
+        cond = g.add_node(OpKind.LT)
+        x = g.add_node(OpKind.CONST, value=1)
+        g.set_data_edge(x, cond, 0)
+        g.set_data_edge(x, cond, 1)
+        t = g.add_node(OpKind.ADD)
+        e = g.add_node(OpKind.SUB)
+        for n in (t, e):
+            g.set_data_edge(x, n, 0)
+            g.set_data_edge(x, n, 1)
+        g.add_control_edge(cond, t, True)
+        g.add_control_edge(cond, e, False)
+        ga = GuardAnalysis(g)
+        assert ga.mutually_exclusive(t, e)
+        assert not ga.mutually_exclusive(t, cond)
+
+    def test_effective_guard_flows_through_data(self):
+        g = Graph()
+        cond = g.add_node(OpKind.LT)
+        x = g.add_node(OpKind.CONST, value=1)
+        g.set_data_edge(x, cond, 0)
+        g.set_data_edge(x, cond, 1)
+        guarded = g.add_node(OpKind.ADD)
+        g.set_data_edge(x, guarded, 0)
+        g.set_data_edge(x, guarded, 1)
+        g.add_control_edge(cond, guarded, True)
+        consumer = g.add_node(OpKind.NEG)
+        g.set_data_edge(guarded, consumer, 0)
+        ga = GuardAnalysis(g)
+        assert (cond, True) in ga.effective_guard(consumer)
+
+    def test_join_weakens_guards(self):
+        g = Graph()
+        cond = g.add_node(OpKind.LT)
+        x = g.add_node(OpKind.CONST, value=1)
+        g.set_data_edge(x, cond, 0)
+        g.set_data_edge(x, cond, 1)
+        t = g.add_node(OpKind.COPY)
+        e = g.add_node(OpKind.COPY)
+        g.set_data_edge(x, t, 0)
+        g.set_data_edge(x, e, 0)
+        g.add_control_edge(cond, t, True)
+        g.add_control_edge(cond, e, False)
+        join = g.add_node(OpKind.JOIN)
+        g.set_data_edge(t, join, 0)
+        g.set_data_edge(e, join, 1)
+        ga = GuardAnalysis(g)
+        assert ga.effective_guard(join) == frozenset()
+
+    def test_guard_helpers(self):
+        a = frozenset({(1, True), (2, False)})
+        b = frozenset({(1, False)})
+        c = frozenset({(1, True)})
+        assert conflicts(a, b)
+        assert not conflicts(a, c)
+        assert implies(a, c)
+        assert not implies(c, a)
+
+
+class TestDot:
+    def test_dot_mentions_all_nodes_and_styles(self):
+        g, a, b, add = small_graph()
+        cond = g.add_node(OpKind.LT)
+        g.set_data_edge(a, cond, 0)
+        g.set_data_edge(b, cond, 1)
+        g.add_control_edge(cond, add, False)
+        dot = graph_to_dot(g)
+        for nid in (a, b, add, cond):
+            assert f"n{nid}" in dot
+        assert "style=dashed" in dot     # control edge
+        assert 'label="-"' in dot        # negative polarity
+
+    def test_direct_guard(self):
+        g, a, b, add = small_graph()
+        cond = g.add_node(OpKind.LT)
+        g.set_data_edge(a, cond, 0)
+        g.set_data_edge(b, cond, 1)
+        g.add_control_edge(cond, add, True)
+        assert direct_guard(g, add) == frozenset({(cond, True)})

@@ -1,0 +1,156 @@
+"""Interpreter edge cases: select, join discipline, traps, validation."""
+
+import pytest
+
+from repro.cdfg import (BehaviorBuilder, OpKind, execute,
+                        validate_behavior)
+from repro.cdfg.regions import Behavior, BlockRegion, SeqRegion
+from repro.errors import CdfgValidationError, InterpError
+
+
+class TestSelect:
+    def test_select_picks_left_when_true(self):
+        b = BehaviorBuilder("sel")
+        s = b.input("s")
+        x = b.input("x")
+        y = b.input("y")
+        sel = b.op(OpKind.SELECT, x, y, s)
+        b.assign("r", sel)
+        b.output("r")
+        beh = b.finish()
+        assert execute(beh, {"s": 1, "x": 10, "y": 20}).outputs["r"] == 10
+        assert execute(beh, {"s": 0, "x": 10, "y": 20}).outputs["r"] == 20
+
+
+class TestJoinDiscipline:
+    def test_double_fire_with_different_values_is_an_error(self):
+        b = BehaviorBuilder("bad_join")
+        x = b.input("x")
+        y = b.input("y")
+        j = b.graph.add_node(OpKind.JOIN)
+        b.graph.set_data_edge(x, j, 0)
+        b.graph.set_data_edge(y, j, 1)
+        # Place the join in a block manually.
+        b._place(j)
+        b.assign("r", j)
+        b.output("r")
+        beh = b.finish()
+        with pytest.raises(InterpError):
+            execute(beh, {"x": 1, "y": 2})
+        # Equal values are tolerated (consistent token).
+        assert execute(beh, {"x": 5, "y": 5}).outputs["r"] == 5
+
+
+class TestTraps:
+    def test_division_by_zero(self):
+        b = BehaviorBuilder("div")
+        x = b.input("x")
+        b.assign("r", b.div(x, b.input("y")))
+        b.output("r")
+        beh = b.finish()
+        assert execute(beh, {"x": 7, "y": 2}).outputs["r"] == 3
+        with pytest.raises(InterpError):
+            execute(beh, {"x": 7, "y": 0})
+
+    def test_mod_semantics_match_c(self):
+        b = BehaviorBuilder("mod")
+        x = b.input("x")
+        y = b.input("y")
+        b.assign("r", b.mod(x, y))
+        b.output("r")
+        beh = b.finish()
+        # C-style: truncation toward zero.
+        assert execute(beh, {"x": -7, "y": 2}).outputs["r"] == -1
+        assert execute(beh, {"x": 7, "y": -2}).outputs["r"] == 1
+
+
+class TestValidation:
+    def test_join_with_one_input_rejected(self):
+        b = BehaviorBuilder("j1")
+        x = b.input("x")
+        j = b.graph.add_node(OpKind.JOIN)
+        b.graph.set_data_edge(x, j, 0)
+        b._place(j)
+        b.assign("r", j)
+        b.output("r")
+        with pytest.raises(CdfgValidationError):
+            b.finish()
+
+    def test_arity_mismatch_rejected(self):
+        b = BehaviorBuilder("arity")
+        x = b.input("x")
+        add = b.graph.add_node(OpKind.ADD)
+        b.graph.set_data_edge(x, add, 0)
+        b._place(add)
+        b.assign("r", add)
+        b.output("r")
+        with pytest.raises(CdfgValidationError):
+            b.finish()
+
+    def test_node_outside_regions_rejected(self):
+        b = BehaviorBuilder("orphan")
+        x = b.input("x")
+        b.assign("r", b.add(x, x))
+        b.output("r")
+        beh = b.finish()
+        orphan = beh.graph.add_node(OpKind.ADD)
+        beh.graph.set_data_edge(x, orphan, 0)
+        beh.graph.set_data_edge(x, orphan, 1)
+        with pytest.raises(CdfgValidationError):
+            validate_behavior(beh)
+
+    def test_interface_mismatch_rejected(self):
+        b = BehaviorBuilder("iface")
+        x = b.input("x")
+        b.assign("r", b.add(x, x))
+        b.output("r")
+        beh = b.finish()
+        beh.inputs.append("ghost")
+        with pytest.raises(CdfgValidationError):
+            validate_behavior(beh)
+
+    def test_loop_without_update_port_rejected(self):
+        from repro.cdfg.regions import LoopRegion, LoopVar
+        b = BehaviorBuilder("noupd")
+        b.input("n")
+        b.assign("i", b.const(0))
+        beh_graph = b.graph
+        join = beh_graph.add_node(OpKind.JOIN, name="i")
+        beh_graph.set_data_edge(b.var("i"), join, 0)
+        cond = beh_graph.add_node(OpKind.LT)
+        beh_graph.set_data_edge(join, cond, 0)
+        beh_graph.set_data_edge(b.var("n"), cond, 1)
+        loop = LoopRegion(name="L", loop_vars=[LoopVar("i", join)],
+                          cond_nodes=[cond], cond=cond)
+        b.behavior.region.children.append(loop)
+        b.output("i", join)
+        beh = b.behavior
+        with pytest.raises(CdfgValidationError):
+            validate_behavior(beh)
+
+
+class TestBehaviorCopy:
+    def test_copy_deep_copies_regions(self):
+        b = BehaviorBuilder("cp")
+        b.input("n")
+        b.assign("i", b.const(0))
+        with b.loop("L", carried=["i"]):
+            b.loop_cond(b.lt(b.var("i"), b.var("n")))
+            b.assign("i", b.inc(b.var("i")))
+        b.output("i")
+        beh = b.finish()
+        clone = beh.copy()
+        clone.loop("L").trip_count = 42
+        assert beh.loop("L").trip_count is None
+        clone.graph.remove_node(clone.loop("L").cond)
+        assert beh.loop("L").cond in beh.graph
+
+    def test_free_node_ids(self):
+        b = BehaviorBuilder("free")
+        x = b.input("x")
+        b.assign("r", b.add(x, b.const(3)))
+        b.output("r")
+        beh = b.finish()
+        free = beh.free_node_ids()
+        kinds = {beh.graph.nodes[n].kind for n in free}
+        assert kinds == {OpKind.INPUT, OpKind.CONST, OpKind.OUTPUT}

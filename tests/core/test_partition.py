@@ -1,0 +1,61 @@
+"""STG partitioning tests (Section 4.1)."""
+
+import pytest
+
+from repro.core import hot_cdfg_nodes, partition_stg, relative_frequencies
+from repro.stg import ScheduledOp, Stg
+
+
+def loop_heavy_stg():
+    """entry -> A <-> B (hot loop), rare path C -> exit."""
+    stg = Stg("hot")
+    entry = stg.add_state(label="entry")
+    a = stg.add_state([ScheduledOp(10)], label="A")
+    b = stg.add_state([ScheduledOp(11)], label="B")
+    c = stg.add_state([ScheduledOp(12)], label="C")
+    exit_ = stg.add_state(label="exit")
+    stg.add_transition(entry, a, 1.0)
+    stg.add_transition(a, b, 1.0)
+    stg.add_transition(b, a, 0.95)
+    stg.add_transition(b, c, 0.05)
+    stg.add_transition(c, exit_, 1.0)
+    stg.entry, stg.exit = entry, exit_
+    return stg, (entry, a, b, c, exit_)
+
+
+class TestPartition:
+    def test_hot_loop_forms_one_block(self):
+        stg, (entry, a, b, c, exit_) = loop_heavy_stg()
+        blocks = partition_stg(stg, threshold=0.5)
+        assert len(blocks) == 1
+        assert blocks[0].states == {a, b}
+
+    def test_low_threshold_adds_cold_states(self):
+        stg, (entry, a, b, c, exit_) = loop_heavy_stg()
+        blocks = partition_stg(stg, threshold=0.001)
+        all_states = set()
+        for blk in blocks:
+            all_states |= blk.states
+        assert {a, b, c}.issubset(all_states)
+
+    def test_block_exposes_cdfg_nodes(self):
+        stg, (entry, a, b, c, exit_) = loop_heavy_stg()
+        blocks = partition_stg(stg, threshold=0.5)
+        assert blocks[0].cdfg_nodes(stg) == {10, 11}
+
+    def test_hot_cdfg_nodes_shortcut(self):
+        stg, _ = loop_heavy_stg()
+        assert hot_cdfg_nodes(stg, threshold=0.5) == {10, 11}
+
+    def test_frequencies_sorted_descending(self):
+        stg, _ = loop_heavy_stg()
+        freqs = [f for _t, f in relative_frequencies(stg)]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_blocks_are_disjoint(self):
+        stg, _ = loop_heavy_stg()
+        blocks = partition_stg(stg, threshold=0.001)
+        seen = set()
+        for blk in blocks:
+            assert not (blk.states & seen)
+            seen |= blk.states

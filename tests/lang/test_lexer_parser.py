@@ -1,0 +1,138 @@
+"""Lexer and parser unit tests."""
+
+import pytest
+
+from repro.errors import LexError, ParseError
+from repro.lang import (Binary, For, If, IntLit, TokKind, VarRef, While,
+                        parse, tokenize)
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        toks = tokenize("proc f(in a) { a = a + 1; }")
+        texts = [t.text for t in toks if t.kind is not TokKind.EOF]
+        assert texts == ["proc", "f", "(", "in", "a", ")", "{", "a", "=",
+                         "a", "+", "1", ";", "}"]
+
+    def test_multichar_operators(self):
+        toks = tokenize("a <= b >> 2 != c && d")
+        ops = [t.text for t in toks if t.kind is TokKind.OP]
+        assert ops == ["<=", ">>", "!=", "&&"]
+
+    def test_line_comments(self):
+        toks = tokenize("a // hello\n b")
+        idents = [t.text for t in toks if t.kind is TokKind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_block_comments(self):
+        toks = tokenize("a /* x\n y */ b")
+        idents = [t.text for t in toks if t.kind is TokKind.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError) as err:
+            tokenize("a = $b;")
+        assert err.value.line == 1
+
+    def test_positions(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_numeric_literal(self):
+        with pytest.raises(LexError):
+            tokenize("x = 12ab;")
+
+
+class TestParser:
+    def test_gcd_shape(self):
+        proc = parse("""
+            proc gcd(in a, in b, out g) {
+                while (a != b) {
+                    if (a < b) { b = b - a; } else { a = a - b; }
+                }
+                g = a;
+            }
+        """)
+        assert proc.name == "gcd"
+        assert [p.direction for p in proc.params] == ["in", "in", "out"]
+        loop = proc.body[0]
+        assert isinstance(loop, While)
+        assert isinstance(loop.body[0], If)
+
+    def test_precedence(self):
+        proc = parse("proc p(in a, in b, in c, out r) { r = a + b * c; }")
+        expr = proc.body[0].value
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.right, Binary) and expr.right.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        proc = parse("proc p(in a, in b, out r) { r = a + 1 < b; }")
+        expr = proc.body[0].value
+        assert expr.op == "<"
+        assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+    def test_parentheses(self):
+        proc = parse("proc p(in a, in b, in c, out r) { r = (a + b) * c; }")
+        expr = proc.body[0].value
+        assert expr.op == "*"
+        assert isinstance(expr.left, Binary) and expr.left.op == "+"
+
+    def test_for_loop(self):
+        proc = parse("""
+            proc p(array x[8], out s) {
+                var s0 = 0;
+                for (i = 0; i < 8; i = i + 1) { s0 = s0 + x[i]; }
+                s = s0;
+            }
+        """)
+        loop = proc.body[1]
+        assert isinstance(loop, For)
+        assert loop.var == "i"
+        assert isinstance(loop.init, IntLit) and loop.init.value == 0
+
+    def test_for_update_must_match_var(self):
+        with pytest.raises(ParseError):
+            parse("proc p() { for (i = 0; i < 8; j = j + 1) { } }")
+
+    def test_else_if_chain(self):
+        proc = parse("""
+            proc p(in a, out r) {
+                if (a < 0) { r = 0; }
+                else if (a < 10) { r = 1; }
+                else { r = 2; }
+            }
+        """)
+        outer = proc.body[0]
+        assert isinstance(outer, If)
+        assert isinstance(outer.else_body[0], If)
+
+    def test_array_reference(self):
+        proc = parse("proc p(array m[4], out r) { r = m[2]; }")
+        assert proc.body[0].value.name == "m"
+
+    def test_loop_labels_are_sequential(self):
+        proc = parse("""
+            proc p(in n) {
+                var i = 0;
+                while (i < n) { i = i + 1; }
+                for (j = 0; j < n; j = j + 1) { i = i + 1; }
+            }
+        """)
+        assert proc.body[1].label == "L1"
+        assert proc.body[2].label == "L2"
+
+    @pytest.mark.parametrize("bad", [
+        "proc p( { }",
+        "proc p() { a = ; }",
+        "proc p() { if a > 0 { } }",
+        "proc p() { a = 1; } trailing",
+        "proc p(inout x) { }",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

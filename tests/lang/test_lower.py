@@ -1,0 +1,162 @@
+"""Lowering tests: BDL source → behavior → execution."""
+
+import pytest
+
+from repro.cdfg import OpKind, execute
+from repro.errors import SemanticError
+from repro.lang import compile_source
+
+GCD_SRC = """
+proc gcd(in a, in b, out g) {
+    while (a != b) {
+        if (a < b) { b = b - a; } else { a = a - b; }
+    }
+    g = a;
+}
+"""
+
+TEST1_SRC = """
+proc test1(in c1, in c2, array x[256], out a) {
+    var i = 0;
+    var acc = 0;
+    while (c2 > i) {
+        if (i < c1) {
+            var t1 = acc + 7;
+            acc = 13 * t1;
+        } else {
+            acc = acc + 17;
+        }
+        i = i + 1;
+        x[i] = acc;
+    }
+    a = acc;
+}
+"""
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("a,b,g", [(12, 18, 6), (35, 14, 7), (9, 9, 9)])
+    def test_gcd(self, a, b, g):
+        beh = compile_source(GCD_SRC)
+        assert execute(beh, {"a": a, "b": b}).outputs["g"] == g
+
+    def test_test1_matches_python(self):
+        beh = compile_source(TEST1_SRC)
+        res = execute(beh, {"c1": 3, "c2": 10})
+        i = acc = 0
+        x = [0] * 256
+        while 10 > i:
+            acc = 13 * (acc + 7) if i < 3 else acc + 17
+            i += 1
+            x[i] = acc
+        assert res.outputs["a"] == acc
+        assert res.arrays["x"] == x
+
+    def test_for_loop_sum(self):
+        beh = compile_source("""
+            proc asum(array x[8], out s) {
+                var acc = 0;
+                for (i = 0; i < 8; i = i + 1) { acc = acc + x[i]; }
+                s = acc;
+            }
+        """)
+        res = execute(beh, arrays={"x": [1, 2, 3, 4, 5, 6, 7, 8]})
+        assert res.outputs["s"] == 36
+
+    def test_trip_count_detected(self):
+        beh = compile_source("""
+            proc p(out s) {
+                var acc = 0;
+                for (i = 0; i < 17; i = i + 2) { acc = acc + i; }
+                s = acc;
+            }
+        """)
+        assert beh.loop("L1").trip_count == 9
+
+    def test_trip_count_unknown_for_dynamic_bound(self):
+        beh = compile_source("""
+            proc p(in n, out s) {
+                var acc = 0;
+                for (i = 0; i < n; i = i + 1) { acc = acc + i; }
+                s = acc;
+            }
+        """)
+        assert beh.loop("L1").trip_count is None
+
+    def test_inc_peephole(self):
+        beh = compile_source("""
+            proc p(in n, out r) { r = n + 1; }
+        """)
+        kinds = [node.kind for node in beh.graph]
+        assert OpKind.INC in kinds
+        assert OpKind.ADD not in kinds
+        assert execute(beh, {"n": 41}).outputs["r"] == 42
+
+    def test_unary_and_bitwise(self):
+        beh = compile_source("""
+            proc p(in a, in b, out r) { r = (-a & b) ^ ~b; }
+        """)
+        res = execute(beh, {"a": 12, "b": 10})
+        assert res.outputs["r"] == ((-12 & 10) ^ ~10)
+
+    def test_logical_ops(self):
+        beh = compile_source("""
+            proc p(in a, in b, out r) {
+                if (a > 0 && b > 0) { r = 1; } else { r = 0; }
+            }
+        """)
+        assert execute(beh, {"a": 1, "b": 1}).outputs["r"] == 1
+        assert execute(beh, {"a": 1, "b": 0}).outputs["r"] == 0
+
+    def test_shift_expression(self):
+        beh = compile_source("proc p(in a, out r) { r = a << 3 >> 1; }")
+        assert execute(beh, {"a": 5}).outputs["r"] == (5 << 3) >> 1
+
+
+class TestCarriedVariables:
+    def test_loop_carried_temporary_not_joined(self):
+        beh = compile_source("""
+            proc p(in n, out s) {
+                var acc = 0;
+                var i = 0;
+                while (i < n) {
+                    var t = i * 2;
+                    acc = acc + t;
+                    i = i + 1;
+                }
+                s = acc;
+            }
+        """)
+        loop = beh.loop("L1")
+        names = {lv.name for lv in loop.loop_vars}
+        assert names == {"acc", "i"}
+        assert execute(beh, {"n": 5}).outputs["s"] == 20
+
+    def test_value_live_after_loop(self):
+        beh = compile_source("""
+            proc p(in n, out last) {
+                var i = 0;
+                var x = 0;
+                while (i < n) {
+                    x = i * i;
+                    i = i + 1;
+                }
+                last = x;
+            }
+        """)
+        assert execute(beh, {"n": 4}).outputs["last"] == 9
+        assert execute(beh, {"n": 0}).outputs["last"] == 0
+
+
+class TestSemanticErrors:
+    def test_unassigned_output(self):
+        with pytest.raises(SemanticError):
+            compile_source("proc p(in a, out r) { a = a + 1; }")
+
+    def test_read_before_assign(self):
+        with pytest.raises(SemanticError):
+            compile_source("proc p(out r) { r = ghost + 1; }")
+
+    def test_undeclared_array(self):
+        with pytest.raises(SemanticError):
+            compile_source("proc p(out r) { r = m[0]; }")

@@ -1,0 +1,84 @@
+"""Example 1 reproduction: the paper's worked power estimate for TEST1.
+
+Paper numbers (Section 2.2, Example 1):
+
+* average schedule length 119.11 cycles;
+* state probabilities P_S0=0.008 ... P_S5=0.404;
+* per-FU energies (Vdd² units): incrementer 34.27, comparators 108.75,
+  adders 63.64, multiplier 41.70, registers 99.38, memory 93.10;
+* total energy 665.58 Vdd² (incl. interconnect + controller);
+* Vdd scaling 5 V → 4.29 V against a 151.30-cycle baseline, giving
+  80.96/cycle_time power.
+"""
+
+import pytest
+
+from repro.bench import test1_behavior as make_test1_behavior
+from repro.bench import test1_fig1c_stg as make_fig1c_stg
+from repro.hw import table1_library
+from repro.power import estimate_power, scaled_vdd_for_schedule
+from repro.stg import average_schedule_length, state_probabilities
+
+
+@pytest.fixture(scope="module")
+def setup():
+    beh = make_test1_behavior()
+    stg = make_fig1c_stg(beh)
+    est = estimate_power(stg, beh.graph, table1_library(), vdd=5.0)
+    return beh, stg, est
+
+
+class TestExample1:
+    def test_average_schedule_length(self, setup):
+        _beh, stg, _est = setup
+        assert average_schedule_length(stg) == pytest.approx(119.11,
+                                                             rel=0.02)
+
+    def test_state_probabilities(self, setup):
+        _beh, stg, _est = setup
+        probs = state_probabilities(stg)
+        by_label = {stg.states[sid].label: p for sid, p in probs.items()}
+        paper = {"S0": 0.008, "S1": 0.008, "S2": 0.153, "S3": 0.259,
+                 "S4": 0.149, "S5": 0.404}
+        for label, expected in paper.items():
+            assert by_label[label] == pytest.approx(expected, abs=0.01), \
+                label
+
+    def test_incrementer_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.fu_energy["incr1"] == pytest.approx(34.27, rel=0.03)
+
+    def test_comparator_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.fu_energy["comp1"] == pytest.approx(108.75, rel=0.03)
+
+    def test_adder_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.fu_energy["cla1"] == pytest.approx(63.64, rel=0.03)
+
+    def test_multiplier_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.fu_energy["w_mult1"] == pytest.approx(41.70, rel=0.03)
+
+    def test_memory_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.memory_energy == pytest.approx(93.10, rel=0.04)
+
+    def test_register_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.register_energy == pytest.approx(99.38, rel=0.05)
+
+    def test_total_energy(self, setup):
+        _beh, _stg, est = setup
+        assert est.total_energy == pytest.approx(665.58, rel=0.03)
+
+    def test_vdd_scaling_to_4_29(self, setup):
+        _beh, _stg, est = setup
+        vdd = scaled_vdd_for_schedule(est.schedule_length, 151.30)
+        assert vdd == pytest.approx(4.29, rel=0.02)
+
+    def test_scaled_power_80_96(self, setup):
+        _beh, _stg, est = setup
+        vdd = scaled_vdd_for_schedule(est.schedule_length, 151.30)
+        power = est.total_energy * vdd ** 2 / 151.30
+        assert power == pytest.approx(80.96, rel=0.05)

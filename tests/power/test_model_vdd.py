@@ -1,0 +1,101 @@
+"""Power model and Vdd scaling unit tests."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.hw import dac98_library
+from repro.power import (delay_factor, estimate_power,
+                         scaled_vdd_for_schedule, slowdown, solve_vdd)
+from repro.stg import ScheduledOp, Stg
+from repro.cdfg import Graph, OpKind
+
+
+def tiny_design():
+    """One-add-per-cycle linear STG over a two-node graph."""
+    g = Graph()
+    a = g.add_node(OpKind.CONST, value=1)
+    add = g.add_node(OpKind.ADD)
+    g.set_data_edge(a, add, 0)
+    g.set_data_edge(a, add, 1)
+    stg = Stg()
+    s0 = stg.add_state([ScheduledOp(add)])
+    s1 = stg.add_state([ScheduledOp(add)])
+    stg.add_transition(s0, s1, 1.0)
+    stg.entry, stg.exit = s0, s1
+    return g, stg, add
+
+
+class TestEstimator:
+    def test_energy_scales_with_op_count(self):
+        g, stg, _add = tiny_design()
+        lib = dac98_library()
+        est = estimate_power(stg, g, lib)
+        # Two adds at 1.3 each.
+        assert est.fu_ops["a1"] == pytest.approx(2.0)
+        assert est.fu_energy["a1"] == pytest.approx(2.6)
+        assert est.schedule_length == pytest.approx(2.0)
+
+    def test_exec_prob_weights_predicated_ops(self):
+        g, stg, add = tiny_design()
+        for state in stg.states.values():
+            state.ops[0].exec_prob = 0.25
+        est = estimate_power(stg, g, dac98_library())
+        assert est.fu_ops["a1"] == pytest.approx(0.5)
+
+    def test_power_divides_by_length_and_cycle_time(self):
+        g, stg, _ = tiny_design()
+        est1 = estimate_power(stg, g, dac98_library(), cycle_time=1.0)
+        est2 = estimate_power(stg, g, dac98_library(), cycle_time=25.0)
+        assert est1.power == pytest.approx(est2.power * 25.0)
+
+    def test_vdd_quadratic(self):
+        g, stg, _ = tiny_design()
+        lo = estimate_power(stg, g, dac98_library(), vdd=2.5)
+        hi = estimate_power(stg, g, dac98_library(), vdd=5.0)
+        assert hi.power == pytest.approx(4 * lo.power)
+
+    def test_overhead_fraction(self):
+        g, stg, _ = tiny_design()
+        est = estimate_power(stg, g, dac98_library())
+        assert est.overhead_energy == pytest.approx(
+            0.51 * est.datapath_energy)
+
+    def test_unknown_node_rejected(self):
+        g, stg, _ = tiny_design()
+        stg.states[0].ops.append(ScheduledOp(999))
+        with pytest.raises(PowerError):
+            estimate_power(stg, g, dac98_library())
+
+
+class TestVddScaling:
+    def test_delay_factor_shape(self):
+        # 5 / (5-1)^2 = 0.3125
+        assert delay_factor(5.0) == pytest.approx(0.3125)
+
+    def test_slowdown_monotone_decreasing_in_vdd(self):
+        assert slowdown(3.0) > slowdown(4.0) > slowdown(5.0) == 1.0
+
+    def test_solve_roundtrip(self):
+        for target in (1.0, 1.2, 1.8, 3.0):
+            v = solve_vdd(target)
+            assert slowdown(v) == pytest.approx(target, rel=1e-6)
+
+    def test_paper_example_429(self):
+        assert solve_vdd(151.30 / 119.11) == pytest.approx(4.29,
+                                                           abs=0.01)
+
+    def test_speedup_request_rejected(self):
+        with pytest.raises(PowerError):
+            solve_vdd(0.8)
+
+    def test_no_slack_returns_nominal(self):
+        assert scaled_vdd_for_schedule(100.0, 100.0) == 5.0
+        assert scaled_vdd_for_schedule(120.0, 100.0) == 5.0
+
+    def test_extreme_slowdown_clamps_to_floor(self):
+        v = solve_vdd(1000.0, vt=1.0)
+        assert v == pytest.approx(2.0, abs=1e-3)
+
+    def test_bad_lengths_rejected(self):
+        with pytest.raises(PowerError):
+            scaled_vdd_for_schedule(0.0, 10.0)

@@ -1,0 +1,117 @@
+"""Trace generation and profiler tests."""
+
+import statistics
+
+import pytest
+
+from repro.lang import compile_source
+from repro.profiling import (TraceCase, TraceSet, gaussian_ar_sequence,
+                             gaussian_traces, profile, uniform_traces)
+
+
+def lag1_autocorr(xs):
+    mean = statistics.fmean(xs)
+    num = sum((a - mean) * (b - mean) for a, b in zip(xs, xs[1:]))
+    den = sum((a - mean) ** 2 for a in xs)
+    return num / den if den else 0.0
+
+
+class TestGaussianAr:
+    def test_deterministic_for_seed(self):
+        a = gaussian_ar_sequence(100, seed=5)
+        b = gaussian_ar_sequence(100, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert gaussian_ar_sequence(100, seed=1) \
+            != gaussian_ar_sequence(100, seed=2)
+
+    def test_correlation_increases_with_rho(self):
+        low = gaussian_ar_sequence(4000, rho=0.0, seed=3)
+        high = gaussian_ar_sequence(4000, rho=0.95, seed=3)
+        assert lag1_autocorr(high) > lag1_autocorr(low) + 0.5
+
+    def test_marginal_std_stays_near_target(self):
+        xs = gaussian_ar_sequence(8000, std=100.0, rho=0.9, seed=4)
+        assert statistics.pstdev(xs) == pytest.approx(100.0, rel=0.15)
+
+    def test_invalid_rho_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_ar_sequence(10, rho=1.0)
+
+
+BEH_SRC = """
+proc p(in n, array x[8], out s) {
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+        if (x[i] > 50) { acc = acc + x[i]; }
+        i = i + 1;
+    }
+    s = acc;
+}
+"""
+
+
+class TestTraceSets:
+    def test_uniform_covers_interface(self):
+        beh = compile_source(BEH_SRC)
+        traces = uniform_traces(beh, 5, lo=0, hi=7, seed=1)
+        assert len(traces) == 5
+        for case in traces:
+            assert set(case.inputs) == {"n"}
+            assert 0 <= case.inputs["n"] <= 7
+            assert len(case.arrays["x"]) == 8
+
+    def test_gaussian_traces_fill_arrays(self):
+        beh = compile_source(BEH_SRC)
+        traces = gaussian_traces(beh, 3, seed=2)
+        assert len(traces) == 3
+        assert all(len(c.arrays["x"]) == 8 for c in traces)
+
+
+class TestProfiler:
+    def test_branch_probability_matches_data(self):
+        beh = compile_source(BEH_SRC)
+        # x[i] > 50 for exactly half the elements.
+        traces = TraceSet([
+            TraceCase({"n": 8}, {"x": [100, 0, 100, 0, 100, 0, 100, 0]}),
+        ])
+        prof = profile(beh, traces)
+        gt = next(n.id for n in beh.graph
+                  if n.kind.value == "gt" and beh.graph.control_users(n.id))
+        assert prof.branch_probs[gt] == pytest.approx(0.5)
+        assert prof.loop_iterations["L1"] == 8
+
+    def test_loop_probability(self):
+        beh = compile_source(BEH_SRC)
+        traces = TraceSet([TraceCase({"n": 4}, {"x": [0] * 8})])
+        prof = profile(beh, traces)
+        # 4 continues, 1 exit -> p = 0.8
+        assert prof.prob(beh.loop("L1").cond) == pytest.approx(0.8)
+
+    def test_failed_traces_are_counted_and_skipped(self):
+        beh = compile_source(BEH_SRC)
+        traces = TraceSet([
+            TraceCase({"n": 100}, {"x": [0] * 8}),  # out of bounds
+            TraceCase({"n": 4}, {"x": [0] * 8}),
+        ])
+        prof = profile(beh, traces)
+        assert prof.failures == 1
+        assert prof.runs == 1
+
+    def test_all_failures_raises(self):
+        from repro.errors import InterpError
+        beh = compile_source(BEH_SRC)
+        traces = TraceSet([TraceCase({"n": 100}, {"x": [0] * 8})])
+        with pytest.raises(InterpError):
+            profile(beh, traces)
+
+    def test_unobserved_condition_uses_default(self):
+        beh = compile_source(BEH_SRC)
+        traces = TraceSet([TraceCase({"n": 0}, {"x": [0] * 8})])
+        prof = profile(beh, traces)
+        # The if-condition never executed: default applies.
+        gt = next(n.id for n in beh.graph
+                  if n.kind.value == "gt" and beh.graph.control_users(n.id))
+        assert prof.prob(gt, default=0.5) == 0.5

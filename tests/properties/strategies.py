@@ -1,0 +1,59 @@
+"""Hypothesis strategies shared by the property tests."""
+
+from hypothesis import strategies as st
+
+#: Input variable names available to generated expressions.
+VARS = ("a", "b", "c")
+
+#: Binary operators that are total over the integers (no division).
+BINOPS = ("+", "-", "*", "&", "|", "^")
+
+COMPARISONS = ("<", ">", "<=", ">=", "==", "!=")
+
+
+@st.composite
+def expressions(draw, depth=3):
+    """A BDL expression string over the variables in :data:`VARS`.
+
+    The same string is valid Python (with C-precedence-compatible
+    operator set), so generated programs can be checked against
+    ``eval``.
+    """
+    if depth <= 0 or draw(st.booleans()):
+        leaf = draw(st.sampled_from(
+            VARS + tuple(str(n) for n in (0, 1, 2, 5, 13))))
+        return leaf
+    op = draw(st.sampled_from(BINOPS))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def straightline_programs(draw, n_stmts=4):
+    """A BDL procedure body of chained assignments; returns (src, py).
+
+    ``py`` is an equivalent Python function body operating on wrapped
+    integers (the caller applies wrapping).
+    """
+    lines = []
+    names = list(VARS)
+    for i in range(draw(st.integers(1, n_stmts))):
+        expr = draw(expressions(depth=3))
+        name = f"t{i}"
+        lines.append((name, expr))
+        names.append(name)
+    # Result combines the last temporary with an input.
+    result_expr = f"({lines[-1][0]} + a)"
+    src_stmts = "\n".join(f"    var {name} = {expr};"
+                          for name, expr in lines)
+    source = (f"proc p(in a, in b, in c, out r) {{\n{src_stmts}\n"
+              f"    r = {result_expr};\n}}")
+    return source, lines, result_expr
+
+
+@st.composite
+def input_values(draw):
+    """Concrete values for the three inputs."""
+    val = st.integers(min_value=-(2 ** 20), max_value=2 ** 20)
+    return {name: draw(val) for name in VARS}

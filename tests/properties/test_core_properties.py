@@ -1,0 +1,157 @@
+"""Properties of the numeric core: wrapping, CSD, Markov, scheduling."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg import DEFAULT_WIDTH, GuardAnalysis, OpKind, evaluate, wrap
+from repro.hw import Allocation, dac98_library
+from repro.lang import compile_source
+from repro.sched import ResourceModel, SchedConfig, schedule_behavior
+from repro.stg import Stg, average_schedule_length, simulate
+from repro.transforms import csd_digits
+
+from .strategies import expressions, input_values
+
+LIB = dac98_library()
+
+
+class TestWrap:
+    @given(st.integers())
+    def test_wrap_is_idempotent(self, x):
+        assert wrap(wrap(x)) == wrap(x)
+
+    @given(st.integers())
+    def test_wrap_range(self, x):
+        w = wrap(x)
+        assert -(2 ** 31) <= w < 2 ** 31
+
+    @given(st.integers(), st.integers())
+    def test_add_is_homomorphic(self, x, y):
+        assert wrap(wrap(x) + wrap(y)) == wrap(x + y)
+
+    @given(st.integers(), st.integers())
+    def test_mul_is_homomorphic(self, x, y):
+        assert wrap(wrap(x) * wrap(y)) == wrap(x * y)
+
+
+class TestEvaluate:
+    @given(st.integers(-10 ** 9, 10 ** 9), st.integers(-10 ** 9, 10 ** 9))
+    def test_commutativity_of_add_mul(self, x, y):
+        assert evaluate(OpKind.ADD, x, y) == evaluate(OpKind.ADD, y, x)
+        assert evaluate(OpKind.MUL, x, y) == evaluate(OpKind.MUL, y, x)
+
+    @given(st.integers(-10 ** 6, 10 ** 6), st.integers(-10 ** 6, 10 ** 6),
+           st.integers(-10 ** 6, 10 ** 6))
+    def test_associativity_modular(self, x, y, z):
+        left = evaluate(OpKind.ADD, evaluate(OpKind.ADD, x, y), z)
+        right = evaluate(OpKind.ADD, x, evaluate(OpKind.ADD, y, z))
+        assert left == right
+
+    @given(st.integers(-10 ** 5, 10 ** 5), st.integers(-10 ** 5, 10 ** 5),
+           st.integers(-10 ** 5, 10 ** 5))
+    def test_distributivity_modular(self, a, b, c):
+        lhs = evaluate(OpKind.MUL, a, evaluate(OpKind.SUB, b, c))
+        rhs = evaluate(OpKind.SUB, evaluate(OpKind.MUL, a, b),
+                       evaluate(OpKind.MUL, a, c))
+        assert lhs == rhs
+
+    @given(st.integers(-10 ** 9, 10 ** 9))
+    def test_comparison_flip(self, x):
+        assert evaluate(OpKind.LT, x, 5) == evaluate(OpKind.GT, 5, x)
+
+
+class TestCsd:
+    @given(st.integers(1, 2 ** 30))
+    def test_reconstruction(self, value):
+        digits = csd_digits(value)
+        assert sum(s * (1 << k) for s, k in digits) == value
+
+    @given(st.integers(1, 2 ** 30))
+    def test_no_adjacent_digits(self, value):
+        shifts = sorted(k for _s, k in csd_digits(value))
+        assert all(b - a >= 2 for a, b in zip(shifts, shifts[1:]))
+
+    @given(st.integers(1, 2 ** 20))
+    def test_weight_no_worse_than_binary(self, value):
+        assert len(csd_digits(value)) <= bin(value).count("1")
+
+
+class TestMarkovProperties:
+    @given(st.lists(st.floats(0.05, 0.95), min_size=1, max_size=6),
+           st.integers(0, 2 ** 30))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_of_self_loops(self, probs, seed):
+        """Expected length of chained geometric states is the sum."""
+        stg = Stg()
+        states = [stg.add_state() for _ in probs]
+        exit_ = stg.add_state()
+        for sid, p in zip(states, probs):
+            stg.add_transition(sid, sid, p)
+        for a, b in zip(states, states[1:]):
+            stg.add_transition(a, b, 1.0 - probs[states.index(a)])
+        stg.add_transition(states[-1], exit_, 1.0 - probs[-1])
+        stg.entry, stg.exit = states[0], exit_
+        expected = sum(1.0 / (1.0 - p) for p in probs) + 1.0
+        assert abs(average_schedule_length(stg) - expected) < 1e-6
+
+    @given(st.floats(0.1, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_analysis_matches_simulation(self, p):
+        stg = Stg()
+        a = stg.add_state()
+        b = stg.add_state()
+        exit_ = stg.add_state()
+        stg.add_transition(a, b, 1.0)
+        stg.add_transition(b, a, p)
+        stg.add_transition(b, exit_, 1.0 - p)
+        stg.entry, stg.exit = a, exit_
+        exact = average_schedule_length(stg)
+        est = simulate(stg, runs=3000, seed=11).mean_length
+        assert abs(est - exact) / exact < 0.1
+
+
+class TestScheduleInvariants:
+    @given(expr=expressions(depth=3))
+    @settings(max_examples=30, deadline=None)
+    def test_states_never_oversubscribe_resources(self, expr):
+        source = f"proc p(in a, in b, in c, out r) {{ r = {expr}; }}"
+        behavior = compile_source(source)
+        alloc = Allocation({"a1": 1, "sb1": 1, "mt1": 1, "n1": 1,
+                            "i1": 1, "s1": 1, "cp1": 1, "e1": 1})
+        result = schedule_behavior(behavior, LIB, alloc, SchedConfig())
+        rm = ResourceModel(behavior.graph, LIB, alloc)
+        guards = GuardAnalysis(behavior.graph)
+        for state in result.stg.states.values():
+            usage = {}
+            for op in state.ops:
+                res = rm.resource_of(op.node)
+                if res is None:
+                    continue
+                usage.setdefault(res, []).append(op.node)
+            for res, ops in usage.items():
+                # Count instances needed, allowing mutex sharing.
+                needed = 0
+                groups = []
+                for nid in ops:
+                    for group in groups:
+                        if all(guards.mutually_exclusive(nid, o)
+                               for o in group):
+                            group.append(nid)
+                            break
+                    else:
+                        groups.append([nid])
+                needed = len(groups)
+                assert needed <= rm.capacity_of(res), (res, ops)
+
+    @given(expr=expressions(depth=3))
+    @settings(max_examples=20, deadline=None)
+    def test_schedule_length_positive_and_finite(self, expr):
+        source = f"proc p(in a, in b, in c, out r) {{ r = {expr}; }}"
+        behavior = compile_source(source)
+        result = schedule_behavior(
+            behavior, LIB, Allocation({"a1": 2, "sb1": 2, "mt1": 2,
+                                       "n1": 2, "i1": 2, "s1": 2,
+                                       "cp1": 2, "e1": 2}),
+            SchedConfig())
+        length = result.average_length()
+        assert 1.0 <= length < 1000.0

@@ -1,0 +1,75 @@
+"""Property: every transformation preserves program semantics.
+
+For arbitrary generated straight-line programs, every candidate offered
+by the default transformation library must produce a behavior computing
+the same outputs — and so must short random *sequences* of candidates,
+which is what the search actually applies.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdfg import execute, validate_behavior, wrap
+from repro.lang import compile_source
+from repro.transforms import default_library
+
+from .strategies import input_values, straightline_programs
+
+LIBRARY = default_library()
+
+_SAMPLES = [
+    {"a": 0, "b": 0, "c": 0},
+    {"a": 1, "b": -1, "c": 13},
+    {"a": 977, "b": -445, "c": 7},
+    {"a": -(2 ** 20), "b": 2 ** 20, "c": 1},
+]
+
+
+def outputs(behavior, values):
+    return execute(behavior, values).outputs
+
+
+@settings(max_examples=25, deadline=None)
+@given(prog=straightline_programs())
+def test_every_candidate_preserves_semantics(prog):
+    source, _lines, _result = prog
+    behavior = compile_source(source)
+    reference = [outputs(behavior, v) for v in _SAMPLES]
+    for cand in LIBRARY.candidates(behavior):
+        transformed = cand.apply(behavior)
+        validate_behavior(transformed)
+        for values, ref in zip(_SAMPLES, reference):
+            assert outputs(transformed, values) == ref, cand.description
+
+
+@settings(max_examples=15, deadline=None)
+@given(prog=straightline_programs(),
+       picks=st.lists(st.integers(0, 10 ** 6), min_size=3, max_size=3))
+def test_candidate_sequences_preserve_semantics(prog, picks):
+    source, _lines, _result = prog
+    behavior = compile_source(source)
+    reference = [outputs(behavior, v) for v in _SAMPLES]
+    current = behavior
+    for pick in picks:
+        candidates = LIBRARY.candidates(current)
+        if not candidates:
+            break
+        current = candidates[pick % len(candidates)].apply(current)
+    validate_behavior(current)
+    for values, ref in zip(_SAMPLES, reference):
+        assert outputs(current, values) == ref
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=input_values(), c=st.integers(-3000, 3000))
+def test_strength_reduction_exact_for_any_constant(values, c):
+    from repro.transforms import StrengthReduction
+    source = f"proc p(in a, in b, in c, out r) {{ r = a * {c}; }}" \
+        if c >= 0 else \
+        f"proc p(in a, in b, in c, out r) {{ r = a * (0 - {-c}); }}"
+    behavior = compile_source(source)
+    cands = StrengthReduction().find(behavior)
+    for cand in cands:
+        transformed = cand.apply(behavior)
+        assert execute(transformed, values).outputs["r"] \
+            == wrap(values["a"] * c)

@@ -1,0 +1,147 @@
+"""Hand-verified branching schedules: state counts and probabilities."""
+
+import pytest
+
+from repro.cdfg import BehaviorBuilder, OpKind
+from repro.hw import Allocation, dac98_library
+from repro.sched import SchedConfig, schedule_behavior
+from repro.stg import average_schedule_length, expected_visits
+
+LIB = dac98_library()
+
+FULL = Allocation({"a1": 2, "sb1": 2, "mt1": 2, "cp1": 2, "e1": 2,
+                   "i1": 2, "n1": 2, "s1": 2})
+
+
+def build_two_sided(then_muls, else_adds):
+    """if (a<b) {chain of muls} else {chain of adds}."""
+    b = BehaviorBuilder("twoside")
+    a = b.input("a")
+    c = b.input("b")
+    cond = b.lt(a, c)
+    with b.if_(cond):
+        v = a
+        for _ in range(then_muls):
+            v = b.mul(v, v)
+        b.assign("r", v)
+        b.otherwise()
+        v = a
+        for _ in range(else_adds):
+            v = b.add(v, v)
+        b.assign("r", v)
+    b.output("r")
+    return b.finish(), cond
+
+
+class TestTwoSidedIf:
+    def test_path_lengths(self):
+        # then: 3 dependent multiplies -> 3 states (23ns each, no
+        # chaining possible); else: 4 dependent adds -> 2 states
+        # (chained in pairs).  Plus cond state and exit state.
+        beh, cond = build_two_sided(3, 4)
+        taken = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                  {cond: 1.0})
+        not_taken = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                      {cond: 0.0})
+        assert taken.average_length() == pytest.approx(1 + 3 + 1)
+        assert not_taken.average_length() == pytest.approx(1 + 2 + 1)
+
+    def test_probability_weighting_exact(self):
+        beh, cond = build_two_sided(3, 4)
+        for p in (0.25, 0.5, 0.8):
+            result = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                       {cond: p})
+            expected = 1 + p * 3 + (1 - p) * 2 + 1
+            assert result.average_length() == pytest.approx(expected)
+
+    def test_branch_states_visited_with_branch_probability(self):
+        beh, cond = build_two_sided(1, 1)
+        result = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                   {cond: 0.3})
+        visits = expected_visits(result.stg)
+        graph = beh.graph
+        mul = next(n.id for n in graph if n.kind is OpKind.MUL)
+        mul_states = [sid for sid, st in result.stg.states.items()
+                      if any(op.node == mul for op in st.ops)]
+        assert sum(visits[s] for s in mul_states) == pytest.approx(0.3)
+
+
+class TestIndependentConditions:
+    def build(self):
+        """Two independent ifs in sequence within one block."""
+        b = BehaviorBuilder("indep")
+        x = b.input("x")
+        y = b.input("y")
+        c1 = b.lt(x, b.const(10))
+        c2 = b.gt(y, b.const(20))
+        b.assign("r", b.const(0))
+        with b.if_(c1):
+            b.assign("r", b.add(x, x))
+        with b.if_(c2):
+            b.assign("r", b.add(b.var("r"), y))
+        b.output("r")
+        return b.finish(), c1, c2
+
+    @pytest.mark.parametrize("v1,v2", [(1, 1), (1, 0), (0, 1), (0, 0)])
+    def test_all_four_paths_schedule(self, v1, v2):
+        beh, c1, c2 = self.build()
+        result = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                   {c1: float(v1), c2: float(v2)})
+        # Both conds resolve in the first state.  On the (1,1) path the
+        # two adds chain within one 25ns state; a polarity with no work
+        # still crosses one (idle or pass-through) state before the
+        # second branch resolves.  Every path therefore takes
+        # cond + 1 + exit = 3 states.
+        assert result.average_length() == pytest.approx(3.0)
+
+    def test_functionality_independent_of_schedule(self):
+        from repro.cdfg import execute
+        beh, _c1, _c2 = self.build()
+        assert execute(beh, {"x": 5, "y": 25}).outputs["r"] == 35
+        assert execute(beh, {"x": 5, "y": 5}).outputs["r"] == 10
+        assert execute(beh, {"x": 15, "y": 25}).outputs["r"] == 25
+        assert execute(beh, {"x": 15, "y": 5}).outputs["r"] == 0
+
+
+class TestGuardedMemory:
+    def test_conditional_store_schedules_and_runs(self):
+        from repro.cdfg import execute
+        b = BehaviorBuilder("condstore")
+        x = b.input("x")
+        b.array("m", 4)
+        c = b.gt(x, b.const(0))
+        with b.if_(c):
+            b.store("m", b.const(0), x)
+        b.output("x")
+        beh = b.finish()
+        result = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                   {c: 0.5})
+        # cond state + (p=0.5) store state + exit.
+        assert result.average_length() == pytest.approx(2.5)
+        assert execute(beh, {"x": 7}).arrays["m"][0] == 7
+        assert execute(beh, {"x": -7}).arrays["m"][0] == 0
+
+
+class TestNestedIfSchedules:
+    def test_nested_branching_lengths(self):
+        b = BehaviorBuilder("nested")
+        x = b.input("x")
+        c1 = b.lt(x, b.const(100))
+        with b.if_(c1):
+            c2 = b.lt(x, b.const(10))
+            with b.if_(c2):
+                b.assign("r", b.mul(x, x))
+                b.otherwise()
+                b.assign("r", b.add(x, x))
+            b.otherwise()
+            b.assign("r", b.sub(x, b.const(1)))
+        b.output("r")
+        beh = b.finish()
+        # P(c1)=1, P(c2)=1: c1 state, c2 state, mul state, exit = 4.
+        got = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                {c1: 1.0, c2: 1.0}).average_length()
+        assert got == pytest.approx(4.0)
+        # P(c1)=0: c1 state, sub state, exit = 3.
+        got = schedule_behavior(beh, LIB, FULL, SchedConfig(),
+                                {c1: 0.0, c2: 1.0}).average_length()
+        assert got == pytest.approx(3.0)

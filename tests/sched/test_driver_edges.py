@@ -1,0 +1,80 @@
+"""Scheduler driver edge cases."""
+
+import pytest
+
+from repro.cdfg import BehaviorBuilder
+from repro.hw import Allocation, dac98_library
+from repro.sched import SchedConfig, schedule_behavior
+
+LIB = dac98_library()
+
+
+class TestDegenerateBehaviors:
+    def test_passthrough_behavior(self):
+        """No compute at all: input wired to output."""
+        b = BehaviorBuilder("wire")
+        x = b.input("x")
+        b.assign("r", x)
+        b.output("r")
+        beh = b.finish()
+        result = schedule_behavior(beh, LIB, Allocation({}),
+                                   SchedConfig())
+        # Entry + exit only.
+        assert result.average_length() == pytest.approx(2.0)
+        result.stg.validate()
+
+    def test_constant_only_behavior(self):
+        b = BehaviorBuilder("const")
+        b.assign("r", b.const(42))
+        b.output("r")
+        beh = b.finish()
+        result = schedule_behavior(beh, LIB, Allocation({}),
+                                   SchedConfig())
+        assert result.average_length() >= 1.0
+
+    def test_zero_trip_loop_schedules(self):
+        b = BehaviorBuilder("zero")
+        b.assign("i", b.const(0))
+        with b.loop("L", carried=["i"], trip_count=0):
+            b.loop_cond(b.lt(b.var("i"), b.const(0)))
+            b.assign("i", b.inc(b.var("i")))
+        b.output("i")
+        beh = b.finish()
+        result = schedule_behavior(
+            beh, LIB, Allocation({"cp1": 1, "i1": 1}), SchedConfig())
+        # Condition checked once, loop never taken.
+        assert result.average_length() <= 4.0
+
+    def test_sequential_loops_compose(self):
+        b = BehaviorBuilder("seq")
+        b.input("n")
+        total = b.const(0)
+        b.assign("t", total)
+        for name in ("A", "B"):
+            b.assign("i", b.const(0))
+            with b.loop(name, carried=["i", "t"], trip_count=8):
+                b.loop_cond(b.lt(b.var("i"), b.const(8)))
+                b.assign("t", b.add(b.var("t"), b.var("i")))
+                b.assign("i", b.inc(b.var("i")))
+        b.output("t")
+        beh = b.finish()
+        # The loops share 't' (dependent): they must run back-to-back.
+        result = schedule_behavior(
+            beh, LIB, Allocation({"a1": 1, "cp1": 1, "i1": 1}),
+            SchedConfig())
+        assert result.average_length() >= 16.0
+
+    def test_result_metadata(self):
+        b = BehaviorBuilder("meta")
+        x = b.input("x")
+        b.assign("r", b.add(x, x))
+        b.output("r")
+        beh = b.finish()
+        cfg = SchedConfig(clock=20.0)
+        alloc = Allocation({"a1": 1})
+        result = schedule_behavior(beh, LIB, alloc, cfg)
+        assert result.config is cfg
+        assert result.allocation is alloc
+        assert result.behavior is beh
+        assert result.throughput() == pytest.approx(
+            1.0 / result.average_length())

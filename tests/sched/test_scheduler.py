@@ -1,0 +1,237 @@
+"""Scheduler end-to-end tests: behavior → STG → expected length."""
+
+import pytest
+
+from repro.cdfg import BehaviorBuilder
+from repro.errors import ScheduleError
+from repro.hw import Allocation, dac98_library
+from repro.sched import SchedConfig, Scheduler, schedule_behavior
+from repro.stg import average_schedule_length
+
+LIB = dac98_library()
+
+
+def sched(behavior, counts, **cfg):
+    return schedule_behavior(behavior, LIB, Allocation(counts),
+                             SchedConfig(**cfg))
+
+
+def length(behavior, counts, **cfg):
+    return sched(behavior, counts, **cfg).average_length()
+
+
+class TestStraightLine:
+    def test_independent_adds_resource_limited(self):
+        b = BehaviorBuilder("adds")
+        xs = [b.input(f"x{i}") for i in range(8)]
+        for i in range(4):
+            b.assign(f"s{i}", b.add(xs[2 * i], xs[2 * i + 1]))
+        for i in range(4):
+            b.output(f"s{i}")
+        beh = b.finish()
+        # 4 independent adds, 2 adders -> 2 cycles, plus the exit state.
+        assert length(beh, {"a1": 2}) == pytest.approx(3.0)
+        # With 4 adders -> 1 cycle + exit.
+        assert length(beh, {"a1": 4}) == pytest.approx(2.0)
+
+    def test_chaining_packs_dependent_ops(self):
+        b = BehaviorBuilder("chain")
+        x = b.input("x")
+        t = b.add(x, x)
+        u = b.add(t, x)
+        b.assign("r", u)
+        b.output("r")
+        beh = b.finish()
+        # Two dependent 10ns adds chain within a 25ns clock: 1 cycle.
+        assert length(beh, {"a1": 2}) == pytest.approx(2.0)
+        # Without chaining they need 2 cycles.
+        assert length(beh, {"a1": 2},
+                      allow_chaining=False) == pytest.approx(3.0)
+
+    def test_three_add_chain_splits(self):
+        b = BehaviorBuilder("chain3")
+        x = b.input("x")
+        t = b.add(x, x)
+        u = b.add(t, x)
+        v = b.add(u, x)
+        b.assign("r", v)
+        b.output("r")
+        beh = b.finish()
+        # 30ns of chained delay does not fit one 25ns cycle.
+        assert length(beh, {"a1": 3}) == pytest.approx(3.0)
+
+    def test_multicycle_multiplier(self):
+        b = BehaviorBuilder("mc")
+        x = b.input("x")
+        b.assign("r", b.mul(x, x))
+        b.output("r")
+        beh = b.finish()
+        # 23ns multiply fits one 25ns cycle...
+        assert length(beh, {"mt1": 1}) == pytest.approx(2.0)
+        # ...but needs two 15ns cycles.
+        assert length(beh, {"mt1": 1}, clock=15.0) == pytest.approx(3.0)
+
+    def test_missing_allocation_raises(self):
+        b = BehaviorBuilder("noadd")
+        x = b.input("x")
+        b.assign("r", b.add(x, x))
+        b.output("r")
+        beh = b.finish()
+        with pytest.raises(ScheduleError):
+            sched(beh, {"sb1": 1})
+
+
+class TestBranching:
+    def build_if(self):
+        b = BehaviorBuilder("branchy")
+        x = b.input("x")
+        c = b.lt(x, b.const(0))
+        with b.if_(c):
+            # then: 3 dependent multiplies (3 cycles)
+            t = b.mul(x, x)
+            t = b.mul(t, x)
+            t = b.mul(t, x)
+            b.assign("r", t)
+            b.otherwise()
+            # else: 1 add (1 cycle)
+            b.assign("r", b.add(x, x))
+        b.output("r")
+        return b.finish()
+
+    def test_expected_length_weights_paths(self):
+        beh = self.build_if()
+        result = schedule_behavior(
+            beh, LIB, Allocation({"mt1": 1, "a1": 1, "cp1": 1}),
+            SchedConfig(),
+            branch_probs={self._cond(beh): 1.0})
+        # cond state + 3 mult states + exit
+        assert result.average_length() == pytest.approx(5.0)
+        result = schedule_behavior(
+            beh, LIB, Allocation({"mt1": 1, "a1": 1, "cp1": 1}),
+            SchedConfig(),
+            branch_probs={self._cond(beh): 0.0})
+        # cond state + 1 add state + exit
+        assert result.average_length() == pytest.approx(3.0)
+
+    @staticmethod
+    def _cond(beh):
+        from repro.cdfg import OpKind
+        return next(n.id for n in beh.graph if n.kind is OpKind.LT)
+
+    def test_unprofiled_uses_default_half(self):
+        beh = self.build_if()
+        got = length(beh, {"mt1": 1, "a1": 1, "cp1": 1})
+        assert got == pytest.approx(0.5 * 5.0 + 0.5 * 3.0)
+
+
+class TestLoops:
+    def accumulate(self, n):
+        b = BehaviorBuilder("acc")
+        b.array("x", n)
+        b.assign("s", b.const(0))
+        b.assign("i", b.const(0))
+        with b.loop("L", carried=["i", "s"], trip_count=n):
+            b.loop_cond(b.lt(b.var("i"), b.const(n)))
+            v = b.load("x", b.var("i"))
+            b.assign("s", b.add(b.var("s"), v))
+            b.assign("i", b.inc(b.var("i")))
+        b.output("s")
+        return b.finish()
+
+    def test_pipelined_accumulation_reaches_ii_1(self):
+        beh = self.accumulate(64)
+        got = length(beh, {"a1": 1, "cp1": 1, "i1": 1})
+        # II=1 pipelined: ~64 cycles + prologue/drain/exit overhead.
+        assert got <= 64 + 8
+        assert got >= 64
+
+    def test_sequential_when_pipelining_disabled(self):
+        beh = self.accumulate(64)
+        got = length(beh, {"a1": 1, "cp1": 1, "i1": 1},
+                     allow_pipelining=False)
+        # Sequential: >= 2 states per iteration (cond, body).
+        assert got >= 2 * 64
+
+    def test_gcd_schedules_and_terminates(self):
+        b = BehaviorBuilder("gcd")
+        b.input("a")
+        b.input("b")
+        with b.loop("L0", carried=["a", "b"]):
+            b.loop_cond(b.ne(b.var("a"), b.var("b")))
+            c = b.lt(b.var("a"), b.var("b"))
+            with b.if_(c):
+                b.assign("b", b.sub(b.var("b"), b.var("a")))
+                b.otherwise()
+                b.assign("a", b.sub(b.var("a"), b.var("b")))
+        b.output("a")
+        beh = b.finish()
+        cond = beh.loop("L0").cond
+        result = schedule_behavior(
+            beh, LIB, Allocation({"sb1": 2, "cp1": 1, "e1": 1}),
+            SchedConfig(),
+            branch_probs={cond: 0.9})
+        # ~10 iterations expected; a few states per iteration.
+        got = result.average_length()
+        assert 10 <= got <= 60
+
+    def test_nested_loops(self):
+        b = BehaviorBuilder("nest")
+        b.assign("t", b.const(0))
+        b.assign("i", b.const(0))
+        with b.loop("outer", carried=["i", "t"], trip_count=4):
+            b.loop_cond(b.lt(b.var("i"), b.const(4)))
+            b.assign("j", b.const(0))
+            with b.loop("inner", carried=["j", "t"], trip_count=8):
+                b.loop_cond(b.lt(b.var("j"), b.const(8)))
+                b.assign("t", b.add(b.var("t"), b.var("j")))
+                b.assign("j", b.inc(b.var("j")))
+            b.assign("i", b.inc(b.var("i")))
+        b.output("t")
+        beh = b.finish()
+        got = length(beh, {"a1": 1, "cp1": 1, "i1": 1})
+        # Roughly 4 * (8 inner iterations) plus per-level overheads.
+        assert 32 <= got <= 120
+
+
+class TestConcurrentLoops:
+    def two_loops(self, n1, n2, shared_array=False):
+        b = BehaviorBuilder("conc")
+        b.array("x", max(n1, n2) + 1)
+        second = "x" if shared_array else "y"
+        if not shared_array:
+            b.array("y", max(n1, n2) + 1)
+        b.assign("i", b.const(0))
+        with b.loop("L1", carried=["i"], trip_count=n1):
+            b.loop_cond(b.lt(b.var("i"), b.const(n1)))
+            b.store("x", b.var("i"), b.var("i"))
+            b.assign("i", b.inc(b.var("i")))
+        b.assign("j", b.const(0))
+        with b.loop("L2", carried=["j"], trip_count=n2):
+            b.loop_cond(b.lt(b.var("j"), b.const(n2)))
+            b.store(second, b.var("j"), b.var("j"))
+            b.assign("j", b.inc(b.var("j")))
+        b.output("i")
+        b.output("j")
+        return b.finish()
+
+    def test_independent_loops_overlap(self):
+        beh = self.two_loops(32, 32)
+        conc = length(beh, {"cp1": 2, "i1": 2})
+        solo = length(beh, {"cp1": 2, "i1": 2},
+                      allow_concurrent_loops=False)
+        assert conc < solo
+        # Fully overlapped: ~32 cycles, not ~64.
+        assert conc <= 40
+
+    def test_dependent_loops_not_overlapped(self):
+        beh = self.two_loops(32, 32, shared_array=True)
+        conc = length(beh, {"cp1": 2, "i1": 2})
+        solo = length(beh, {"cp1": 2, "i1": 2},
+                      allow_concurrent_loops=False)
+        assert conc == pytest.approx(solo)
+
+    def test_unequal_trip_counts_phase_structure(self):
+        beh = self.two_loops(16, 48)
+        got = length(beh, {"cp1": 2, "i1": 2})
+        # Phase 1: 16 overlapped passes; phase 2: 32 solo passes.
+        assert got <= 60

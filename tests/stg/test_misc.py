@@ -1,0 +1,85 @@
+"""STG miscellany: DOT export, simulation API, edge accessors."""
+
+import pytest
+
+from repro.errors import StgError
+from repro.stg import ScheduledOp, Stg, simulate, walk_once
+
+
+def branchy():
+    stg = Stg("demo")
+    entry = stg.add_state([ScheduledOp(7)], label="start")
+    left = stg.add_state(label="L")
+    right = stg.add_state(label="R")
+    exit_ = stg.add_state(label="end")
+    stg.add_transition(entry, left, 0.25, "c")
+    stg.add_transition(entry, right, 0.75, "!c")
+    stg.add_transition(left, exit_, 1.0)
+    stg.add_transition(right, exit_, 1.0)
+    stg.entry, stg.exit = entry, exit_
+    return stg, (entry, left, right, exit_)
+
+
+class TestAccessors:
+    def test_in_out_edges(self):
+        stg, (entry, left, right, exit_) = branchy()
+        assert {t.dst for t in stg.out_edges(entry)} == {left, right}
+        assert {t.src for t in stg.in_edges(exit_)} == {left, right}
+
+    def test_len_and_ids(self):
+        stg, _ = branchy()
+        assert len(stg) == 4
+        assert stg.state_ids() == [0, 1, 2, 3]
+
+    def test_unknown_state_in_transition(self):
+        stg, _ = branchy()
+        with pytest.raises(StgError):
+            stg.add_transition(0, 99, 1.0)
+
+
+class TestDot:
+    def test_dot_contains_labels_and_probs(self):
+        stg, _ = branchy()
+        dot = stg.to_dot()
+        assert dot.startswith('digraph "demo"')
+        assert "start" in dot
+        assert "0.25" in dot
+        assert "c (0.25)" in dot
+        # Ops rendered with iteration tags.
+        assert "7@0" in dot
+
+    def test_entry_exit_shapes(self):
+        stg, _ = branchy()
+        dot = stg.to_dot()
+        assert dot.count("doublecircle") == 2
+
+
+class TestWalks:
+    def test_walk_goes_entry_to_exit(self):
+        stg, (entry, *_rest, exit_) = branchy()
+        import random
+        path = walk_once(stg, random.Random(0))
+        assert path[0] == entry
+        assert path[-1] == exit_
+        assert len(path) == 3
+
+    def test_simulation_statistics(self):
+        stg, _ = branchy()
+        res = simulate(stg, runs=500, seed=1)
+        assert res.runs == 500
+        assert res.mean_length == pytest.approx(3.0)
+        assert res.min_length == res.max_length == 3
+        # Branch visit rates follow the probabilities.
+        assert res.probability_of(1) == pytest.approx(0.25 / 3,
+                                                      abs=0.02)
+
+    def test_walk_detects_dead_end(self):
+        stg = Stg()
+        a = stg.add_state()
+        b = stg.add_state()
+        c = stg.add_state()
+        stg.add_transition(a, b, 1.0)  # b has no way out, exit is c
+        stg.entry, stg.exit = a, c
+        import random
+        with pytest.raises(StgError):
+            walk_once(stg, random.Random(0))

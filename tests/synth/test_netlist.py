@@ -1,0 +1,68 @@
+"""Netlist export tests."""
+
+import pytest
+
+from repro.hw import Allocation, dac98_library
+from repro.lang import compile_source
+from repro.sched import SchedConfig, schedule_behavior
+from repro.synth import netlist_text, synthesize
+
+LIB = dac98_library()
+
+
+@pytest.fixture(scope="module")
+def mac_netlist():
+    beh = compile_source("""
+        proc mac(in a, in b, in c, out r) {
+            var t = a * b;
+            r = t + c;
+        }
+    """)
+    result = schedule_behavior(beh, LIB, Allocation({"mt1": 1, "a1": 1}),
+                               SchedConfig())
+    return netlist_text(synthesize(result))
+
+
+class TestNetlistText:
+    def test_module_structure(self, mac_netlist):
+        assert mac_netlist.startswith("module mac (")
+        assert mac_netlist.rstrip().endswith("endmodule")
+
+    def test_ports_declared(self, mac_netlist):
+        for port in ("input [31:0] a", "input [31:0] b",
+                     "input [31:0] c", "output [31:0] r"):
+            assert port in mac_netlist
+
+    def test_fu_instances_listed(self, mac_netlist):
+        assert "mt1 u_mt1_0" in mac_netlist
+        assert "a1 u_a1_0" in mac_netlist
+
+    def test_controller_states_listed(self, mac_netlist):
+        assert "// S0:" in mac_netlist
+        assert "DONE" in mac_netlist
+
+    def test_area_summary_present(self, mac_netlist):
+        assert "// area:" in mac_netlist
+
+    def test_memories_rendered(self):
+        beh = compile_source("""
+            proc p(array buf[32], out s) {
+                s = buf[0] + buf[1];
+            }
+        """)
+        result = schedule_behavior(beh, LIB, Allocation({"a1": 1}),
+                                   SchedConfig())
+        text = netlist_text(synthesize(result))
+        assert "ram #(.DEPTH(32), .PORTS(1)) mem_buf" in text
+
+    def test_mux_annotations_for_shared_fu(self):
+        beh = compile_source("""
+            proc p(in a, in b, in c, in d, out r) {
+                r = ((a + b) + c) + d;
+            }
+        """)
+        result = schedule_behavior(beh, LIB, Allocation({"a1": 1}),
+                                   SchedConfig(allow_chaining=False))
+        text = netlist_text(synthesize(result))
+        # Three adds share one adder: at least one port needs a mux.
+        assert "mux" in text

@@ -1,0 +1,145 @@
+"""Synthesis substrate tests: binding, registers, interconnect, power."""
+
+import pytest
+
+from repro.hw import Allocation, dac98_library
+from repro.lang import compile_source
+from repro.power import estimate_power
+from repro.sched import SchedConfig, schedule_behavior
+from repro.synth import (activity_factor, allocate_registers,
+                         bind_functional_units, simulate_power,
+                         synthesize, value_lifetimes)
+
+LIB = dac98_library()
+
+
+def schedule(src, counts, **cfg):
+    beh = compile_source(src)
+    return schedule_behavior(beh, LIB, Allocation(counts),
+                             SchedConfig(**cfg))
+
+
+@pytest.fixture(scope="module")
+def chain_design():
+    return schedule("""
+        proc p(in a, in b, in c, in d, out r) {
+            var t1 = a * b;
+            var t2 = c * d;
+            var t3 = t1 + t2;
+            r = t3 * t3;
+        }
+    """, {"mt1": 1, "a1": 1})
+
+
+@pytest.fixture(scope="module")
+def gcd_design():
+    return schedule("""
+        proc gcd(in a, in b, out g) {
+            while (a != b) {
+                if (a < b) { b = b - a; } else { a = a - b; }
+            }
+            g = a;
+        }
+    """, {"sb1": 2, "cp1": 1, "e1": 1})
+
+
+class TestBinding:
+    def test_ops_bound_within_allocation(self, chain_design):
+        binding = bind_functional_units(chain_design)
+        assert binding.count("mt1") <= 1
+        assert binding.count("a1") <= 1
+        # Three multiplies share the single multiplier.
+        mults = binding.instances["mt1"]
+        assert len(binding.ops_on(mults[0])) == 3
+
+    def test_guarded_subs_share_instance_when_exclusive(self, gcd_design):
+        binding = bind_functional_units(gcd_design)
+        # The two guarded subtractions are mutually exclusive; they may
+        # or may not share, but binding must fit the allocation.
+        assert binding.count("sb1") <= 2
+
+    def test_every_state_op_is_bound(self, chain_design):
+        binding = bind_functional_units(chain_design)
+        from repro.sched import ResourceModel
+        rm = ResourceModel(chain_design.behavior.graph, LIB,
+                           chain_design.allocation)
+        for state in chain_design.stg.states.values():
+            for op in state.ops:
+                if rm.resource_of(op.node) is not None:
+                    assert op.node in binding.assignment
+
+
+class TestRegisters:
+    def test_values_crossing_states_get_registers(self, chain_design):
+        alloc = allocate_registers(chain_design)
+        assert alloc.count >= 1
+        lifetimes = value_lifetimes(chain_design)
+        assert all(lt.end > lt.start for lt in lifetimes)
+
+    def test_left_edge_packs_disjoint_intervals(self, chain_design):
+        alloc = allocate_registers(chain_design)
+        for reg in alloc.registers:
+            spans = sorted((lt.start, lt.end) for lt in reg)
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert e1 < s2, "overlapping lifetimes share a register"
+
+    def test_register_count_reasonable(self, gcd_design):
+        alloc = allocate_registers(gcd_design)
+        # GCD needs only a handful of live values.
+        assert 1 <= alloc.count <= 8
+
+
+class TestSynthesize:
+    def test_area_report_structure(self, chain_design):
+        design = synthesize(chain_design)
+        assert design.area.total > 0
+        assert design.area.fu_area.get("mt1", 0) == pytest.approx(3.9)
+        assert design.area.controller_area > 0
+        assert design.controller.n_states == len(chain_design.stg)
+
+    def test_more_parallel_allocation_means_more_area(self):
+        narrow = schedule(
+            "proc p(in a, in b, in c, in d, out r) "
+            "{ r = ((a + b) + c) + d; }", {"a1": 1})
+        wide = schedule(
+            "proc p(in a, in b, in c, in d, out r) "
+            "{ r = ((a + b) + c) + d; }", {"a1": 3},
+            allow_chaining=False)
+        narrow_area = synthesize(narrow).area
+        wide_area = synthesize(wide).area
+        assert narrow_area.fu_area["a1"] <= wide_area.fu_area["a1"]
+
+
+class TestActivity:
+    def test_uncorrelated_activity_near_half_of_low_bits(self):
+        import random
+        rng = random.Random(0)
+        samples = [rng.getrandbits(32) - 2 ** 31 for _ in range(500)]
+        act = activity_factor(samples)
+        assert 0.4 < act < 0.6
+
+    def test_correlated_stream_toggles_less(self):
+        from repro.profiling import gaussian_ar_sequence
+        smooth = gaussian_ar_sequence(500, std=512, rho=0.98, seed=1)
+        rough = gaussian_ar_sequence(500, std=512, rho=0.0, seed=1)
+        assert activity_factor(smooth) < activity_factor(rough)
+
+    def test_constant_stream_zero_activity(self):
+        assert activity_factor([7] * 100) == 0.0
+
+
+class TestSimulatedPower:
+    def test_simulation_tracks_closed_form(self, gcd_design):
+        sim = simulate_power(gcd_design, runs=400, seed=3, rho=0.0)
+        est = estimate_power(gcd_design.stg,
+                             gcd_design.behavior.graph, LIB)
+        # With rho=0 the activity is ~0.5, matching nominal constants;
+        # Monte-Carlo should land near the closed form.
+        assert sim.power == pytest.approx(est.power, rel=0.30)
+        assert sim.mean_length == pytest.approx(est.schedule_length,
+                                                rel=0.15)
+
+    def test_correlated_inputs_reduce_power(self, gcd_design):
+        smooth = simulate_power(gcd_design, runs=200, seed=3, rho=0.98)
+        rough = simulate_power(gcd_design, runs=200, seed=3, rho=0.0)
+        assert smooth.power < rough.power

@@ -1,0 +1,102 @@
+"""CLI tests (invoked in-process through cli.main)."""
+
+import pytest
+
+from repro.cli import main
+
+GCD = """
+proc gcd(in a, in b, out g) {
+    while (a != b) {
+        if (a < b) { b = b - a; } else { a = a - b; }
+    }
+    g = a;
+}
+"""
+
+
+@pytest.fixture()
+def gcd_file(tmp_path):
+    path = tmp_path / "gcd.bdl"
+    path.write_text(GCD)
+    return str(path)
+
+
+class TestCompile:
+    def test_stats(self, gcd_file, capsys):
+        assert main(["compile", gcd_file]) == 0
+        out = capsys.readouterr().out
+        assert "gcd:" in out
+        assert "loops: ['L1']" in out
+
+    def test_dot(self, gcd_file, capsys):
+        assert main(["compile", gcd_file, "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "/nonexistent.bdl"])
+
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.bdl"
+        bad.write_text("proc p( {")
+        with pytest.raises(SystemExit):
+            main(["compile", str(bad)])
+
+
+class TestRun:
+    def test_executes(self, gcd_file, capsys):
+        assert main(["run", gcd_file, "a=36", "b=60"]) == 0
+        out = capsys.readouterr().out
+        assert "g = 12" in out
+        assert "loop L1" in out
+
+    def test_bad_input_pair(self, gcd_file):
+        with pytest.raises(SystemExit):
+            main(["run", gcd_file, "a"])
+
+
+class TestSchedule:
+    def test_schedule_stats(self, gcd_file, capsys):
+        assert main(["schedule", gcd_file,
+                     "--alloc", "sb1=2,cp1=1,e1=1"]) == 0
+        out = capsys.readouterr().out
+        assert "states" in out
+        assert "cycles per execution" in out
+
+    def test_schedule_dot(self, gcd_file, capsys):
+        assert main(["schedule", gcd_file, "--alloc",
+                     "sb1=2,cp1=1,e1=1", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_infeasible_allocation(self, gcd_file):
+        with pytest.raises(SystemExit):
+            main(["schedule", gcd_file, "--alloc", "a1=1"])
+
+    def test_bad_alloc_syntax(self, gcd_file):
+        with pytest.raises(SystemExit):
+            main(["schedule", gcd_file, "--alloc", "a1"])
+
+
+class TestOptimize:
+    def test_improves_gcd(self, gcd_file, capsys):
+        assert main(["optimize", gcd_file, "--alloc",
+                     "sb1=2,cp1=1,e1=1", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "optimized:" in out
+        assert "speculate" in out
+
+    def test_power_objective(self, gcd_file, capsys):
+        assert main(["optimize", gcd_file, "--alloc",
+                     "sb1=2,cp1=1,e1=1", "--objective", "power",
+                     "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "power:" in out
+        assert "V)" in out
+
+
+class TestTable2:
+    def test_single_circuit(self, capsys):
+        assert main(["table2", "pps"]) == 0
+        out = capsys.readouterr().out
+        assert "pps" in out
+        assert "Table 2" in out

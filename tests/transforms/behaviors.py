@@ -1,0 +1,139 @@
+"""Shared corpus of behaviors for transformation testing."""
+
+from repro.cdfg import BehaviorBuilder
+from repro.lang import compile_source
+
+
+def gcd():
+    return compile_source("""
+        proc gcd(in a, in b, out g) {
+            while (a != b) {
+                if (a < b) { b = b - a; } else { a = a - b; }
+            }
+            g = a;
+        }
+    """)
+
+
+def test1():
+    return compile_source("""
+        proc test1(in c1, in c2, array x[64], out a) {
+            var i = 0;
+            var acc = 0;
+            while (c2 > i) {
+                if (i < c1) { acc = 13 * (acc + 7); }
+                else { acc = acc + 17; }
+                i = i + 1;
+                x[i] = acc;
+            }
+            a = acc;
+        }
+    """)
+
+
+def expr_chain():
+    return compile_source("""
+        proc chain(in a, in b, in c, in d, out r) {
+            r = ((a + b) + c) + d;
+        }
+    """)
+
+
+def shared_mul():
+    """Distributivity pattern: a*b - a*c."""
+    return compile_source("""
+        proc sm(in a, in b, in c, out r) {
+            r = a * b - a * c;
+        }
+    """)
+
+
+def mixed_sum():
+    """Example-2 style: (y1 + y2) - (y3 + y4)."""
+    return compile_source("""
+        proc ms(in y1, in y2, in y3, in y4, out r) {
+            r = (y1 + y2) - (y3 + y4);
+        }
+    """)
+
+
+def const_expr():
+    return compile_source("""
+        proc ce(in x, out r) {
+            var k = 3 * 4 + 2;
+            r = (x + 0) * 1 + k - (x * 0);
+        }
+    """)
+
+
+def guarded_muls():
+    """Example-3 shape: multiplies under a condition merging at a join."""
+    return compile_source("""
+        proc gm(in x1, in x2, in x3, in x4, in x5, in c, out r) {
+            var p = 0;
+            var q = 0;
+            if (c > 0) { p = x1 * x2; q = x1 * x3; }
+            else { p = x4; q = x5; }
+            r = p - q;
+        }
+    """)
+
+
+def counted_sum():
+    return compile_source("""
+        proc cs(array x[16], out s) {
+            var acc = 0;
+            for (i = 0; i < 16; i = i + 1) { acc = acc + x[i]; }
+            s = acc;
+        }
+    """)
+
+
+def loop_invariant():
+    return compile_source("""
+        proc li(in a, in b, in n, out s) {
+            var acc = 0;
+            var i = 0;
+            while (i < n) {
+                var k = a * b;
+                acc = acc + k;
+                i = i + 1;
+            }
+            s = acc;
+        }
+    """)
+
+
+def const_mul():
+    return compile_source("""
+        proc cm(in x, out r) {
+            r = x * 105;
+        }
+    """)
+
+
+def prefix_sums():
+    return compile_source("""
+        proc pps(in x0, in x1, in x2, in x3,
+                 out s0, out s1, out s2, out s3) {
+            s0 = x0;
+            s1 = s0 + x1;
+            s2 = s1 + x2;
+            s3 = s2 + x3;
+        }
+    """)
+
+
+ALL = {
+    "gcd": gcd,
+    "test1": test1,
+    "expr_chain": expr_chain,
+    "shared_mul": shared_mul,
+    "mixed_sum": mixed_sum,
+    "const_expr": const_expr,
+    "guarded_muls": guarded_muls,
+    "counted_sum": counted_sum,
+    "loop_invariant": loop_invariant,
+    "const_mul": const_mul,
+    "prefix_sums": prefix_sums,
+}

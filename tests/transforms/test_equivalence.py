@@ -1,0 +1,78 @@
+"""Differential testing: every candidate must preserve functionality.
+
+For each behavior in the corpus and every candidate of every
+transformation, the transformed behavior must produce identical outputs
+and final memory on a battery of random inputs.  This is the master
+safety net for the whole transformation library.
+"""
+
+import random
+
+import pytest
+
+from repro.cdfg import execute, validate_behavior
+from repro.transforms import default_library
+
+from .behaviors import ALL
+
+LIBRARY = default_library()
+
+
+def random_stimulus(behavior, rng):
+    inputs = {name: rng.randint(1, 60) for name in behavior.inputs}
+    arrays = {name: [rng.randint(0, 50) for _ in range(decl.size)]
+              for name, decl in behavior.arrays.items()}
+    return inputs, arrays
+
+
+def equivalent(original, transformed, seed=0, runs=6):
+    rng = random.Random(seed)
+    for _ in range(runs):
+        inputs, arrays = random_stimulus(original, rng)
+        ref = execute(original, inputs, arrays)
+        got = execute(transformed, inputs, arrays)
+        if ref.outputs != got.outputs or ref.arrays != got.arrays:
+            return False, (inputs, ref.outputs, got.outputs)
+    return True, None
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_all_candidates_preserve_functionality(name):
+    behavior = ALL[name]()
+    candidates = LIBRARY.candidates(behavior)
+    applied = 0
+    for cand in candidates:
+        transformed = cand.apply(behavior)
+        validate_behavior(transformed)
+        ok, info = equivalent(behavior, transformed, seed=hash(name) & 0xFF)
+        assert ok, f"{cand.transform}: {cand.description}: {info}"
+        applied += 1
+    # The corpus is designed so every behavior offers at least one site.
+    assert applied >= 1, f"no candidates found on {name}"
+
+
+@pytest.mark.parametrize("name", sorted(ALL))
+def test_double_application_still_equivalent(name):
+    """Apply two candidates in sequence (search does this constantly)."""
+    behavior = ALL[name]()
+    first = LIBRARY.candidates(behavior)
+    if not first:
+        pytest.skip("no candidates")
+    step1 = first[0].apply(behavior)
+    second = LIBRARY.candidates(step1)
+    if not second:
+        ok, info = equivalent(behavior, step1, seed=1)
+        assert ok, info
+        return
+    step2 = second[len(second) // 2].apply(step1)
+    validate_behavior(step2)
+    ok, info = equivalent(behavior, step2, seed=2)
+    assert ok, info
+
+
+def test_candidate_application_does_not_mutate_original():
+    behavior = ALL["shared_mul"]()
+    before = behavior.graph.stats()
+    for cand in LIBRARY.candidates(behavior):
+        cand.apply(behavior)
+    assert behavior.graph.stats() == before

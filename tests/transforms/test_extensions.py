@@ -1,0 +1,156 @@
+"""Loop fusion and constant-branch elimination tests."""
+
+import random
+
+import pytest
+
+from repro.cdfg import OpKind, execute, validate_behavior
+from repro.errors import TransformError
+from repro.lang import compile_source
+from repro.transforms import (BranchElimination, LoopFusion,
+                              eliminate_branch, fuse_loops,
+                              loops_independent)
+
+TWO_LOOPS = """
+proc p(array a[16], array b[16], array c[16], array d[16]) {
+    for (i = 0; i < 16; i = i + 1) { c[i] = a[i] + b[i]; }
+    for (j = 0; j < 16; j = j + 1) { d[j] = a[j] - b[j]; }
+}
+"""
+
+DEPENDENT_LOOPS = """
+proc p(array a[16], array b[16], array c[16]) {
+    for (i = 0; i < 16; i = i + 1) { b[i] = a[i] + 1; }
+    for (j = 0; j < 16; j = j + 1) { c[j] = b[j] * 2; }
+}
+"""
+
+UNEQUAL_TRIPS = """
+proc p(array a[16], array b[16]) {
+    for (i = 0; i < 16; i = i + 1) { a[i] = i; }
+    for (j = 0; j < 8; j = j + 1) { b[j] = j; }
+}
+"""
+
+
+class TestLoopFusion:
+    def test_candidate_found_for_independent_equal_loops(self):
+        beh = compile_source(TWO_LOOPS)
+        cands = LoopFusion().find(beh)
+        assert len(cands) == 1
+        assert "fuse L1 + L2" in cands[0].description
+
+    def test_fusion_preserves_functionality(self):
+        beh = compile_source(TWO_LOOPS)
+        fused = LoopFusion().find(beh)[0].apply(beh)
+        validate_behavior(fused)
+        rng = random.Random(5)
+        arrays = {"a": [rng.randint(0, 99) for _ in range(16)],
+                  "b": [rng.randint(0, 99) for _ in range(16)]}
+        ref = execute(beh, arrays=arrays)
+        got = execute(fused, arrays=arrays)
+        assert got.arrays == ref.arrays
+
+    def test_fused_behavior_has_one_loop(self):
+        beh = compile_source(TWO_LOOPS)
+        fused = LoopFusion().find(beh)[0].apply(beh)
+        assert len(fused.loops()) == 1
+        loop = fused.loops()[0]
+        names = {lv.name for lv in loop.loop_vars}
+        assert names == {"i", "j"}
+
+    def test_dependent_loops_not_fused(self):
+        beh = compile_source(DEPENDENT_LOOPS)
+        assert LoopFusion().find(beh) == []
+        l1, l2 = beh.loops()
+        assert not loops_independent(beh, l1, l2)
+
+    def test_unequal_trip_counts_not_fused(self):
+        beh = compile_source(UNEQUAL_TRIPS)
+        assert LoopFusion().find(beh) == []
+
+    def test_fuse_loops_rejects_non_siblings(self):
+        beh = compile_source(DEPENDENT_LOOPS)
+        with pytest.raises(TransformError):
+            fuse_loops(beh.copy(), "L1", "L2")  # dependent
+
+
+CONST_BRANCH = """
+proc p(in x, out r) {
+    var v = 0;
+    if (3 > 1) { v = x + 5; } else { v = x * 7; }
+    r = v;
+}
+"""
+
+NESTED_CONST = """
+proc p(in x, out r) {
+    var v = 0;
+    if (1 > 3) {
+        if (x > 0) { v = 1; } else { v = 2; }
+    } else {
+        v = x + 10;
+    }
+    r = v;
+}
+"""
+
+
+class TestBranchElimination:
+    def test_true_branch_kept(self):
+        beh = compile_source(CONST_BRANCH)
+        cands = BranchElimination().find(beh)
+        assert len(cands) == 1
+        t = cands[0].apply(beh)
+        # The multiply (dead else branch) is gone; add unguarded.
+        assert not any(n.kind is OpKind.MUL for n in t.graph)
+        adds = [n.id for n in t.graph if n.kind is OpKind.ADD]
+        assert adds and not t.graph.control_inputs(adds[0])
+        assert execute(t, {"x": 4}).outputs["r"] == 9
+
+    def test_nested_dead_branch_removed_transitively(self):
+        beh = compile_source(NESTED_CONST)
+        t = BranchElimination().find(beh)[0].apply(beh)
+        validate_behavior(t)
+        # The whole inner if (under the dead outer branch) vanishes.
+        assert sum(1 for n in t.graph
+                   if t.graph.control_users(n.id)) == 0
+        assert execute(t, {"x": -3}).outputs["r"] == 7
+
+    def test_loop_condition_not_a_candidate(self):
+        beh = compile_source("""
+            proc p(out r) {
+                var i = 0;
+                while (1 > 0) { i = i + 1; r = i; }
+            }
+        """, )
+        # Non-terminating loop: cond is constant but protected.
+        assert BranchElimination().find(beh) == []
+
+    def test_equivalence_on_random_inputs(self):
+        beh = compile_source(CONST_BRANCH)
+        t = BranchElimination().find(beh)[0].apply(beh)
+        for x in (-100, 0, 1, 77):
+            assert execute(t, {"x": x}).outputs \
+                == execute(beh, {"x": x}).outputs
+
+
+class TestUnrollThenEliminate:
+    def test_pipeline_of_extensions(self):
+        """Fusion-style pipelines: unroll exposes constant branches."""
+        beh = compile_source("""
+            proc p(array x[8], out s) {
+                var acc = 0;
+                for (i = 0; i < 8; i = i + 1) {
+                    if (0 > 1) { acc = acc - x[i]; }
+                    else { acc = acc + x[i]; }
+                }
+                s = acc;
+            }
+        """)
+        cands = BranchElimination().find(beh)
+        assert cands
+        t = cands[0].apply(beh)
+        assert not any(n.kind is OpKind.SUB for n in t.graph)
+        data = list(range(8))
+        assert execute(t, arrays={"x": data}).outputs["s"] == sum(data)
