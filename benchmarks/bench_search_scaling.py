@@ -1,0 +1,127 @@
+"""Experiment: evaluation-engine scaling (memoization + workers).
+
+Runs the same seeded FACT search on Test2 (the paper's Example-2
+circuit) under three engine configurations:
+
+* **baseline** — serial, cache disabled (``cache_size=0`` skips
+  fingerprinting entirely: the pre-engine code path);
+* **memo** — serial with the memoization cache;
+* **memo+4w** — memoization plus a 4-worker process pool.
+
+Requirements:
+
+* all three configurations return the *identical* best score, schedule
+  length, and transformation lineage (bit-for-bit reproducible seeded
+  search, whatever the backend);
+* the engine (memo, or memo+workers — whichever is faster on this
+  machine) beats the baseline by >= 1.5x wall clock.  On a single-CPU
+  container the memoization axis alone carries this; on multicore
+  hardware the worker pool adds on top;
+* the cache hit rate is substantial (>= 0.3) at this search budget.
+
+Run standalone:  PYTHONPATH=src python benchmarks/bench_search_scaling.py
+"""
+
+import time
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.bench.circuits import circuit
+from repro.core.fact import Fact, FactConfig, FactResult
+from repro.core.objectives import THROUGHPUT
+from repro.core.search import SearchConfig
+from repro.hw import dac98_library
+from repro.profiling.profiler import profile
+
+CIRCUIT = "test2"
+
+#: A budget deep enough (wide ``in_set``, 3 moves per lineage) that
+#: different lineages frequently reach equivalent candidates.
+SEARCH = SearchConfig(max_outer_iters=8, max_moves=3, in_set_size=5,
+                      seed=2, max_candidates_per_seed=48)
+
+CONFIGS: Dict[str, Tuple[int, int]] = {
+    # name -> (workers, cache_size)
+    "baseline": (0, 0),
+    "memo": (0, 4096),
+    "memo+4w": (4, 4096),
+}
+
+
+def run_search(workers: int, cache_size: int) -> Tuple[FactResult, float]:
+    """One seeded FACT run on Test2; returns (result, wall seconds)."""
+    c = circuit(CIRCUIT)
+    lib = dac98_library()
+    beh = c.behavior()
+    probs = profile(beh, c.traces(beh)).branch_probs
+    search = replace(SEARCH, workers=workers, cache_size=cache_size)
+    fact = Fact(lib, config=FactConfig(sched=c.sched, search=search))
+    start = time.perf_counter()
+    res = fact.optimize(beh, c.allocation, branch_probs=probs,
+                        objective=THROUGHPUT)
+    return res, time.perf_counter() - start
+
+
+_RUNS: Dict[str, Tuple[FactResult, float]] = {}
+
+
+def _run(name: str) -> Tuple[FactResult, float]:
+    if name not in _RUNS:
+        _RUNS[name] = run_search(*CONFIGS[name])
+    return _RUNS[name]
+
+
+def _report() -> str:
+    base_time = _run("baseline")[1]
+    lines = [f"search scaling on {CIRCUIT} "
+             f"(seed={SEARCH.seed}, {SEARCH.max_outer_iters} outer iters)",
+             f"{'config':10} {'wall s':>8} {'speedup':>8} "
+             f"{'best len':>9} {'hit rate':>9}"]
+    for name in CONFIGS:
+        res, wall = _run(name)
+        tel = res.telemetry
+        hit = tel.cache_hit_rate if tel is not None else 0.0
+        lines.append(f"{name:10} {wall:8.2f} {base_time / wall:8.2f} "
+                     f"{res.best_length:9.2f} {hit:9.2f}")
+    return "\n".join(lines)
+
+
+def test_engine_results_identical(benchmark):
+    """Every backend/cache combination finds the same optimum."""
+    from .conftest import once
+    runs = once(benchmark, lambda: {n: _run(n) for n in CONFIGS})
+    base = runs["baseline"][0]
+    for name in ("memo", "memo+4w"):
+        res = runs[name][0]
+        assert res.best_length == base.best_length, name
+        assert res.best.score == base.best.score, name
+        assert res.best.lineage == base.best.lineage, name
+        assert res.search.history == base.search.history, name
+
+
+def test_engine_speedup(benchmark):
+    """The engine beats the cache-less serial baseline by >= 1.5x."""
+    from .conftest import once
+    runs = once(benchmark, lambda: {n: _run(n) for n in CONFIGS})
+    print()
+    print(_report())
+    base_time = runs["baseline"][1]
+    best_time = min(runs["memo"][1], runs["memo+4w"][1])
+    speedup = base_time / best_time
+    assert speedup >= 1.5, f"engine speedup {speedup:.2f}x < 1.5x"
+    memo_tel = runs["memo"][0].telemetry
+    assert memo_tel is not None
+    assert memo_tel.cache_hit_rate >= 0.3
+
+
+if __name__ == "__main__":
+    for _name in CONFIGS:
+        _run(_name)
+    print(_report())
+    base = _run("baseline")[0]
+    assert all(_run(n)[0].best_length == base.best_length
+               for n in CONFIGS), "backends disagree on the optimum"
+    speedup = _run("baseline")[1] / min(_run("memo")[1],
+                                        _run("memo+4w")[1])
+    print(f"engine speedup: {speedup:.2f}x "
+          f"({'OK' if speedup >= 1.5 else 'BELOW TARGET'} >= 1.5x)")

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Quickstart: compile a behavior, schedule it, and optimize it.
 
-This walks the whole FACT pipeline on the paper's GCD benchmark:
+This walks the whole FACT pipeline on the paper's GCD benchmark using
+the top-level facade (``repro.compile`` / ``repro.schedule`` /
+``repro.optimize``):
 
-1. compile BDL source into a CDFG (:mod:`repro.lang`);
+1. compile BDL source into a CDFG;
 2. execute it with the interpreter to see it is a real program;
 3. profile it against random traces (branch probabilities);
 4. schedule it (M1 — no transformations) into a state transition graph;
@@ -12,13 +14,10 @@ This walks the whole FACT pipeline on the paper's GCD benchmark:
 Run:  python examples/quickstart.py
 """
 
+import repro
 from repro.bench import allocation_for
 from repro.cdfg import execute
-from repro.core import Fact, FactConfig, SearchConfig, THROUGHPUT
-from repro.hw import dac98_library
-from repro.lang import compile_source
 from repro.profiling import profile, uniform_traces
-from repro.sched import Scheduler
 
 GCD_SOURCE = """
 proc gcd(in a, in b, out g) {
@@ -31,11 +30,10 @@ proc gcd(in a, in b, out g) {
 
 
 def main() -> None:
-    library = dac98_library()
     allocation = allocation_for("gcd")
 
     # 1. Compile.
-    behavior = compile_source(GCD_SOURCE)
+    behavior = repro.compile(GCD_SOURCE)
     print(f"compiled {behavior.name!r}: "
           f"{behavior.graph.stats()['nodes']} CDFG nodes")
 
@@ -51,22 +49,25 @@ def main() -> None:
           f"p={prof.branch_probs[behavior.loop('L1').cond]:.3f}")
 
     # 4. Schedule (the M1 baseline).
-    m1 = Scheduler(behavior, library, allocation,
-                   branch_probs=prof.branch_probs).schedule()
+    m1 = repro.schedule(behavior, alloc=allocation,
+                        branch_probs=prof.branch_probs)
     print(f"M1 schedule: {m1.n_states()} states, "
           f"{m1.average_length():.1f} expected cycles per run")
 
     # 5. Optimize with FACT.
-    fact = Fact(library, config=FactConfig(
-        search=SearchConfig(max_outer_iters=4, seed=1)))
-    res = fact.optimize(behavior, allocation,
-                        branch_probs=prof.branch_probs,
-                        objective=THROUGHPUT)
+    config = repro.ReproConfig(
+        search=repro.SearchConfig(max_outer_iters=4, seed=1))
+    res = repro.optimize(behavior, alloc=allocation, config=config,
+                         branch_probs=prof.branch_probs)
     print(f"FACT schedule: {res.best_length:.1f} expected cycles "
           f"({res.speedup:.2f}x speedup)")
     print("applied transformations:")
     for step in res.best.lineage:
         print(f"  - {step}")
+    tel = res.telemetry
+    print(f"engine: {tel.evaluations} evaluations over "
+          f"{len(tel.generations)} generations, cache hit rate "
+          f"{tel.cache_hit_rate:.0%}")
 
     # The optimized behavior still computes gcd.
     check = execute(res.best.behavior, {"a": 36, "b": 60})

@@ -4,7 +4,18 @@ FACT applies throughput- and power-optimizing transformations to
 control-flow intensive behavioral descriptions, guided by scheduling
 information and able to transcend basic-block boundaries.
 
-Public API highlights:
+The friendly entry point is the :mod:`repro.api` facade, re-exported
+here::
+
+    import repro
+
+    behavior = repro.compile("examples/gcd.bdl")
+    baseline = repro.schedule(behavior, alloc="sb1=2,cp1=1,e1=1")
+    result = repro.optimize(behavior, alloc="sb1=2,cp1=1,e1=1",
+                            workers=4)
+    print(result.speedup, result.telemetry.summary())
+
+Subsystems (all importable directly, as before):
 
 * :mod:`repro.lang` — BDL behavioral-language frontend.
 * :mod:`repro.cdfg` — CDFG IR, builder, interpreter, analysis.
@@ -13,10 +24,27 @@ Public API highlights:
 * :mod:`repro.power` — high-level power estimation and Vdd scaling.
 * :mod:`repro.transforms` — the transformation library.
 * :mod:`repro.core` — STG partitioning, the Apply_transforms search,
-  and the top-level :class:`~repro.core.fact.Fact` driver.
+  the memoizing/parallel evaluation engine, and the top-level
+  :class:`~repro.core.fact.Fact` driver.
 * :mod:`repro.baselines` — M1 (no transformations) and Flamel
   (transform-first) reference flows.
 * :mod:`repro.bench` — the paper's benchmark circuits and allocations.
 """
 
-__version__ = "0.1.0"
+from .api import (AllocLike, ReproConfig, coerce_allocation, compile,
+                  optimize, schedule)
+from .core.fact import Fact, FactConfig, FactResult
+from .core.objectives import POWER, THROUGHPUT
+from .core.search import SearchConfig, SearchResult
+from .errors import ReproError
+from .hw import Allocation, Library, dac98_library
+from .sched.types import SchedConfig
+
+__version__ = "0.2.0"
+
+__all__ = [
+    "Allocation", "AllocLike", "Fact", "FactConfig", "FactResult",
+    "Library", "POWER", "ReproConfig", "ReproError", "SearchConfig",
+    "SearchResult", "SchedConfig", "THROUGHPUT", "coerce_allocation",
+    "compile", "dac98_library", "optimize", "schedule", "__version__",
+]

@@ -1,0 +1,215 @@
+"""The one-stop facade: ``import repro; repro.optimize(...)``.
+
+Callers previously juggled ``FactConfig``/``SearchConfig``/``SchedConfig``
+/``Allocation`` imports from five modules; this module bundles the whole
+pipeline behind three verbs and one configuration object:
+
+* :func:`compile` — BDL source text (or a ``.bdl`` path) → ``Behavior``;
+* :func:`schedule` — behavior → scheduled state transition graph;
+* :func:`optimize` — behavior → FACT-optimized design (full Figure-5
+  flow: profile, partition, transform-search with the memoizing /
+  parallel evaluation engine);
+* :class:`ReproConfig` — one dataclass nesting ``FactConfig`` (which
+  itself nests ``SearchConfig`` and ``SchedConfig``) plus the engine
+  knobs (``workers``, ``cache_size``).
+
+Everything here is re-exported from the top-level :mod:`repro` package::
+
+    import repro
+
+    result = repro.optimize("examples/gcd.bdl", alloc="sb1=2,cp1=1,e1=1",
+                            workers=4)
+    print(result.speedup, result.telemetry.cache.hit_rate)
+
+The old import paths (``repro.core.fact.Fact`` and friends) keep
+working; this facade is a thin layer over them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Optional, Union
+
+from .cdfg.regions import Behavior
+from .core.fact import Fact, FactConfig, FactResult
+from .core.search import SearchConfig
+from .errors import ConfigError
+from .hw import Allocation, Library, dac98_library
+from .lang import compile_source
+from .profiling import uniform_traces
+from .profiling.traces import TraceSet
+from .sched.driver import ScheduleResult, Scheduler
+from .sched.types import BranchProbs, SchedConfig
+
+#: Things accepted wherever an allocation is expected.
+AllocLike = Union[Allocation, Mapping[str, int], str, None]
+
+
+@dataclass
+class ReproConfig:
+    """Unified configuration for the whole pipeline.
+
+    ``fact`` nests the full driver configuration (scheduling + search +
+    partitioning knobs); ``sched`` / ``search`` are optional overrides
+    that replace the corresponding nested sections, so the common cases
+    read naturally::
+
+        ReproConfig(search=SearchConfig(max_outer_iters=4, seed=1))
+        ReproConfig(workers=4)                      # engine knob only
+        ReproConfig(fact=FactConfig(vdd=3.3))       # full control
+
+    ``workers`` / ``cache_size``, when given, override the evaluation
+    engine knobs inside the search section.
+    """
+
+    fact: FactConfig = field(default_factory=FactConfig)
+    sched: Optional[SchedConfig] = None
+    search: Optional[SearchConfig] = None
+    workers: Optional[int] = None
+    cache_size: Optional[int] = None
+
+    def resolved(self) -> FactConfig:
+        """Collapse the overrides into one ``FactConfig``."""
+        fact = replace(self.fact)
+        if self.sched is not None:
+            fact.sched = self.sched
+        if self.search is not None:
+            fact.search = self.search
+        updates = {}
+        if self.workers is not None:
+            updates["workers"] = self.workers
+        if self.cache_size is not None:
+            updates["cache_size"] = self.cache_size
+        if updates:
+            fact.search = replace(fact.search, **updates)
+        return fact
+
+
+def coerce_allocation(alloc: AllocLike = None) -> Allocation:
+    """Normalize an allocation spec to an :class:`Allocation`.
+
+    Accepts an ``Allocation``, a mapping ``{"a1": 2}``, a CLI-style
+    string ``"a1=2,sb1=1"``, or ``None`` (a generous default: two of
+    every FU type in the DAC-98 library).
+
+    Raises:
+        ConfigError: on malformed items, non-integer counts, or
+            negative counts.
+    """
+    if alloc is None:
+        return Allocation({name: 2 for name in dac98_library().fu_types})
+    if isinstance(alloc, Allocation):
+        return alloc
+    if isinstance(alloc, Mapping):
+        counts = dict(alloc)
+    elif isinstance(alloc, str):
+        counts = {}
+        for item in alloc.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            name, eq, value = item.partition("=")
+            if not eq or not name.strip() or not value.strip():
+                raise ConfigError(
+                    f"bad allocation item {item!r}; expected name=count")
+            counts[name.strip()] = value.strip()
+    else:
+        raise ConfigError(
+            f"cannot interpret {type(alloc).__name__!r} as an allocation")
+    out = {}
+    for name, value in counts.items():
+        try:
+            count = int(value)
+        except (TypeError, ValueError):
+            raise ConfigError(
+                f"allocation count for {name!r} must be an integer, "
+                f"got {value!r}") from None
+        if count < 0:
+            raise ConfigError(
+                f"allocation count for {name!r} must be >= 0, "
+                f"got {count}")
+        out[name] = count
+    return Allocation(out)
+
+
+def compile(source: Union[str, "os.PathLike[str]"]) -> Behavior:
+    """Compile BDL source into a :class:`Behavior`.
+
+    ``source`` may be the BDL text itself or a path to a ``.bdl`` file
+    (anything without a ``{`` that names an existing file is treated as
+    a path).
+    """
+    if isinstance(source, os.PathLike):
+        source = os.fspath(source)
+    if "{" not in source and os.path.exists(source):
+        with open(source) as handle:
+            source = handle.read()
+    return compile_source(source)
+
+
+def _coerce_behavior(behavior_or_source) -> Behavior:
+    if isinstance(behavior_or_source, Behavior):
+        return behavior_or_source
+    return compile(behavior_or_source)
+
+
+def schedule(behavior: Union[Behavior, str], *,
+             alloc: AllocLike = None,
+             config: Optional[ReproConfig] = None,
+             library: Optional[Library] = None,
+             branch_probs: Optional[BranchProbs] = None
+             ) -> ScheduleResult:
+    """Schedule a behavior (or BDL source) into a state transition graph.
+
+    This is the M1 baseline: no transformations, one scheduler run.
+    """
+    beh = _coerce_behavior(behavior)
+    cfg = (config or ReproConfig()).resolved()
+    return Scheduler(beh, library or dac98_library(),
+                     coerce_allocation(alloc), cfg.sched,
+                     branch_probs).schedule()
+
+
+def optimize(behavior_or_source: Union[Behavior, str], *,
+             objective: str = "throughput",
+             workers: Optional[int] = None,
+             config: Optional[ReproConfig] = None,
+             alloc: AllocLike = None,
+             library: Optional[Library] = None,
+             traces: Optional[TraceSet] = None,
+             branch_probs: Optional[BranchProbs] = None,
+             profile_traces: int = 12) -> FactResult:
+    """Run the full FACT flow on a behavior or BDL source.
+
+    Args:
+        behavior_or_source: a :class:`Behavior`, BDL text, or a path.
+        objective: ``"throughput"`` or ``"power"``.
+        workers: evaluation-engine worker processes (overrides the
+            config and the ``REPRO_WORKERS`` environment variable;
+            0/1 = serial).
+        config: a :class:`ReproConfig` (defaults throughout otherwise).
+        alloc: allocation spec (see :func:`coerce_allocation`).
+        library: component library (DAC-98 library by default).
+        traces: profiling traces; when neither ``traces`` nor
+            ``branch_probs`` is given, ``profile_traces`` uniform random
+            traces are generated and profiled.
+        branch_probs: precomputed branch probabilities (skip profiling).
+    """
+    beh = _coerce_behavior(behavior_or_source)
+    cfg = config or ReproConfig()
+    if workers is not None:
+        cfg = replace(cfg, workers=workers)
+    fact_config = cfg.resolved()
+    if branch_probs is None and traces is None and profile_traces > 0:
+        traces = uniform_traces(beh, profile_traces, lo=1, hi=255,
+                                seed=fact_config.search.seed)
+    fact = Fact(library or dac98_library(), config=fact_config)
+    return fact.optimize(beh, coerce_allocation(alloc), traces=traces,
+                         objective=objective, branch_probs=branch_probs)
+
+
+__all__ = [
+    "AllocLike", "ReproConfig", "coerce_allocation", "compile",
+    "optimize", "schedule",
+]

@@ -16,7 +16,7 @@ measured mW from layout; ratios are the comparable quantity).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..baselines.flamel import run_flamel
@@ -37,6 +37,14 @@ def default_search_config(seed: int = 2) -> SearchConfig:
     """The search budget used for the Table-2 runs."""
     return SearchConfig(max_outer_iters=8, max_moves=2, in_set_size=3,
                         seed=seed, max_candidates_per_seed=48)
+
+
+def _resolve_search(search: Optional[SearchConfig],
+                    workers: Optional[int]) -> SearchConfig:
+    cfg = search or default_search_config()
+    if workers is not None:
+        cfg = replace(cfg, workers=workers)
+    return cfg
 
 
 @dataclass
@@ -96,8 +104,8 @@ class PowerRow:
 
 
 def run_throughput_row(name: str, library: Optional[Library] = None,
-                       search: Optional[SearchConfig] = None
-                       ) -> ThroughputRow:
+                       search: Optional[SearchConfig] = None,
+                       workers: Optional[int] = None) -> ThroughputRow:
     """Run M1 / Flamel / FACT on a circuit in throughput mode."""
     c = circuit(name)
     lib = library or dac98_library()
@@ -106,7 +114,7 @@ def run_throughput_row(name: str, library: Optional[Library] = None,
     m1 = run_m1(beh, lib, c.allocation, c.sched, probs)
     fl = run_flamel(beh, lib, c.allocation, c.sched, probs)
     fact = Fact(lib, config=FactConfig(
-        sched=c.sched, search=search or default_search_config()))
+        sched=c.sched, search=_resolve_search(search, workers)))
     res = fact.optimize(beh, c.allocation, branch_probs=probs,
                         objective=THROUGHPUT)
     assert res.best.result is not None
@@ -123,7 +131,8 @@ def run_throughput_row(name: str, library: Optional[Library] = None,
 
 def run_power_row(name: str, library: Optional[Library] = None,
                   search: Optional[SearchConfig] = None,
-                  cycle_time: float = 1.0) -> PowerRow:
+                  cycle_time: float = 1.0,
+                  workers: Optional[int] = None) -> PowerRow:
     """Run the power-mode comparison: M1 vs FACT at iso-throughput."""
     c = circuit(name)
     lib = library or dac98_library()
@@ -134,7 +143,7 @@ def run_power_row(name: str, library: Optional[Library] = None,
     m1_est = estimate_power(m1.stg, beh.graph, lib, vdd=5.0,
                             cycle_time=cycle_time)
     fact = Fact(lib, config=FactConfig(
-        sched=c.sched, search=search or default_search_config()))
+        sched=c.sched, search=_resolve_search(search, workers)))
     res = fact.optimize(beh, c.allocation, branch_probs=probs,
                         objective=POWER)
     assert res.best.result is not None

@@ -22,11 +22,17 @@ region tree and interface declarations.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import CdfgError
 from .ops import OpKind, info
+
+
+def _digest(data: bytes = b"") -> "hashlib.blake2b":
+    """A 128-bit hash (stable: independent of PYTHONHASHSEED)."""
+    return hashlib.blake2b(data, digest_size=16)
 
 
 @dataclass
@@ -322,6 +328,91 @@ class Graph:
         g._oin = {k: set(v) for k, v in self._oin.items()}
         g._oout = {k: set(v) for k, v in self._oout.items()}
         return g
+
+    # ------------------------------------------------------------------
+    # Canonical hashing (node-id independent)
+    # ------------------------------------------------------------------
+    def canonical_node_keys(self, rounds: Optional[int] = None
+                            ) -> Dict[int, bytes]:
+        """A stable signature per node, independent of node numbering.
+
+        Signatures are refined Weisfeiler-Lehman style: each round folds
+        the signatures of a node's data/control/order neighborhoods
+        (with ports and polarities) into its own.  Refinement stops as
+        soon as the signature partition stabilizes (or after ``rounds``
+        rounds), which is isomorphism-invariant.  Two nodes in
+        isomorphic positions of renumbered copies of the same graph get
+        the same signature; nodes whose neighborhoods differ get
+        different ones.
+
+        Semantic attributes (kind, constant value, interface variable,
+        array) seed the signature; the cosmetic ``name`` label does not,
+        since rewrites derive it from node ids and it would defeat
+        cross-lineage matching.  Returns 16-byte digests (hot path of
+        the evaluation cache — bytes avoid hex-conversion overhead).
+        """
+        sig: Dict[int, bytes] = {}
+        for nid, n in self.nodes.items():
+            sig[nid] = _digest(
+                f"{n.kind.value}|{n.value!r}|{n.var!r}|{n.array!r}"
+                .encode()).digest()
+        cap = rounds if rounds is not None else 8
+        n_classes = len(set(sig.values()))
+        for _ in range(cap):
+            nxt: Dict[int, bytes] = {}
+            for nid in self.nodes:
+                h = _digest(sig[nid])
+                for p, s in sorted((p, sig[s]) for p, s
+                                   in self._din[nid].items()):
+                    h.update(b"\x01" + p.to_bytes(2, "big") + s)
+                for p, s in sorted((p, sig[d]) for d, p
+                                   in self._dout[nid]):
+                    h.update(b"\x02" + p.to_bytes(2, "big") + s)
+                for pol, s in sorted((pol, sig[s]) for s, pol
+                                     in self._cin[nid]):
+                    h.update(b"\x03" + bytes([pol]) + s)
+                for pol, s in sorted((pol, sig[d]) for d, pol
+                                     in self._cout[nid]):
+                    h.update(b"\x04" + bytes([pol]) + s)
+                for s in sorted(sig[s] for s in self._oin[nid]):
+                    h.update(b"\x05" + s)
+                for s in sorted(sig[d] for d in self._oout[nid]):
+                    h.update(b"\x06" + s)
+                nxt[nid] = h.digest()
+            sig = nxt
+            classes = len(set(sig.values()))
+            if classes == n_classes:
+                break  # partition stable: further rounds cannot refine
+            n_classes = classes
+        return sig
+
+    def canonical_hash(self,
+                       node_keys: Optional[Dict[int, bytes]] = None
+                       ) -> str:
+        """A content hash invariant under node renumbering.
+
+        Renumbered copies of the same graph hash identically (this is
+        what lets the evaluation cache merge identical candidates from
+        different transformation lineages); structurally or semantically
+        different graphs hash apart.
+        """
+        sig = node_keys if node_keys is not None \
+            else self.canonical_node_keys()
+        edges: List[bytes] = []
+        for nid in self.nodes:
+            me = sig[nid]
+            for p, s in self._din[nid].items():
+                edges.append(b"d" + p.to_bytes(2, "big") + sig[s] + me)
+            for s, pol in self._cin[nid]:
+                edges.append(b"c" + bytes([pol]) + sig[s] + me)
+            for s in self._oin[nid]:
+                edges.append(b"o" + sig[s] + me)
+        h = _digest(b"")
+        for s in sorted(sig.values()):
+            h.update(s)
+        for e in sorted(edges):
+            h.update(e)
+        return h.hexdigest()
 
     def __iter__(self) -> Iterator[Node]:
         for nid in self.node_ids():

@@ -8,47 +8,49 @@ Commands:
 * ``schedule FILE``       — schedule and print STG statistics
   (``--alloc a1=2,sb1=1`` sets the allocation, ``--dot`` emits the STG).
 * ``optimize FILE``       — run the full FACT flow
-  (``--objective power``).
+  (``--objective power``; ``--workers N`` fans candidate evaluation out
+  across N processes; ``--stats`` prints per-generation engine
+  telemetry including the cache hit rate).
 * ``table2 [CIRCUIT...]`` — regenerate the paper's Table-2 rows.
 
 Examples::
 
     python -m repro compile examples/gcd.bdl --dot > gcd.dot
     python -m repro optimize examples/gcd.bdl --alloc sb1=2,cp1=1,e1=1
+    python -m repro optimize examples/gcd.bdl --workers 4 --stats
     python -m repro table2 gcd pps
+
+The commands are thin wrappers over the :mod:`repro.api` facade
+(``repro.compile`` / ``repro.schedule`` / ``repro.optimize``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
+from . import api
 from .bench.table2 import (format_power_table, format_throughput_table,
                            run_power_row, run_throughput_row)
 from .cdfg.dot import behavior_to_dot
-from .core.fact import Fact, FactConfig
 from .core.search import SearchConfig
-from .errors import ReproError
-from .hw import Allocation, dac98_library
-from .lang import compile_source
+from .errors import ConfigError, ReproError
+from .hw import Allocation
 from .profiling import profile, uniform_traces
-from .sched import SchedConfig, Scheduler
+from .sched import SchedConfig
 
 
 def _parse_alloc(text: Optional[str]) -> Allocation:
-    counts: Dict[str, int] = {}
-    if text:
-        for item in text.split(","):
-            name, _, value = item.partition("=")
-            if not value:
-                raise SystemExit(f"bad allocation item {item!r}; expected "
-                                 f"name=count")
-            counts[name.strip()] = int(value)
-    else:
-        # A generous default: two of everything.
-        counts = {name: 2 for name in dac98_library().fu_types}
-    return Allocation(counts)
+    """CLI allocation spec → :class:`Allocation`.
+
+    Raises :class:`~repro.errors.ConfigError` (a
+    :class:`~repro.errors.ReproError`) on malformed items, non-integer
+    counts, or negative counts; :func:`main` renders it as a clean
+    command-line error.
+    """
+    return api.coerce_allocation(text)
 
 
 def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
@@ -56,19 +58,26 @@ def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
     for pair in pairs:
         name, _, value = pair.partition("=")
         if not value:
-            raise SystemExit(f"bad input {pair!r}; expected name=value")
-        out[name] = int(value)
+            raise ConfigError(f"bad input {pair!r}; expected name=value")
+        try:
+            out[name] = int(value)
+        except ValueError:
+            raise ConfigError(
+                f"input {name!r} must be an integer, got {value!r}"
+            ) from None
     return out
 
 
 def _load(path: str):
+    # The CLI always takes a file (api.compile would fall back to
+    # treating a missing path as source text and report a confusing
+    # lex error on a typo'd filename).
+    if not os.path.isfile(path):
+        raise SystemExit(f"cannot read {path}: no such file")
     try:
-        with open(path) as handle:
-            return compile_source(handle.read())
+        return api.compile(path)
     except OSError as exc:
         raise SystemExit(f"cannot read {path}: {exc}")
-    except ReproError as exc:
-        raise SystemExit(f"{path}: {exc}")
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -99,19 +108,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     behavior = _load(args.file)
-    library = dac98_library()
-    allocation = _parse_alloc(args.alloc)
     probs = None
     if args.profile_traces > 0:
         traces = uniform_traces(behavior, args.profile_traces,
                                 lo=1, hi=255, seed=args.seed)
         probs = profile(behavior, traces).branch_probs
-    try:
-        result = Scheduler(behavior, library, allocation,
-                           SchedConfig(clock=args.clock),
-                           probs).schedule()
-    except ReproError as exc:
-        raise SystemExit(f"scheduling failed: {exc}")
+    result = api.schedule(
+        behavior, alloc=args.alloc,
+        config=api.ReproConfig(sched=SchedConfig(clock=args.clock)),
+        branch_probs=probs)
     if args.dot:
         print(result.stg.to_dot())
         return 0
@@ -123,30 +128,28 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 def cmd_optimize(args: argparse.Namespace) -> int:
     behavior = _load(args.file)
-    library = dac98_library()
-    allocation = _parse_alloc(args.alloc)
-    traces = uniform_traces(behavior, args.profile_traces or 12,
-                            lo=1, hi=255, seed=args.seed)
-    fact = Fact(library, config=FactConfig(
+    config = api.ReproConfig(
         sched=SchedConfig(clock=args.clock),
         search=SearchConfig(max_outer_iters=args.iterations,
-                            seed=args.seed)))
-    try:
-        result = fact.optimize(behavior, allocation, traces=traces,
-                               objective=args.objective)
-    except ReproError as exc:
-        raise SystemExit(f"optimization failed: {exc}")
+                            seed=args.seed),
+        workers=args.workers)
+    result = api.optimize(
+        behavior, objective=args.objective, config=config,
+        alloc=args.alloc, profile_traces=args.profile_traces or 12)
     print(f"initial: {result.initial_length:.2f} cycles")
     print(f"optimized: {result.best_length:.2f} cycles "
           f"({result.speedup:.2f}x)")
     for step in result.best.lineage:
         print(f"  - {step}")
     if args.objective == "power":
-        report = result.power_report(library)
+        from .hw import dac98_library
+        report = result.power_report(dac98_library())
         print(f"power: {report['initial_power']:.2f} -> "
               f"{report['optimized_power']:.2f} "
               f"({100 * report['reduction']:.1f}% at "
               f"{report['scaled_vdd']:.2f} V)")
+    if args.stats and result.telemetry is not None:
+        print(result.telemetry.summary())
     return 0
 
 
@@ -156,13 +159,13 @@ def cmd_table2(args: argparse.Namespace) -> int:
     rows = []
     for name in names:
         print(f"running {name}...", file=sys.stderr)
-        rows.append(run_throughput_row(name))
+        rows.append(run_throughput_row(name, workers=args.workers))
     print(format_throughput_table(rows))
     if args.power:
         prows = []
         for name in names:
             print(f"running {name} (power)...", file=sys.stderr)
-            prows.append(run_power_row(name))
+            prows.append(run_power_row(name, workers=args.workers))
         print()
         print(format_power_table(prows))
     return 0
@@ -203,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
                            default="throughput")
             p.add_argument("--iterations", type=int, default=6,
                            help="search outer iterations")
+            p.add_argument("--workers", type=int, default=None,
+                           help="evaluation worker processes "
+                                "(default: REPRO_WORKERS or serial)")
+            p.add_argument("--stats", action="store_true",
+                           help="print engine telemetry (per-generation "
+                                "wall time, cache hit rate)")
         p.set_defaults(func=func)
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")
@@ -210,13 +219,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="subset of circuits (default: all six)")
     p.add_argument("--power", action="store_true",
                    help="also run the power-optimization columns")
+    p.add_argument("--workers", type=int, default=None,
+                   help="evaluation worker processes per search")
     p.set_defaults(func=cmd_table2)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

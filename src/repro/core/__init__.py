@@ -1,15 +1,19 @@
 """FACT's core: partitioning, the transformation search, the driver."""
 
+from .engine import Evaluated, EvaluationEngine, resolve_workers
+from .evalcache import CacheStats, EvalCache, behavior_fingerprint
 from .fact import Fact, FactConfig, FactResult
 from .objectives import POWER, THROUGHPUT, Objective
 from .partition import (StgBlock, hot_cdfg_nodes, partition_stg,
                         relative_frequencies)
-from .search import (Evaluated, SearchConfig, SearchResult,
-                     TransformSearch)
+from .search import SearchConfig, SearchResult, TransformSearch
+from .telemetry import GenerationRecord, SearchTelemetry
 
 __all__ = [
-    "Evaluated", "Fact", "FactConfig", "FactResult", "Objective", "POWER",
-    "SearchConfig", "SearchResult", "StgBlock", "THROUGHPUT",
-    "TransformSearch", "hot_cdfg_nodes", "partition_stg",
-    "relative_frequencies",
+    "CacheStats", "EvalCache", "Evaluated", "EvaluationEngine", "Fact",
+    "FactConfig", "FactResult", "GenerationRecord", "Objective", "POWER",
+    "SearchConfig", "SearchResult", "SearchTelemetry", "StgBlock",
+    "THROUGHPUT", "TransformSearch", "behavior_fingerprint",
+    "hot_cdfg_nodes", "partition_stg", "relative_frequencies",
+    "resolve_workers",
 ]

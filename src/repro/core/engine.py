@@ -1,0 +1,288 @@
+"""The candidate-evaluation engine behind ``Apply_transforms``.
+
+The Figure-6 search spends virtually all of its time rescheduling and
+scoring candidate behaviors.  :class:`EvaluationEngine` centralizes that
+work behind one interface so the search loop never schedules inline:
+
+* **memoization** — every behavior is fingerprinted
+  (:func:`repro.core.evalcache.behavior_fingerprint`, invariant under
+  node renumbering) and scored at most once per run; identical
+  candidates produced by different lineages — extremely common with
+  commutativity/associativity moves — are served from the
+  :class:`~repro.core.evalcache.EvalCache`;
+* **parallelism** — with ``workers >= 2`` (constructor argument, or the
+  ``REPRO_WORKERS`` environment variable, or ``--workers`` on the CLI)
+  each generation's ``Behavior_set`` fans out across a
+  ``concurrent.futures.ProcessPoolExecutor``.  Results are assembled in
+  submission order and the scheduler itself is deterministic, so seeded
+  runs are reproducible bit-for-bit regardless of backend;
+* **graceful fallback** — ``workers`` of 0/1, or an environment where
+  worker processes cannot be spawned, degrades to the serial in-process
+  backend with identical results.
+
+Scoring adds the same tiny datapath-cost tie-break the search has
+always used, so among schedule-equivalent candidates the one that sheds
+operations ranks first (multi-step improvements survive selection even
+when their first step alone does not shorten the schedule).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import astuple, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cdfg.ir import _digest
+from ..cdfg.regions import Behavior
+from ..errors import ReproError, SearchError
+from ..hw import Allocation, Library
+from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.types import BranchProbs, ResourceModel, SchedConfig
+from .evalcache import CacheStats, EvalCache, behavior_fingerprint
+from .objectives import Objective
+
+#: Weight of the datapath-size tie-break added to every score.
+TIEBREAK = 1e-7
+
+#: Environment knob consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass
+class Evaluated:
+    """A behavior with its schedule and score."""
+
+    behavior: Behavior
+    result: Optional[ScheduleResult]
+    score: float
+    lineage: Tuple[str, ...] = ()
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else 0.
+
+    0 and 1 both mean the serial backend; ``n >= 2`` means a process
+    pool of ``n`` workers.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 0
+        try:
+            workers = int(env)
+        except ValueError:
+            raise SearchError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}") from None
+    if workers < 0:
+        raise SearchError(f"worker count must be >= 0, got {workers}")
+    return workers
+
+
+# ---------------------------------------------------------------------------
+# Scoring (runs in the main process or in pool workers)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _EvalContext:
+    """Everything fixed across one run, shipped once per worker."""
+
+    library: Library
+    allocation: Allocation
+    sched_config: SchedConfig
+    branch_probs: Optional[BranchProbs]
+    objective: Objective
+
+
+def _datapath_cost(behavior: Behavior, library: Library,
+                   allocation: Allocation) -> float:
+    """Σ of FU delays over the graph — a static size proxy."""
+    rm = ResourceModel(behavior.graph, library, allocation)
+    return sum(rm.delay_of(nid) for nid in behavior.graph.node_ids())
+
+
+def _score_one(ctx: _EvalContext, behavior: Behavior
+               ) -> Tuple[Optional[ScheduleResult], float]:
+    """Schedule and score one behavior ((None, inf) if unschedulable)."""
+    try:
+        result = Scheduler(behavior, ctx.library, ctx.allocation,
+                           ctx.sched_config, ctx.branch_probs).schedule()
+        score = ctx.objective.evaluate(result)
+        score += TIEBREAK * _datapath_cost(behavior, ctx.library,
+                                           ctx.allocation)
+    except ReproError:
+        return None, float("inf")
+    return result, score
+
+
+_WORKER_CTX: Optional[_EvalContext] = None
+
+
+def _init_worker(ctx: _EvalContext) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _eval_worker(behavior: Behavior
+                 ) -> Tuple[Optional[ScheduleResult], float]:
+    assert _WORKER_CTX is not None, "worker used before initialization"
+    return _score_one(_WORKER_CTX, behavior)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+class EvaluationEngine:
+    """Memoized, optionally parallel scheduling + scoring of behaviors.
+
+    One engine serves one search run: the library, allocation, scheduler
+    configuration, branch probabilities and objective are fixed at
+    construction (they namespace the cache keys), and only behaviors
+    vary per call.  Use as a context manager, or call :meth:`close`, to
+    release pool workers.
+    """
+
+    def __init__(self, library: Library, allocation: Allocation,
+                 objective: Objective,
+                 sched_config: Optional[SchedConfig] = None,
+                 branch_probs: Optional[BranchProbs] = None, *,
+                 workers: Optional[int] = None,
+                 cache_size: int = 4096) -> None:
+        self._ctx = _EvalContext(library, allocation,
+                                 sched_config or SchedConfig(),
+                                 branch_probs, objective)
+        self.workers = resolve_workers(workers)
+        self.cache = EvalCache(max_entries=cache_size)
+        #: total evaluation requests (cache hits included)
+        self.requests = 0
+        self._pool: Optional[Executor] = None
+        self._pool_broken = False
+        self._context_fp = self._fingerprint_context()
+
+    # -- cache keys -----------------------------------------------------
+    def _fingerprint_context(self) -> str:
+        lib, ctx = self._ctx.library, self._ctx
+        parts = [
+            lib.name,
+            repr(sorted((k, v.delay, v.energy, v.area)
+                        for k, v in lib.fu_types.items())),
+            repr(sorted((k.value, v) for k, v in lib.selection.items())),
+            repr((lib.register.delay, lib.register.energy,
+                  lib.memory.delay, lib.memory.energy,
+                  lib.overhead_factor)),
+            repr(sorted(ctx.allocation.counts.items())),
+            repr(astuple(ctx.sched_config)),
+            repr(sorted(ctx.branch_probs.items())
+                 if ctx.branch_probs else None),
+            repr((ctx.objective.kind, ctx.objective.baseline_length,
+                  ctx.objective.vdd, ctx.objective.vt,
+                  ctx.objective.cycle_time)),
+        ]
+        return _digest("|".join(parts).encode()).hexdigest()
+
+    def key_for(self, behavior: Behavior) -> str:
+        """Cache key of ``behavior`` under this engine's fixed context."""
+        return _digest((self._context_fp + ":"
+                        + behavior_fingerprint(behavior)).encode()
+                       ).hexdigest()
+
+    # -- statistics -----------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def backend(self) -> str:
+        return "process" if self.workers >= 2 and not self._pool_broken \
+            else "serial"
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, behavior: Behavior,
+                 lineage: Tuple[str, ...] = ()) -> Evaluated:
+        """Score one behavior (through the cache, always in-process)."""
+        return self.evaluate_batch([(behavior, lineage)])[0]
+
+    def evaluate_batch(self, pairs: Sequence[Tuple[Behavior,
+                                                   Tuple[str, ...]]]
+                       ) -> List[Evaluated]:
+        """Score a generation, preserving input order.
+
+        Cache hits (including duplicates *within* the batch) are served
+        without scheduling; the remaining unique behaviors run on the
+        serial or process backend.  The returned list lines up with
+        ``pairs`` index-for-index, so seeded searches see identical
+        generations whichever backend ran.
+        """
+        self.requests += len(pairs)
+        outputs: List[Optional[Evaluated]] = [None] * len(pairs)
+        if self.cache.max_entries <= 0:
+            # Cache disabled: skip fingerprinting entirely (this is the
+            # pre-engine code path, used as the benchmark baseline).
+            self.cache.stats.misses += len(pairs)
+            scored = self._score_batch([b for b, _ in pairs])
+            return [Evaluated(b, result, score, lineage)
+                    for (b, lineage), (result, score)
+                    in zip(pairs, scored)]
+        # key -> indices into `pairs` awaiting that evaluation
+        pending: Dict[str, List[int]] = {}
+        order: List[str] = []
+        for i, (behavior, lineage) in enumerate(pairs):
+            key = self.key_for(behavior)
+            if key in pending:
+                # Duplicate within this batch: merged, counts as a hit.
+                self.cache.stats.hits += 1
+                pending[key].append(i)
+                continue
+            cached = self.cache.get(key)
+            if cached is not None:
+                result, score = cached
+                outputs[i] = Evaluated(behavior, result, score, lineage)
+            else:
+                pending[key] = [i]
+                order.append(key)
+        if pending:
+            firsts = [pairs[pending[key][0]][0] for key in order]
+            scored = self._score_batch(firsts)
+            for key, (result, score) in zip(order, scored):
+                self.cache.put(key, (result, score))
+                for i in pending[key]:
+                    behavior, lineage = pairs[i]
+                    outputs[i] = Evaluated(behavior, result, score,
+                                           lineage)
+        assert all(e is not None for e in outputs)
+        return outputs  # type: ignore[return-value]
+
+    def _score_batch(self, behaviors: List[Behavior]
+                     ) -> List[Tuple[Optional[ScheduleResult], float]]:
+        if len(behaviors) >= 2 and self.workers >= 2:
+            pool = self._ensure_pool()
+            if pool is not None:
+                chunk = max(1, len(behaviors) // (self.workers * 4))
+                return list(pool.map(_eval_worker, behaviors,
+                                     chunksize=chunk))
+        return [_score_one(self._ctx, b) for b in behaviors]
+
+    def _ensure_pool(self) -> Optional[Executor]:
+        if self._pool is None and not self._pool_broken:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, initializer=_init_worker,
+                    initargs=(self._ctx,))
+            except (OSError, ValueError, ImportError):
+                # No usable multiprocessing here: stay serial.
+                self._pool_broken = True
+        return self._pool
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut down pool workers (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,146 @@
+"""Memoization cache for candidate evaluation.
+
+The FACT search (paper Figure 6) reschedules every member of every
+generation's ``Behavior_set``.  Commutativity/associativity moves from
+different lineages very often reproduce *identical* behaviors (modulo
+node numbering), so scheduling them again is pure waste.  This module
+provides:
+
+* :func:`behavior_fingerprint` — a content hash over a behavior that is
+  invariant under node-id renumbering (built on
+  :meth:`repro.cdfg.ir.Graph.canonical_hash` plus a canonical
+  serialization of the region tree and interface), but sensitive to
+  everything with semantic weight: operation kinds, constants, edge
+  structure, interface variable and array names, loop structure and
+  trip counts, and the condition weight/alias bookkeeping;
+* :class:`EvalCache` — a bounded LRU mapping fingerprints to evaluation
+  outcomes, with hit/miss/eviction statistics.
+
+Two behaviors whose interfaces are renamed (``in a`` vs ``in x``) are
+*different* designs and must not collide; two behaviors that differ only
+in node numbering are the same design and must.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..cdfg.ir import _digest
+from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
+                            SeqRegion)
+from ..errors import CdfgError
+
+
+def _region_repr(region: Region, sig: Dict[int, bytes]) -> str:
+    """Canonical serialization of a region tree via node signatures.
+
+    ``SeqRegion`` children keep their order (sequencing is semantic);
+    ``BlockRegion`` members are sorted (the block scheduler treats them
+    as a set).
+    """
+    if isinstance(region, BlockRegion):
+        return f"B({sorted(sig[n] for n in region.nodes)})"
+    if isinstance(region, SeqRegion):
+        return "S(" + ",".join(_region_repr(c, sig)
+                               for c in region.children) + ")"
+    if isinstance(region, LoopRegion):
+        lvs = sorted((lv.name, sig[lv.join]) for lv in region.loop_vars)
+        conds = sorted(sig[n] for n in region.cond_nodes)
+        cond = sig[region.cond] if region.cond in sig else repr(region.cond)
+        return (f"L(vars={lvs},cond_nodes={conds},cond={cond},"
+                f"trip={region.trip_count},"
+                f"body={_region_repr(region.body, sig)})")
+    raise CdfgError(f"unknown region type {type(region).__name__}")
+
+
+def behavior_fingerprint(behavior: Behavior) -> str:
+    """Content hash of a behavior, invariant under node renumbering."""
+    sig = behavior.graph.canonical_node_keys()
+    parts = [
+        behavior.graph.canonical_hash(node_keys=sig),
+        _region_repr(behavior.region, sig),
+        repr(behavior.inputs),
+        repr(behavior.outputs),
+        repr(sorted((a.name, a.size, a.ports)
+                    for a in behavior.arrays.values())),
+        repr(sorted((sig.get(n, str(n).encode()), w)
+                    for n, w in behavior.cond_weights.items())),
+        repr(sorted((sig.get(a, str(a).encode()),
+                     sig.get(b, str(b).encode()))
+                    for a, b in behavior.cond_aliases.items())),
+    ]
+    return _digest("|".join(parts).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :class:`EvalCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class EvalCache:
+    """A bounded LRU cache from content keys to evaluation outcomes.
+
+    Keys are opaque strings (fingerprints); values are whatever the
+    evaluation engine stores — the cache never inspects them.  A
+    ``max_entries`` of 0 disables storage (every lookup misses), which
+    keeps the call sites branch-free.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[Any]:
+        """Look up ``key``, counting a hit or miss; None on miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: str) -> Optional[Any]:
+        """Look up ``key`` without touching the statistics or LRU order."""
+        return self._entries.get(key)
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the LRU one if full."""
+        if self.max_entries <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()

@@ -59,6 +59,11 @@ class FactResult:
     profile: Optional[Profile] = None
     hot_nodes: Optional[Set[int]] = None
 
+    @property
+    def telemetry(self):
+        """Per-generation engine telemetry of the underlying search."""
+        return self.search.telemetry
+
     # -- throughput metrics --------------------------------------------
     @property
     def initial_length(self) -> float:

@@ -7,29 +7,41 @@ annealing:
 * each generation applies every candidate transformation to every seed,
   forming ``Behavior_set``;
 * every member is **rescheduled** and scored with the objective — this
-  is where scheduling information guides transformation selection;
+  is where scheduling information guides transformation selection.
+  Scheduling is delegated to an
+  :class:`~repro.core.engine.EvaluationEngine`, which memoizes
+  identical candidates (common across lineages) and can fan a
+  generation out across worker processes;
 * members are ranked by score and a fixed-size subset is drawn with
   probability ratio ``e^(−k·rank_i) / e^(−k·rank_j)``; ``k`` grows
   linearly with the outer iteration, so early generations tolerate bad
   moves and later ones favor the best;
 * the loop stops when an outer iteration fails to improve the best
   score (or a hard iteration cap is reached).
+
+Each :meth:`TransformSearch.run` draws from a fresh
+``random.Random(config.seed)``, so repeated or concurrent runs with the
+same seed reproduce the same trajectory regardless of backend.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..cdfg.regions import Behavior
-from ..errors import ReproError, ScheduleError, SearchError, TransformError
+from ..errors import ReproError, SearchError
 from ..hw import Allocation, Library
-from ..sched.driver import ScheduleResult, Scheduler
 from ..sched.types import BranchProbs, SchedConfig
-from ..transforms.base import Candidate, TransformLibrary
+from ..transforms.base import TransformLibrary
+from .engine import Evaluated, EvaluationEngine
 from .objectives import Objective
+from .telemetry import SearchTelemetry
+
+__all__ = ["Evaluated", "SearchConfig", "SearchResult", "TransformSearch"]
 
 
 @dataclass
@@ -37,7 +49,10 @@ class SearchConfig:
     """Tuning knobs for ``Apply_transforms``.
 
     ``k(outer) = k0 + k_step × outer`` is the paper's monotonically
-    increasing selection-pressure parameter.
+    increasing selection-pressure parameter.  ``workers`` selects the
+    evaluation backend (0/1 serial, >= 2 a process pool; ``None`` defers
+    to the ``REPRO_WORKERS`` environment variable); ``cache_size``
+    bounds the evaluation memoization cache (0 disables it).
     """
 
     max_outer_iters: int = 6
@@ -47,16 +62,8 @@ class SearchConfig:
     k_step: float = 0.4
     max_candidates_per_seed: int = 64
     seed: int = 0
-
-
-@dataclass
-class Evaluated:
-    """A behavior with its schedule and score."""
-
-    behavior: Behavior
-    result: Optional[ScheduleResult]
-    score: float
-    lineage: Tuple[str, ...] = ()
+    workers: Optional[int] = None
+    cache_size: int = 4096
 
 
 @dataclass
@@ -68,6 +75,7 @@ class SearchResult:
     generations: int = 0
     evaluated_count: int = 0
     history: List[float] = field(default_factory=list)
+    telemetry: Optional[SearchTelemetry] = None
 
     @property
     def improvement(self) -> float:
@@ -85,7 +93,8 @@ class TransformSearch:
                  sched_config: Optional[SchedConfig] = None,
                  branch_probs: Optional[BranchProbs] = None,
                  config: Optional[SearchConfig] = None,
-                 hot_nodes: Optional[Set[int]] = None) -> None:
+                 hot_nodes: Optional[Set[int]] = None,
+                 engine: Optional[EvaluationEngine] = None) -> None:
         self.transforms = transforms
         self.library = library
         self.allocation = allocation
@@ -94,77 +103,100 @@ class TransformSearch:
         self.branch_probs = branch_probs
         self.config = config or SearchConfig()
         self.hot_nodes = hot_nodes
+        #: externally supplied engine (caller manages its lifetime);
+        #: when None, each run creates and closes its own.
+        self.engine = engine
         self._rng = random.Random(self.config.seed)
-        self._evaluations = 0
+        self._shared_engine: Optional[EvaluationEngine] = None
         self._fresh_from: Optional[int] = None
 
     # ------------------------------------------------------------------
+    def _make_engine(self) -> EvaluationEngine:
+        return EvaluationEngine(
+            self.library, self.allocation, self.objective,
+            sched_config=self.sched_config,
+            branch_probs=self.branch_probs,
+            workers=self.config.workers,
+            cache_size=self.config.cache_size)
+
     def evaluate(self, behavior: Behavior,
                  lineage: Tuple[str, ...] = ()) -> Evaluated:
-        """Reschedule a behavior and score it (inf if unschedulable).
-
-        A tiny datapath-cost tie-break is added to the objective so
-        that, among schedule-equivalent candidates, the one that sheds
-        operations ranks first — multi-step improvements (factor →
-        hoist, strength-reduce → re-associate) then survive selection
-        even when their first step alone does not shorten the schedule.
-        """
-        self._evaluations += 1
-        try:
-            result = Scheduler(behavior, self.library, self.allocation,
-                               self.sched_config,
-                               self.branch_probs).schedule()
-            score = self.objective.evaluate(result)
-            score += 1e-7 * self._datapath_cost(behavior)
-        except ReproError:
-            return Evaluated(behavior, None, float("inf"), lineage)
-        return Evaluated(behavior, result, score, lineage)
-
-    def _datapath_cost(self, behavior: Behavior) -> float:
-        """Σ of FU delays over the graph — a static size proxy."""
-        from ..sched.types import ResourceModel
-        rm = ResourceModel(behavior.graph, self.library, self.allocation)
-        return sum(rm.delay_of(nid) for nid in behavior.graph.node_ids())
+        """Reschedule a behavior and score it (inf if unschedulable)."""
+        if self.engine is not None:
+            return self.engine.evaluate(behavior, lineage)
+        if self._shared_engine is None:
+            self._shared_engine = self._make_engine()
+        return self._shared_engine.evaluate(behavior, lineage)
 
     def run(self, behavior: Behavior) -> SearchResult:
         """Optimize ``behavior``; returns the best design found."""
-        initial = self.evaluate(behavior)
-        if initial.result is None:
-            raise SearchError(
-                "the input behavior itself cannot be scheduled under "
-                "the given allocation")
-        # Nodes created by rewrites get ids above the input's: they are
-        # products of hot-region rewriting and stay in focus.
-        self._fresh_from = max(behavior.graph.nodes, default=-1) + 1
-        best = initial
-        in_set: List[Evaluated] = [initial]
-        history = [initial.score]
-        outer = 0
         cfg = self.config
-        while outer < cfg.max_outer_iters:
-            improved = False
-            for _move in range(cfg.max_moves):
-                generation = self._expand(in_set)
-                if not generation:
+        # Fresh RNG per run: repeated runs on one TransformSearch (and
+        # concurrent searches sharing a seed) see the same sequence.
+        self._rng = random.Random(cfg.seed)
+        engine = self.engine if self.engine is not None \
+            else self._make_engine()
+        owns_engine = engine is not self.engine
+        telemetry = SearchTelemetry(backend=engine.backend,
+                                    workers=max(engine.workers, 1))
+        telemetry.start()
+        try:
+            initial = engine.evaluate(behavior)
+            if initial.result is None:
+                raise SearchError(
+                    "the input behavior itself cannot be scheduled under "
+                    "the given allocation")
+            # Nodes created by rewrites get ids above the input's: they
+            # are products of hot-region rewriting and stay in focus.
+            self._fresh_from = max(behavior.graph.nodes, default=-1) + 1
+            best = initial
+            in_set: List[Evaluated] = [initial]
+            history = [initial.score]
+            outer = 0
+            while outer < cfg.max_outer_iters:
+                improved = False
+                for _move in range(cfg.max_moves):
+                    pairs = self._expand(in_set)
+                    if not pairs:
+                        break
+                    hits_before = engine.stats.hits
+                    gen_start = time.perf_counter()
+                    generation = engine.evaluate_batch(pairs)
+                    gen_time = time.perf_counter() - gen_start
+                    generation.sort(key=lambda e: e.score)
+                    if generation[0].score < best.score - 1e-9:
+                        best = generation[0]
+                        improved = True
+                    history.append(best.score)
+                    telemetry.record_generation(
+                        outer_iter=outer, wall_time=gen_time,
+                        evaluations=len(pairs),
+                        cache_hits=engine.stats.hits - hits_before,
+                        best_score=best.score)
+                    k = cfg.k0 + cfg.k_step * outer
+                    in_set = self._select(generation, k)
+                outer += 1
+                if not improved:
                     break
-                generation.sort(key=lambda e: e.score)
-                if generation[0].score < best.score - 1e-9:
-                    best = generation[0]
-                    improved = True
-                history.append(best.score)
-                k = cfg.k0 + cfg.k_step * outer
-                in_set = self._select(generation, k)
-            outer += 1
-            if not improved:
-                break
+        finally:
+            telemetry.finish()
+            telemetry.cache = engine.stats
+            telemetry.backend = engine.backend
+            if owns_engine:
+                engine.close()
         return SearchResult(best=best, initial=initial, generations=outer,
-                            evaluated_count=self._evaluations,
-                            history=history)
+                            evaluated_count=engine.requests,
+                            history=history, telemetry=telemetry)
 
     # ------------------------------------------------------------------
-    def _expand(self, in_set: Sequence[Evaluated]) -> List[Evaluated]:
-        """Apply candidate transformations to every seed behavior."""
-        out: List[Evaluated] = []
+    def _expand(self, in_set: Sequence[Evaluated]
+                ) -> List[Tuple[Behavior, Tuple[str, ...]]]:
+        """Apply candidate transformations to every seed behavior.
+
+        Returns the next ``Behavior_set`` as (behavior, lineage) pairs,
+        in deterministic enumeration order, ready for batch evaluation.
+        """
+        out: List[Tuple[Behavior, Tuple[str, ...]]] = []
         for seed in in_set:
             candidates = self.transforms.candidates(seed.behavior)
             if self.hot_nodes is not None:
@@ -182,10 +214,9 @@ class TransformSearch:
                     transformed = cand.apply(seed.behavior)
                 except ReproError:
                     continue
-                out.append(self.evaluate(
-                    transformed,
-                    seed.lineage + (f"{cand.transform}:"
-                                    f"{cand.description}",)))
+                out.append((transformed,
+                            seed.lineage + (f"{cand.transform}:"
+                                            f"{cand.description}",)))
         return out
 
     def _select(self, ranked: List[Evaluated], k: float

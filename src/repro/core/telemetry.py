@@ -1,0 +1,105 @@
+"""Search telemetry: what the evaluation engine did, per generation.
+
+The FACT search spends essentially all of its time rescheduling
+candidates, so this is the layer that makes its cost observable: every
+generation records wall time, how many candidates were scored, how many
+of those were served from the memoization cache, and the best score so
+far.  A :class:`SearchTelemetry` rides along on
+:class:`~repro.core.search.SearchResult` (and therefore
+:class:`~repro.core.fact.FactResult`) and is rendered by
+``python -m repro optimize --stats`` and the scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from .evalcache import CacheStats
+
+
+@dataclass
+class GenerationRecord:
+    """One generation (``Behavior_set``) of the Figure-6 loop."""
+
+    index: int
+    outer_iter: int
+    wall_time: float
+    evaluations: int
+    cache_hits: int
+    best_score: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.evaluations <= 0:
+            return 0.0
+        return self.cache_hits / self.evaluations
+
+
+@dataclass
+class SearchTelemetry:
+    """Aggregate record of one ``Apply_transforms`` run."""
+
+    backend: str = "serial"
+    workers: int = 1
+    generations: List[GenerationRecord] = field(default_factory=list)
+    total_wall_time: float = 0.0
+    evaluations: int = 0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    # -- recording ------------------------------------------------------
+    def start(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def finish(self) -> None:
+        self.total_wall_time = time.perf_counter() - self._t0
+
+    def record_generation(self, outer_iter: int, wall_time: float,
+                          evaluations: int, cache_hits: int,
+                          best_score: float) -> None:
+        self.generations.append(GenerationRecord(
+            index=len(self.generations), outer_iter=outer_iter,
+            wall_time=wall_time, evaluations=evaluations,
+            cache_hits=cache_hits, best_score=best_score))
+        self.evaluations += evaluations
+
+    # -- views ----------------------------------------------------------
+    @property
+    def best_trajectory(self) -> List[float]:
+        """Best score after each generation (monotone non-increasing)."""
+        return [g.best_score for g in self.generations]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (used by benchmarks and tests)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "total_wall_time": self.total_wall_time,
+            "evaluations": self.evaluations,
+            "generations": [asdict(g) for g in self.generations],
+            "cache": self.cache.as_dict(),
+            "best_trajectory": self.best_trajectory,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report for ``--stats``."""
+        lines = [
+            f"search stats: backend={self.backend} workers={self.workers}",
+            f"  wall time: {self.total_wall_time:.3f}s over "
+            f"{len(self.generations)} generations",
+            f"  evaluations: {self.evaluations} "
+            f"(cache: {self.cache.hits} hits / {self.cache.misses} misses"
+            f" / {self.cache.evictions} evictions, "
+            f"hit rate {100 * self.cache.hit_rate:.1f}%)",
+        ]
+        for g in self.generations:
+            lines.append(
+                f"  gen {g.index:2d} (outer {g.outer_iter}): "
+                f"{g.evaluations:4d} evals, {g.cache_hits:4d} cached, "
+                f"{g.wall_time * 1000:8.1f} ms, best {g.best_score:.4f}")
+        return "\n".join(lines)

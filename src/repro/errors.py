@@ -78,6 +78,10 @@ class TransformError(ReproError):
     """A transformation could not be applied to the given site."""
 
 
+class ConfigError(ReproError):
+    """Invalid user-supplied configuration (allocation specs, knobs)."""
+
+
 class SearchError(ReproError):
     """The transformation-search driver was misconfigured."""
 
