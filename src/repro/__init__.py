@@ -26,13 +26,16 @@ Subsystems (all importable directly, as before):
 * :mod:`repro.core` — STG partitioning, the Apply_transforms search,
   the memoizing/parallel evaluation engine, and the top-level
   :class:`~repro.core.fact.Fact` driver.
+* :mod:`repro.explore` — Pareto design-space exploration (joint
+  throughput / power / area) with a persistent, resumable run store.
 * :mod:`repro.baselines` — M1 (no transformations) and Flamel
   (transform-first) reference flows.
 * :mod:`repro.bench` — the paper's benchmark circuits and allocations.
 """
 
-from .api import (AllocLike, ReproConfig, coerce_allocation, compile,
-                  optimize, schedule)
+from .api import (AllocLike, CacheStats, ExploreConfig, ExploreResult,
+                  ParetoFront, ReproConfig, RunStore, coerce_allocation,
+                  compile, explore, optimize, schedule)
 from .core.fact import Fact, FactConfig, FactResult
 from .core.objectives import POWER, THROUGHPUT
 from .core.search import SearchConfig, SearchResult
@@ -40,11 +43,13 @@ from .errors import ReproError
 from .hw import Allocation, Library, dac98_library
 from .sched.types import SchedConfig
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
-    "Allocation", "AllocLike", "Fact", "FactConfig", "FactResult",
-    "Library", "POWER", "ReproConfig", "ReproError", "SearchConfig",
-    "SearchResult", "SchedConfig", "THROUGHPUT", "coerce_allocation",
-    "compile", "dac98_library", "optimize", "schedule", "__version__",
+    "Allocation", "AllocLike", "CacheStats", "ExploreConfig",
+    "ExploreResult", "Fact", "FactConfig", "FactResult", "Library",
+    "POWER", "ParetoFront", "ReproConfig", "ReproError", "RunStore",
+    "SearchConfig", "SearchResult", "SchedConfig", "THROUGHPUT",
+    "coerce_allocation", "compile", "dac98_library", "explore",
+    "optimize", "schedule", "__version__",
 ]

@@ -9,6 +9,9 @@ pipeline behind three verbs and one configuration object:
 * :func:`optimize` — behavior → FACT-optimized design (full Figure-5
   flow: profile, partition, transform-search with the memoizing /
   parallel evaluation engine);
+* :func:`explore` — behavior → Pareto front over throughput, power and
+  area (checkpointed, resumable, store-backed design-space
+  exploration);
 * :class:`ReproConfig` — one dataclass nesting ``FactConfig`` (which
   itself nests ``SearchConfig`` and ``SchedConfig``) plus the engine
   knobs (``workers``, ``cache_size``).
@@ -32,9 +35,12 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Union
 
 from .cdfg.regions import Behavior
+from .core.evalcache import CacheStats
 from .core.fact import Fact, FactConfig, FactResult
 from .core.search import SearchConfig
 from .errors import ConfigError
+from .explore import (ExploreConfig, ExploreResult, ExploreRunner,
+                      ParetoFront, RunStore)
 from .hw import Allocation, Library, dac98_library
 from .lang import compile_source
 from .profiling import uniform_traces
@@ -209,7 +215,78 @@ def optimize(behavior_or_source: Union[Behavior, str], *,
                          objective=objective, branch_probs=branch_probs)
 
 
+def explore(behavior_or_source: Union[Behavior, str], *,
+            config: Optional[ExploreConfig] = None,
+            alloc: AllocLike = None,
+            library: Optional[Library] = None,
+            traces: Optional[TraceSet] = None,
+            branch_probs: Optional[BranchProbs] = None,
+            profile_traces: int = 12,
+            store: Union[RunStore, str, "os.PathLike[str]",
+                         None] = None,
+            checkpoint: Union[str, "os.PathLike[str]", None] = None,
+            resume: bool = False,
+            workers: Optional[int] = None,
+            seed: Optional[int] = None,
+            generations: Optional[int] = None) -> ExploreResult:
+    """Map the throughput / power / area trade-off surface.
+
+    Runs the checkpointed Pareto exploration
+    (:class:`repro.explore.ExploreRunner`) over the FACT transformation
+    space and returns an :class:`~repro.explore.ExploreResult` whose
+    ``front`` is the :class:`~repro.explore.ParetoFront` of every
+    non-dominated design evaluated, with canonical JSON/CSV export.
+
+    Args:
+        behavior_or_source: a :class:`Behavior`, BDL text, or a path.
+        config: an :class:`~repro.explore.ExploreConfig` (defaults
+            throughout otherwise).
+        alloc: allocation spec (see :func:`coerce_allocation`).
+        library: component library (DAC-98 library by default).
+        traces: profiling traces; when neither ``traces`` nor
+            ``branch_probs`` is given, ``profile_traces`` uniform
+            random traces are generated and profiled (the same policy
+            as :func:`optimize`).
+        branch_probs: precomputed branch probabilities (skip
+            profiling).
+        store: a :class:`~repro.explore.RunStore` or its directory;
+            defaults to ``$REPRO_STORE`` or ``.repro-store``.
+            Evaluations persist there and are shared across runs.
+        checkpoint: checkpoint file path (default: derived from the
+            store directory and the run's configuration fingerprint,
+            so ``resume=True`` needs no extra bookkeeping).
+        resume: continue an interrupted run from its checkpoint;
+            the exploration trajectory — and the exported front — are
+            bit-for-bit identical to an uninterrupted run.
+        workers / seed / generations: convenience overrides for the
+            corresponding ``config`` fields.
+    """
+    beh = _coerce_behavior(behavior_or_source)
+    cfg = config or ExploreConfig()
+    updates = {}
+    if workers is not None:
+        updates["workers"] = workers
+    if seed is not None:
+        updates["seed"] = seed
+    if generations is not None:
+        updates["generations"] = generations
+    if updates:
+        cfg = replace(cfg, **updates)
+    if branch_probs is None and traces is None and profile_traces > 0:
+        traces = uniform_traces(beh, profile_traces, lo=1, hi=255,
+                                seed=cfg.warm_start_search().seed)
+    if branch_probs is None and traces is not None:
+        from .profiling.profiler import profile
+        branch_probs = dict(profile(beh, traces).branch_probs)
+    runner = ExploreRunner(beh, coerce_allocation(alloc),
+                           library=library or dac98_library(),
+                           config=cfg, branch_probs=branch_probs,
+                           store=store, checkpoint_path=checkpoint)
+    return runner.run(resume=resume)
+
+
 __all__ = [
-    "AllocLike", "ReproConfig", "coerce_allocation", "compile",
-    "optimize", "schedule",
+    "AllocLike", "CacheStats", "ExploreConfig", "ExploreResult",
+    "ParetoFront", "ReproConfig", "RunStore", "coerce_allocation",
+    "compile", "explore", "optimize", "schedule",
 ]

@@ -11,6 +11,10 @@ Commands:
   (``--objective power``; ``--workers N`` fans candidate evaluation out
   across N processes; ``--stats`` prints per-generation engine
   telemetry including the cache hit rate).
+* ``explore FILE``        — Pareto design-space exploration over
+  throughput, power and area (``--store`` persists every evaluation;
+  SIGINT checkpoints cleanly and ``--resume`` continues bit-for-bit;
+  ``--export front.json`` / ``--csv front.csv`` write the front).
 * ``table2 [CIRCUIT...]`` — regenerate the paper's Table-2 rows.
 
 Examples::
@@ -153,6 +157,49 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    behavior = _load(args.file)
+    from .core.search import SearchConfig as _SearchConfig
+    from .explore import ExploreConfig
+    search = _SearchConfig(max_outer_iters=args.iterations,
+                           seed=args.seed, workers=args.workers)
+    config = ExploreConfig(
+        generations=args.generations,
+        population_size=args.population,
+        max_candidates_per_seed=args.candidates_per_seed,
+        seed=args.seed, workers=args.workers,
+        warm_start=not args.no_warm_start,
+        sched=SchedConfig(clock=args.clock), search=search)
+    result = api.explore(
+        behavior, config=config, alloc=args.alloc,
+        profile_traces=args.profile_traces, store=args.store,
+        checkpoint=args.checkpoint, resume=args.resume)
+    front = result.front
+    state = "interrupted" if result.interrupted else "complete"
+    print(f"{behavior.name}: front of {len(front)} designs after "
+          f"{result.generations} generations ({state}; "
+          f"{result.evaluations} evaluations, store hit rate "
+          f"{100 * result.store_hit_rate:.1f}%)")
+    for p in front:
+        t, pw, a = p.objectives
+        last = p.lineage[-1] if p.lineage else "(input)"
+        print(f"  len {t:8.2f}  power {pw:8.2f}  area {a:7.2f}  {last}")
+    if result.interrupted:
+        print(f"checkpoint: {result.checkpoint_path} "
+              f"(rerun with --resume to continue)")
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(front.to_json())
+        print(f"front JSON written to {args.export}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(front.to_csv())
+        print(f"front CSV written to {args.csv}")
+    if args.stats:
+        print(result.telemetry.summary())
+    return 130 if result.interrupted else 0
+
+
 def cmd_table2(args: argparse.Namespace) -> int:
     names = args.circuits or ["gcd", "fir", "test2", "sintran", "igf",
                               "pps"]
@@ -213,6 +260,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print engine telemetry (per-generation "
                                 "wall time, cache hit rate)")
         p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "explore",
+        help="Pareto design-space exploration (throughput/power/area)")
+    p.add_argument("file")
+    p.add_argument("--alloc", help="e.g. a1=2,sb1=1,cp1=1")
+    p.add_argument("--clock", type=float, default=25.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile-traces", type=int, default=12)
+    p.add_argument("--generations", type=int, default=4,
+                   help="exploration generations")
+    p.add_argument("--population", type=int, default=8,
+                   help="NSGA-II population size")
+    p.add_argument("--candidates-per-seed", type=int, default=24,
+                   help="transformation candidates sampled per seed")
+    p.add_argument("--iterations", type=int, default=6,
+                   help="warm-start search outer iterations")
+    p.add_argument("--no-warm-start", action="store_true",
+                   help="skip the single-objective warm-start searches")
+    p.add_argument("--workers", type=int, default=None,
+                   help="evaluation worker processes "
+                        "(default: REPRO_WORKERS or serial)")
+    p.add_argument("--store", default=None,
+                   help="run-store directory (default: REPRO_STORE or "
+                        ".repro-store); evaluations persist and are "
+                        "shared across runs")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file (default: derived from the "
+                        "store dir and the run fingerprint)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted run from its "
+                        "checkpoint (bit-for-bit)")
+    p.add_argument("--export", metavar="FILE",
+                   help="write the front as canonical JSON")
+    p.add_argument("--csv", metavar="FILE",
+                   help="write the front as CSV")
+    p.add_argument("--stats", action="store_true",
+                   help="print per-generation telemetry (front size, "
+                        "hypervolume proxy, store hit rate)")
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p.add_argument("circuits", nargs="*",

@@ -94,6 +94,37 @@ class _EvalContext:
     objective: Objective
 
 
+def context_fingerprint(library: Library, allocation: Allocation,
+                        sched_config: SchedConfig,
+                        branch_probs: Optional[BranchProbs] = None,
+                        objective: Optional[Objective] = None) -> str:
+    """Digest of everything fixed across one evaluation context.
+
+    Two contexts with the same fingerprint schedule any given behavior
+    identically; the engine's memoization keys and the exploration
+    subsystem's on-disk run store both namespace behavior fingerprints
+    with this.  ``objective`` is optional because the disk store keeps
+    objective-independent raw metrics (schedule length, energy, area).
+    """
+    parts = [
+        library.name,
+        repr(sorted((k, v.delay, v.energy, v.area)
+                    for k, v in library.fu_types.items())),
+        repr(sorted((k.value, v) for k, v in library.selection.items())),
+        repr((library.register.delay, library.register.energy,
+              library.memory.delay, library.memory.energy,
+              library.overhead_factor)),
+        repr(sorted(allocation.counts.items())),
+        repr(astuple(sched_config)),
+        repr(sorted(branch_probs.items()) if branch_probs else None),
+    ]
+    if objective is not None:
+        parts.append(repr((objective.kind, objective.baseline_length,
+                           objective.vdd, objective.vt,
+                           objective.cycle_time)))
+    return _digest("|".join(parts).encode()).hexdigest()
+
+
 def _datapath_cost(behavior: Behavior, library: Library,
                    allocation: Allocation) -> float:
     """Σ of FU delays over the graph — a static size proxy."""
@@ -162,24 +193,10 @@ class EvaluationEngine:
 
     # -- cache keys -----------------------------------------------------
     def _fingerprint_context(self) -> str:
-        lib, ctx = self._ctx.library, self._ctx
-        parts = [
-            lib.name,
-            repr(sorted((k, v.delay, v.energy, v.area)
-                        for k, v in lib.fu_types.items())),
-            repr(sorted((k.value, v) for k, v in lib.selection.items())),
-            repr((lib.register.delay, lib.register.energy,
-                  lib.memory.delay, lib.memory.energy,
-                  lib.overhead_factor)),
-            repr(sorted(ctx.allocation.counts.items())),
-            repr(astuple(ctx.sched_config)),
-            repr(sorted(ctx.branch_probs.items())
-                 if ctx.branch_probs else None),
-            repr((ctx.objective.kind, ctx.objective.baseline_length,
-                  ctx.objective.vdd, ctx.objective.vt,
-                  ctx.objective.cycle_time)),
-        ]
-        return _digest("|".join(parts).encode()).hexdigest()
+        ctx = self._ctx
+        return context_fingerprint(ctx.library, ctx.allocation,
+                                   ctx.sched_config, ctx.branch_probs,
+                                   ctx.objective)
 
     def key_for(self, behavior: Behavior) -> str:
         """Cache key of ``behavior`` under this engine's fixed context."""

@@ -64,6 +64,20 @@ class FactResult:
         """Per-generation engine telemetry of the underlying search."""
         return self.search.telemetry
 
+    @property
+    def cache_stats(self):
+        """Evaluation-cache counters (hits / misses / evictions /
+        ``hit_rate``) of the run, or None if telemetry was disabled.
+
+        The convenience accessor for what used to require reaching
+        into engine internals; the same
+        :class:`~repro.core.evalcache.CacheStats` type reports the
+        explorer's on-disk run store.
+        """
+        if self.search.telemetry is None:
+            return None
+        return self.search.telemetry.cache
+
     # -- throughput metrics --------------------------------------------
     @property
     def initial_length(self) -> float:

@@ -41,7 +41,46 @@ from .engine import Evaluated, EvaluationEngine
 from .objectives import Objective
 from .telemetry import SearchTelemetry
 
-__all__ = ["Evaluated", "SearchConfig", "SearchResult", "TransformSearch"]
+__all__ = ["Evaluated", "SearchConfig", "SearchResult", "TransformSearch",
+           "expand_candidates"]
+
+
+def expand_candidates(transforms: TransformLibrary,
+                      seeds: Sequence[Tuple[Behavior, Tuple[str, ...]]],
+                      rng: random.Random, *,
+                      max_per_seed: int,
+                      hot_nodes: Optional[Set[int]] = None,
+                      fresh_from: int = 0
+                      ) -> List[Tuple[Behavior, Tuple[str, ...]]]:
+    """Apply candidate transformations to every seed behavior.
+
+    The shared expansion step of the Figure-6 search and the Pareto
+    explorer: enumerate every applicable transformation instance per
+    seed (optionally restricted to ``hot_nodes`` plus rewrite products,
+    i.e. nodes numbered ``>= fresh_from``), cap each seed's candidate
+    list at ``max_per_seed`` with a seeded sample, and return the next
+    ``Behavior_set`` as (behavior, lineage) pairs in deterministic
+    enumeration order, ready for batch evaluation.
+    """
+    out: List[Tuple[Behavior, Tuple[str, ...]]] = []
+    for behavior, lineage in seeds:
+        candidates = transforms.candidates(behavior)
+        if hot_nodes is not None:
+            candidates = [
+                c for c in candidates
+                if c.touches(hot_nodes)
+                or any(s >= fresh_from for s in c.sites)]
+        if len(candidates) > max_per_seed:
+            candidates = rng.sample(candidates, max_per_seed)
+        for cand in candidates:
+            try:
+                transformed = cand.apply(behavior)
+            except ReproError:
+                continue
+            out.append((transformed,
+                        lineage + (f"{cand.transform}:"
+                                   f"{cand.description}",)))
+    return out
 
 
 @dataclass
@@ -196,28 +235,14 @@ class TransformSearch:
         Returns the next ``Behavior_set`` as (behavior, lineage) pairs,
         in deterministic enumeration order, ready for batch evaluation.
         """
-        out: List[Tuple[Behavior, Tuple[str, ...]]] = []
-        for seed in in_set:
-            candidates = self.transforms.candidates(seed.behavior)
-            if self.hot_nodes is not None:
-                fresh = self._fresh_from if self._fresh_from is not None \
-                    else 0
-                candidates = [
-                    c for c in candidates
-                    if c.touches(self.hot_nodes)
-                    or any(s >= fresh for s in c.sites)]
-            if len(candidates) > self.config.max_candidates_per_seed:
-                candidates = self._rng.sample(
-                    candidates, self.config.max_candidates_per_seed)
-            for cand in candidates:
-                try:
-                    transformed = cand.apply(seed.behavior)
-                except ReproError:
-                    continue
-                out.append((transformed,
-                            seed.lineage + (f"{cand.transform}:"
-                                            f"{cand.description}",)))
-        return out
+        return expand_candidates(
+            self.transforms,
+            [(seed.behavior, seed.lineage) for seed in in_set],
+            self._rng,
+            max_per_seed=self.config.max_candidates_per_seed,
+            hot_nodes=self.hot_nodes,
+            fresh_from=self._fresh_from
+            if self._fresh_from is not None else 0)
 
     def _select(self, ranked: List[Evaluated], k: float
                 ) -> List[Evaluated]:

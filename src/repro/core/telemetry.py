@@ -8,13 +8,20 @@ far.  A :class:`SearchTelemetry` rides along on
 :class:`~repro.core.search.SearchResult` (and therefore
 :class:`~repro.core.fact.FactResult`) and is rendered by
 ``python -m repro optimize --stats`` and the scaling benchmark.
+
+:class:`ExploreTelemetry` is the multi-objective sibling, recorded by
+the Pareto exploration runner (:mod:`repro.explore.runner`): per
+generation it tracks the candidate count, how many evaluations the
+persistent run store served, the archive (front) size, and a
+hypervolume proxy, and it aggregates the run store's hit statistics
+next to the engine cache's.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .evalcache import CacheStats
 
@@ -102,4 +109,103 @@ class SearchTelemetry:
                 f"  gen {g.index:2d} (outer {g.outer_iter}): "
                 f"{g.evaluations:4d} evals, {g.cache_hits:4d} cached, "
                 f"{g.wall_time * 1000:8.1f} ms, best {g.best_score:.4f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExploreGenerationRecord:
+    """One generation of the Pareto exploration loop."""
+
+    index: int
+    wall_time: float
+    candidates: int
+    scheduled: int
+    store_hits: int
+    front_size: int
+    hypervolume: float
+
+    @property
+    def store_hit_rate(self) -> float:
+        if self.candidates <= 0:
+            return 0.0
+        return self.store_hits / self.candidates
+
+
+@dataclass
+class ExploreTelemetry:
+    """Aggregate record of one Pareto exploration run.
+
+    ``store`` and ``cache`` are the run store's and the evaluation
+    engine's :class:`CacheStats`.  A resumed run carries forward the
+    per-generation records of the interrupted one; wall times are the
+    only fields that can differ between an interrupted-and-resumed run
+    and an uninterrupted one — exported fronts contain no telemetry for
+    exactly that reason.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    generations: List[ExploreGenerationRecord] = field(
+        default_factory=list)
+    total_wall_time: float = 0.0
+    store: CacheStats = field(default_factory=CacheStats)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    # -- recording ------------------------------------------------------
+    def start(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def finish(self) -> None:
+        self.total_wall_time += time.perf_counter() - self._t0
+
+    def record_generation(self, wall_time: float, candidates: int,
+                          scheduled: int, store_hits: int,
+                          front_size: int, hypervolume: float) -> None:
+        self.generations.append(ExploreGenerationRecord(
+            index=len(self.generations), wall_time=wall_time,
+            candidates=candidates, scheduled=scheduled,
+            store_hits=store_hits, front_size=front_size,
+            hypervolume=hypervolume))
+
+    # -- views ----------------------------------------------------------
+    @property
+    def evaluations(self) -> int:
+        """Candidate evaluations requested across all generations."""
+        return sum(g.candidates for g in self.generations)
+
+    @property
+    def front_trajectory(self) -> List[int]:
+        """Archive size after each generation."""
+        return [g.front_size for g in self.generations]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "total_wall_time": self.total_wall_time,
+            "evaluations": self.evaluations,
+            "generations": [asdict(g) for g in self.generations],
+            "store": self.store.as_dict(),
+            "cache": self.cache.as_dict(),
+            "front_trajectory": self.front_trajectory,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report for ``--stats``."""
+        lines = [
+            f"explore stats: backend={self.backend} "
+            f"workers={self.workers}",
+            f"  wall time: {self.total_wall_time:.3f}s over "
+            f"{len(self.generations)} generations",
+            f"  store: {self.store.hits} hits / {self.store.misses} "
+            f"misses (hit rate {100 * self.store.hit_rate:.1f}%); "
+            f"engine cache hit rate {100 * self.cache.hit_rate:.1f}%",
+        ]
+        for g in self.generations:
+            lines.append(
+                f"  gen {g.index:2d}: {g.candidates:4d} candidates, "
+                f"{g.store_hits:4d} store hits, {g.scheduled:4d} "
+                f"scheduled, front {g.front_size:3d}, "
+                f"hv {g.hypervolume:8.4f}, "
+                f"{g.wall_time * 1000:8.1f} ms")
         return "\n".join(lines)

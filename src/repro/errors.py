@@ -92,3 +92,7 @@ class SynthError(ReproError):
 
 class BenchError(ReproError):
     """A benchmark circuit definition is inconsistent."""
+
+
+class ExploreError(ReproError):
+    """Design-space exploration failure (bad config, checkpoint, store)."""

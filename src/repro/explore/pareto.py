@@ -1,0 +1,345 @@
+"""Pareto machinery: dominance, NSGA-II selection, the exported front.
+
+The FACT paper optimizes throughput *or* power; its Tables 2–3 are two
+points on one trade-off surface.  This module supplies the
+multi-objective layer: every candidate design is scored on three costs
+(all minimized) —
+
+* **throughput cost** — average schedule length in cycles (its inverse
+  is the paper's throughput metric);
+* **power cost** — the Section-2.2 estimate with iso-throughput Vdd
+  scaling against the untransformed baseline (exactly the power
+  objective of :mod:`repro.core.objectives`, minus the search's
+  datapath tie-break);
+* **area cost** — total normalized area from the synthesis substrate.
+
+Selection is NSGA-II style: non-dominated sorting into fronts, then
+crowding-distance truncation of the last admitted front.  Everything is
+deterministic — ties break on the content fingerprint, never on object
+identity or dict order — because the exploration runner promises
+byte-identical exported fronts across checkpoint/resume cycles.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cdfg.regions import Behavior
+from ..errors import ExploreError
+from ..power.vdd import scaled_vdd_for_schedule
+
+#: Version stamp of the exported front documents.
+FRONT_SCHEMA = 1
+
+#: Objective labels, in tuple order.
+OBJECTIVE_NAMES = ("throughput_cost", "power_cost", "area_cost")
+
+
+@dataclass(frozen=True)
+class DesignMetrics:
+    """Objective-independent raw measurements of one scheduled design.
+
+    These are what the run store persists: they do not depend on the
+    Vdd-scaling baseline, so one evaluation serves every exploration
+    run that shares the scheduling context.
+    """
+
+    length: float   #: average schedule length, cycles
+    energy: float   #: per-execution energy, Vdd²-normalized units
+    area: float     #: total normalized area
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"length": self.length, "energy": self.energy,
+                "area": self.area}
+
+
+def objectives_from_metrics(metrics: DesignMetrics,
+                            baseline_length: float, *,
+                            vdd: float = 5.0, vt: float = 1.0,
+                            cycle_time: float = 1.0
+                            ) -> Tuple[float, float, float]:
+    """Raw metrics → the (throughput, power, area) cost tuple.
+
+    The power term mirrors ``Objective(POWER).evaluate``: a design
+    faster than the baseline is slowed back to the baseline length by
+    lowering Vdd (quadratic energy savings); a slower design violates
+    the iso-throughput constraint and is penalized proportionally.
+    """
+    length = metrics.length
+    if length <= baseline_length:
+        v = scaled_vdd_for_schedule(length, baseline_length,
+                                    vdd_initial=vdd, vt=vt)
+        power = metrics.energy * v ** 2 / (baseline_length * cycle_time)
+    else:
+        power = (metrics.energy * vdd ** 2 / (length * cycle_time)
+                 * (length / baseline_length))
+    return (length, power, metrics.area)
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated design in the exploration space.
+
+    ``behavior`` is carried while the point can still seed further
+    transformations; archive copies and exported fronts drop it (see
+    :meth:`stripped`).
+    """
+
+    fingerprint: str
+    lineage: Tuple[str, ...]
+    metrics: DesignMetrics
+    objectives: Tuple[float, float, float]
+    behavior: Optional[Behavior] = None
+
+    def stripped(self) -> "DesignPoint":
+        """A copy without the behavior (for checkpoints and exports)."""
+        return DesignPoint(self.fingerprint, self.lineage, self.metrics,
+                           self.objectives, None)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "fingerprint": self.fingerprint,
+            "lineage": list(self.lineage),
+            "metrics": self.metrics.as_dict(),
+            "objectives": dict(zip(OBJECTIVE_NAMES, self.objectives)),
+        }
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if cost vector ``a`` Pareto-dominates ``b`` (minimization)."""
+    no_worse = all(x <= y for x, y in zip(a, b))
+    return no_worse and any(x < y for x, y in zip(a, b))
+
+
+def non_dominated_sort(objectives: Sequence[Sequence[float]]
+                       ) -> List[List[int]]:
+    """Deb's fast non-dominated sort.
+
+    Returns index lists, front by front (front 0 = non-dominated).
+    Indices within a front keep their input order, so the sort is
+    deterministic for deterministic input order.
+    """
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    for i in range(n):
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        nxt: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current += 1
+        fronts.append(sorted(nxt))
+    fronts.pop()  # the terminating empty front
+    return fronts
+
+
+def crowding_distance(objectives: Sequence[Sequence[float]],
+                      front: Sequence[int]) -> Dict[int, float]:
+    """NSGA-II crowding distance of each index in ``front``."""
+    distance = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    n_obj = len(objectives[front[0]])
+    for m in range(n_obj):
+        ordered = sorted(front, key=lambda i: objectives[i][m])
+        lo = objectives[ordered[0]][m]
+        hi = objectives[ordered[-1]][m]
+        distance[ordered[0]] = distance[ordered[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0:
+            continue
+        for prev, cur, nxt in zip(ordered, ordered[1:], ordered[2:]):
+            if distance[cur] != float("inf"):
+                distance[cur] += ((objectives[nxt][m]
+                                   - objectives[prev][m]) / span)
+    return distance
+
+
+def nsga2_select(points: Sequence[DesignPoint],
+                 size: int) -> List[DesignPoint]:
+    """Select the next population: fronts first, crowding to truncate.
+
+    Ties in crowding distance break on the fingerprint so the selection
+    is a pure function of the candidate multiset.
+    """
+    if len(points) <= size:
+        return list(points)
+    objectives = [p.objectives for p in points]
+    chosen: List[int] = []
+    for front in non_dominated_sort(objectives):
+        if len(chosen) + len(front) <= size:
+            chosen.extend(front)
+            if len(chosen) == size:
+                break
+            continue
+        distance = crowding_distance(objectives, front)
+        ranked = sorted(front,
+                        key=lambda i: (-distance[i],
+                                       points[i].fingerprint))
+        chosen.extend(ranked[:size - len(chosen)])
+        break
+    return [points[i] for i in chosen]
+
+
+class ParetoFront:
+    """The elitist archive of every non-dominated design seen so far.
+
+    Updates are deterministic: a new point is admitted iff no archived
+    point dominates it (duplicates by fingerprint are merged), and
+    admitting it drops every archived point it dominates.
+    """
+
+    def __init__(self, baseline_length: Optional[float] = None,
+                 points: Optional[Sequence[DesignPoint]] = None) -> None:
+        self.baseline_length = baseline_length
+        self._points: List[DesignPoint] = []
+        self._by_fp: Dict[str, DesignPoint] = {}
+        for p in points or ():
+            self.add(p)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self.sorted_points())
+
+    # -- growth ---------------------------------------------------------
+    def add(self, point: DesignPoint) -> bool:
+        """Offer a point to the archive; True if it was admitted.
+
+        A point is rejected if an archived point dominates it *or*
+        scores identically (one representative per objective vector —
+        the first seen, which is deterministic because the exploration
+        loop offers points in deterministic order).
+        """
+        if point.fingerprint in self._by_fp:
+            return False
+        for existing in self._points:
+            if (existing.objectives == point.objectives
+                    or dominates(existing.objectives,
+                                 point.objectives)):
+                return False
+        kept = [p for p in self._points
+                if not dominates(point.objectives, p.objectives)]
+        dropped = len(self._points) - len(kept)
+        if dropped:
+            self._points = kept
+            self._by_fp = {p.fingerprint: p for p in kept}
+        stripped = point.stripped()
+        self._points.append(stripped)
+        self._by_fp[stripped.fingerprint] = stripped
+        return True
+
+    def update(self, points: Sequence[DesignPoint]) -> int:
+        """Offer many points; returns how many were admitted."""
+        return sum(1 for p in points if self.add(p))
+
+    # -- views ----------------------------------------------------------
+    def sorted_points(self) -> List[DesignPoint]:
+        """Members in canonical order (objectives, then fingerprint)."""
+        return sorted(self._points,
+                      key=lambda p: (p.objectives, p.fingerprint))
+
+    def best(self, objective: int) -> DesignPoint:
+        """The front's endpoint for one objective axis (0/1/2)."""
+        if not self._points:
+            raise ExploreError("the front is empty")
+        return min(self._points,
+                   key=lambda p: (p.objectives[objective],
+                                  p.fingerprint))
+
+    def hypervolume_proxy(self) -> float:
+        """A cheap monotone stand-in for the dominated hypervolume.
+
+        Sum over members of the normalized rectangle each dominates
+        below the front's nadir (componentwise worst + 5% margin).
+        Overlaps are double-counted and the reference box is the
+        front's own extent, so this is *not* the true hypervolume and
+        is not monotone across updates — it is a deterministic,
+        scale-free spread indicator (0 for an empty front, 1 for a
+        single point, up to ``len(front)``) that is cheap at any front
+        size, which is all the per-generation telemetry needs.
+        """
+        if not self._points:
+            return 0.0
+        n_obj = len(self._points[0].objectives)
+        ref = [max(p.objectives[m] for p in self._points) * 1.05 + 1e-12
+               for m in range(n_obj)]
+        ideal = [min(p.objectives[m] for p in self._points)
+                 for m in range(n_obj)]
+        scale = [max(ref[m] - ideal[m], 1e-12) for m in range(n_obj)]
+        total = 0.0
+        for p in self._points:
+            vol = 1.0
+            for m in range(n_obj):
+                vol *= max(ref[m] - p.objectives[m], 0.0) / scale[m]
+            total += vol
+        return total
+
+    # -- export ---------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema": FRONT_SCHEMA,
+            "objectives": list(OBJECTIVE_NAMES),
+            "baseline_length": self.baseline_length,
+            "points": [p.as_dict() for p in self.sorted_points()],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON document (stable bytes for identical fronts)."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    def to_csv(self) -> str:
+        """Canonical CSV: one row per member, canonical order."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(("fingerprint",) + OBJECTIVE_NAMES
+                        + ("length", "energy", "area", "lineage"))
+        for p in self.sorted_points():
+            writer.writerow((p.fingerprint,)
+                            + tuple(repr(v) for v in p.objectives)
+                            + (repr(p.metrics.length),
+                               repr(p.metrics.energy),
+                               repr(p.metrics.area),
+                               " | ".join(p.lineage)))
+        return buf.getvalue()
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "ParetoFront":
+        """Rebuild a front from :meth:`as_dict` / exported JSON."""
+        if doc.get("schema") != FRONT_SCHEMA:
+            raise ExploreError(
+                f"unsupported front schema {doc.get('schema')!r} "
+                f"(expected {FRONT_SCHEMA})")
+        front = cls(baseline_length=doc.get("baseline_length"))
+        for entry in doc.get("points", []):
+            metrics = DesignMetrics(**entry["metrics"])
+            objectives = tuple(entry["objectives"][name]
+                               for name in OBJECTIVE_NAMES)
+            front.add(DesignPoint(entry["fingerprint"],
+                                  tuple(entry["lineage"]),
+                                  metrics, objectives))
+        return front
+
+    @classmethod
+    def from_json(cls, text: str) -> "ParetoFront":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,463 @@
+"""Checkpointed, resumable Pareto exploration.
+
+The runner drives an NSGA-II-style generational loop over the FACT
+transformation space:
+
+1. the input behavior is evaluated (its average schedule length becomes
+   the Vdd-scaling baseline for the power objective);
+2. optionally, two **warm-start** searches — the existing single-
+   objective ``Apply_transforms`` flow, one run per objective — seed
+   the population with the designs ``repro.optimize`` would find, so
+   the front's endpoints never trail the single-objective results under
+   the same seed and budget;
+3. each generation expands the population through the shared
+   :func:`repro.core.search.expand_candidates` step, evaluates every
+   candidate through the persistent :class:`~repro.explore.store
+   .RunStore` (misses are scheduled by the PR-1
+   :class:`~repro.core.engine.EvaluationEngine`, fanning out across its
+   ``ProcessPoolExecutor`` when ``workers >= 2``), folds the results
+   into the elitist :class:`~repro.explore.pareto.ParetoFront` archive,
+   and selects the next population by non-dominated sorting + crowding
+   distance.
+
+**Determinism / resume contract**: the trajectory is a pure function of
+(seed, config, evaluation context).  After every generation the full
+loop state — RNG state, population (with behaviors), archive, telemetry
+records — is pickled atomically to the checkpoint file.  SIGINT sets a
+flag; the loop finishes the generation in flight, flushes the
+checkpoint, and returns cleanly (a second SIGINT aborts immediately;
+the checkpoint of the last *completed* generation is still on disk).
+``resume=True`` restores the state and continues bit-for-bit: the
+exported front of an interrupted-and-resumed run is byte-identical to
+an uninterrupted run with the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import signal
+import tempfile
+import threading
+import time
+from dataclasses import astuple, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cdfg.ir import _digest
+from ..cdfg.regions import Behavior
+from ..errors import ExploreError, ReproError
+from ..hw import Allocation, Library, dac98_library
+from ..power.model import estimate_power
+from ..sched.types import BranchProbs, SchedConfig
+from ..synth.area import total_area
+from ..transforms import TransformLibrary, default_library
+from ..core.engine import (Evaluated, EvaluationEngine,
+                           context_fingerprint)
+from ..core.evalcache import CacheStats
+from ..core.fact import Fact, FactConfig
+from ..core.objectives import POWER, THROUGHPUT, Objective
+from ..core.search import SearchConfig, expand_candidates
+from ..core.telemetry import ExploreTelemetry
+from .pareto import (DesignMetrics, DesignPoint, ParetoFront,
+                     nsga2_select, objectives_from_metrics)
+from .store import RunStore, StoredEval, default_store_root
+
+#: Version stamp of the pickled checkpoint documents.
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass
+class ExploreConfig:
+    """Tuning knobs for one exploration run.
+
+    ``search`` is the budget handed to the warm-start single-objective
+    searches (default: a :class:`SearchConfig` sharing ``seed`` /
+    ``workers`` / ``cache_size``); everything else shapes the
+    multi-objective loop itself.
+    """
+
+    generations: int = 4
+    population_size: int = 8
+    max_candidates_per_seed: int = 24
+    seed: int = 0
+    workers: Optional[int] = None
+    cache_size: int = 4096
+    warm_start: bool = True
+    sched: SchedConfig = field(default_factory=SchedConfig)
+    search: Optional[SearchConfig] = None
+    vdd: float = 5.0
+    vt: float = 1.0
+    cycle_time: float = 1.0
+
+    def warm_start_search(self) -> SearchConfig:
+        """The warm-start budget (explicit, or derived from the knobs)."""
+        if self.search is not None:
+            return self.search
+        return SearchConfig(seed=self.seed, workers=self.workers,
+                            cache_size=self.cache_size)
+
+    def identity(self) -> Tuple:
+        """Everything that shapes the search trajectory (for the run
+        fingerprint; ``generations`` is deliberately excluded so a
+        finished run can be extended by resuming with a higher cap)."""
+        return (self.population_size, self.max_candidates_per_seed,
+                self.seed, self.warm_start,
+                astuple(self.warm_start_search()),
+                self.vdd, self.vt, self.cycle_time)
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one (possibly interrupted) exploration run."""
+
+    front: ParetoFront
+    generations: int
+    interrupted: bool
+    telemetry: ExploreTelemetry
+    store_stats: CacheStats
+    checkpoint_path: str
+
+    @property
+    def evaluations(self) -> int:
+        return self.telemetry.evaluations
+
+    @property
+    def store_hit_rate(self) -> float:
+        return self.store_stats.hit_rate
+
+
+class ExploreRunner:
+    """Runs (and resumes) the multi-objective exploration loop."""
+
+    def __init__(self, behavior: Behavior, allocation: Allocation, *,
+                 library: Optional[Library] = None,
+                 transforms: Optional[TransformLibrary] = None,
+                 config: Optional[ExploreConfig] = None,
+                 branch_probs: Optional[BranchProbs] = None,
+                 store: Union[RunStore, str, "os.PathLike[str]",
+                              None] = None,
+                 checkpoint_path: Union[str, "os.PathLike[str]",
+                                        None] = None) -> None:
+        self.behavior = behavior
+        self.allocation = allocation
+        self.library = library or dac98_library()
+        self.transforms = transforms or default_library()
+        self.config = config or ExploreConfig()
+        self.branch_probs = branch_probs
+        if isinstance(store, RunStore):
+            self.store = store
+        else:
+            self.store = RunStore(store if store is not None
+                                  else default_store_root())
+        self._context_fp = context_fingerprint(
+            self.library, allocation, self.config.sched, branch_probs)
+        self.run_fingerprint = _digest(
+            (self._context_fp + "|"
+             + repr(self.config.identity())).encode()).hexdigest()
+        if checkpoint_path is not None:
+            self.checkpoint_path = Path(checkpoint_path)
+        else:
+            self.checkpoint_path = (self.store.root / "runs"
+                                    / f"{self.run_fingerprint}.ckpt")
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask the loop to checkpoint and return after the current
+        generation (what the SIGINT handler calls)."""
+        self._stop_requested = True
+
+    def run(self, resume: bool = False) -> ExploreResult:
+        """Explore; returns the front found within the generation cap.
+
+        With ``resume=True`` and an existing checkpoint, continues the
+        interrupted run; without a checkpoint it starts fresh.
+        """
+        cfg = self.config
+        engine = EvaluationEngine(
+            self.library, self.allocation, Objective(THROUGHPUT),
+            sched_config=cfg.sched, branch_probs=self.branch_probs,
+            workers=cfg.workers, cache_size=cfg.cache_size)
+        telemetry = ExploreTelemetry(backend=engine.backend,
+                                     workers=max(engine.workers, 1),
+                                     store=self.store.stats,
+                                     cache=engine.stats)
+        interrupted = False
+        front: Optional[ParetoFront] = None
+        generation = 0
+        previous_handler = self._install_sigint()
+        telemetry.start()
+        try:
+            with engine:
+                state = self._load_checkpoint() if resume else None
+                if state is not None:
+                    rng = random.Random()
+                    rng.setstate(state["rng_state"])
+                    generation = state["generation"]
+                    population = state["population"]
+                    baseline_length = state["baseline_length"]
+                    front = ParetoFront(baseline_length=baseline_length,
+                                        points=state["front"])
+                    telemetry.generations = list(state["records"])
+                else:
+                    rng = random.Random(cfg.seed)
+                    generation = 0
+                    baseline_length, population, front = \
+                        self._bootstrap(engine)
+                    self._save_checkpoint(generation, rng, population,
+                                          front, telemetry,
+                                          baseline_length)
+                while generation < cfg.generations:
+                    if self._stop_requested:
+                        interrupted = True
+                        break
+                    t0 = time.perf_counter()
+                    hits_before = self.store.stats.hits
+                    seeds = [(p.behavior, p.lineage)
+                             for p in population
+                             if p.behavior is not None]
+                    pairs = expand_candidates(
+                        self.transforms, seeds, rng,
+                        max_per_seed=cfg.max_candidates_per_seed)
+                    points, scheduled = self._evaluate_pairs(
+                        pairs, engine, baseline_length)
+                    front.update(points)
+                    population = self._next_population(population,
+                                                       points)
+                    generation += 1
+                    telemetry.record_generation(
+                        wall_time=time.perf_counter() - t0,
+                        candidates=len(pairs), scheduled=scheduled,
+                        store_hits=self.store.stats.hits - hits_before,
+                        front_size=len(front),
+                        hypervolume=front.hypervolume_proxy())
+                    self._save_checkpoint(generation, rng, population,
+                                          front, telemetry,
+                                          baseline_length)
+        except KeyboardInterrupt:
+            # A second SIGINT (or one outside our handler's reach)
+            # lands here: the checkpoint of the last completed
+            # generation is already on disk.
+            interrupted = True
+        finally:
+            self._restore_sigint(previous_handler)
+            telemetry.finish()
+        if front is None:
+            raise ExploreError(
+                "interrupted before the first evaluation completed; "
+                "nothing to checkpoint")
+        return ExploreResult(front=front, generations=generation,
+                             interrupted=interrupted,
+                             telemetry=telemetry,
+                             store_stats=self.store.stats,
+                             checkpoint_path=str(self.checkpoint_path))
+
+    # -- bootstrap ------------------------------------------------------
+    def _bootstrap(self, engine: EvaluationEngine
+                   ) -> Tuple[float, List[DesignPoint], ParetoFront]:
+        """Evaluate the input (the baseline) and the warm starts."""
+        cfg = self.config
+        key, record = self._resolve_one(self.behavior, engine)
+        if not record.feasible:
+            raise ExploreError(
+                "the input behavior itself cannot be scheduled under "
+                "the given allocation")
+        baseline_length = record.metrics.length
+        front = ParetoFront(baseline_length=baseline_length)
+        population = [self._point(key, self.behavior, (), record,
+                                  baseline_length)]
+        front.add(population[0])
+        if cfg.warm_start:
+            fact = Fact(self.library, self.transforms, FactConfig(
+                sched=cfg.sched, search=cfg.warm_start_search(),
+                vdd=cfg.vdd, vt=cfg.vt))
+            for objective in (THROUGHPUT, POWER):
+                result = fact.optimize(self.behavior, self.allocation,
+                                       objective=objective,
+                                       branch_probs=self.branch_probs)
+                best = result.best
+                k, rec = self._resolve_one(best.behavior, engine)
+                if not rec.feasible:
+                    continue
+                point = self._point(k, best.behavior, best.lineage,
+                                    rec, baseline_length)
+                front.add(point)
+                population.append(point)
+        return baseline_length, population, front
+
+    # -- evaluation -----------------------------------------------------
+    def _resolve_one(self, behavior: Behavior, engine: EvaluationEngine
+                     ) -> Tuple[str, StoredEval]:
+        key = RunStore.key_for(self._context_fp, behavior)
+        record = self.store.get(key)
+        if record is None:
+            metrics = self._measure(engine.evaluate(behavior))
+            self.store.put(key, metrics)
+            record = StoredEval(metrics)
+        return key, record
+
+    def _evaluate_pairs(self,
+                        pairs: Sequence[Tuple[Behavior,
+                                              Tuple[str, ...]]],
+                        engine: EvaluationEngine,
+                        baseline_length: float
+                        ) -> Tuple[List[DesignPoint], int]:
+        """Score candidates through the store; returns (points, how
+        many actually had to be scheduled)."""
+        keyed = [(behavior, lineage,
+                  RunStore.key_for(self._context_fp, behavior))
+                 for behavior, lineage in pairs]
+        resolved: Dict[str, StoredEval] = {}
+        misses: List[Tuple[Behavior, str]] = []
+        for behavior, _lineage, key in keyed:
+            if key in resolved:
+                # Duplicate within the generation: counts as a hit.
+                self.store.stats.hits += 1
+                continue
+            record = self.store.get(key)
+            if record is not None:
+                resolved[key] = record
+            else:
+                resolved[key] = StoredEval(None)  # placeholder
+                misses.append((behavior, key))
+        scheduled = len(misses)
+        if misses:
+            evaluated = engine.evaluate_batch(
+                [(behavior, ()) for behavior, _ in misses])
+            for (behavior, key), ev in zip(misses, evaluated):
+                metrics = self._measure(ev)
+                self.store.put(key, metrics)
+                resolved[key] = StoredEval(metrics)
+        points: List[DesignPoint] = []
+        for behavior, lineage, key in keyed:
+            record = resolved[key]
+            if not record.feasible:
+                continue
+            points.append(self._point(key, behavior, lineage, record,
+                                      baseline_length))
+        return points, scheduled
+
+    def _measure(self, evaluated: Evaluated
+                 ) -> Optional[DesignMetrics]:
+        """Evaluated schedule → raw metrics (None if infeasible)."""
+        result = evaluated.result
+        if result is None:
+            return None
+        cfg = self.config
+        try:
+            est = estimate_power(result.stg, result.behavior.graph,
+                                 self.library, vdd=cfg.vdd,
+                                 cycle_time=cfg.cycle_time)
+            area = total_area(result)
+        except ReproError:
+            return None
+        return DesignMetrics(length=result.average_length(),
+                             energy=est.total_energy, area=area)
+
+    def _point(self, key: str, behavior: Behavior,
+               lineage: Tuple[str, ...], record: StoredEval,
+               baseline_length: float) -> DesignPoint:
+        cfg = self.config
+        assert record.metrics is not None
+        objectives = objectives_from_metrics(
+            record.metrics, baseline_length, vdd=cfg.vdd, vt=cfg.vt,
+            cycle_time=cfg.cycle_time)
+        return DesignPoint(key, tuple(lineage), record.metrics,
+                           objectives, behavior)
+
+    def _next_population(self, population: Sequence[DesignPoint],
+                         points: Sequence[DesignPoint]
+                         ) -> List[DesignPoint]:
+        pool: List[DesignPoint] = []
+        seen = set()
+        for p in list(population) + list(points):
+            if p.fingerprint in seen or p.behavior is None:
+                continue
+            seen.add(p.fingerprint)
+            pool.append(p)
+        return nsga2_select(pool, self.config.population_size)
+
+    # -- checkpointing --------------------------------------------------
+    def _save_checkpoint(self, generation: int, rng: random.Random,
+                         population: Sequence[DesignPoint],
+                         front: ParetoFront,
+                         telemetry: ExploreTelemetry,
+                         baseline_length: float) -> None:
+        doc = {
+            "schema": CHECKPOINT_SCHEMA,
+            "run": self.run_fingerprint,
+            "generation": generation,
+            "rng_state": rng.getstate(),
+            "population": list(population),
+            "front": front.sorted_points(),
+            "baseline_length": baseline_length,
+            "records": list(telemetry.generations),
+        }
+        path = self.checkpoint_path
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(doc, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            raise ExploreError(
+                f"cannot write checkpoint {path}: {exc}") from exc
+
+    def _load_checkpoint(self) -> Optional[dict]:
+        path = self.checkpoint_path
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                doc = pickle.load(handle)
+        # Unpickling garbage can raise nearly anything (ValueError,
+        # ImportError, EOFError, ...); every failure means the same
+        # thing here.
+        except Exception as exc:
+            raise ExploreError(
+                f"checkpoint {path} is unreadable ({exc}); delete it "
+                f"to start over") from exc
+        if doc.get("schema") != CHECKPOINT_SCHEMA:
+            raise ExploreError(
+                f"checkpoint {path} has schema {doc.get('schema')!r}; "
+                f"this build expects {CHECKPOINT_SCHEMA}")
+        if doc.get("run") != self.run_fingerprint:
+            raise ExploreError(
+                f"checkpoint {path} belongs to a different run "
+                f"configuration; delete it or match the original "
+                f"seed/config")
+        return doc
+
+    # -- signals --------------------------------------------------------
+    def _install_sigint(self):
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        def handler(signum, frame):
+            if self._stop_requested:
+                raise KeyboardInterrupt
+            self.request_stop()
+        try:
+            previous = signal.getsignal(signal.SIGINT)
+            signal.signal(signal.SIGINT, handler)
+            return previous
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            return None
+
+    def _restore_sigint(self, previous) -> None:
+        if previous is None:
+            return
+        try:
+            signal.signal(signal.SIGINT, previous)
+        except (ValueError, OSError):  # pragma: no cover
+            pass

@@ -1,0 +1,210 @@
+"""The content-addressed on-disk run store.
+
+Every design the explorer evaluates is persisted under a key extending
+the WL-hash scheme of :mod:`repro.core.evalcache`::
+
+    key = digest(context_fingerprint ":" behavior_fingerprint)
+
+where the context fingerprint (:func:`repro.core.engine
+.context_fingerprint`, *without* an objective) pins the library,
+allocation, scheduler configuration and branch probabilities, and the
+behavior fingerprint is invariant under node renumbering.  Records hold
+objective-independent raw metrics (schedule length, energy, area), so
+one evaluation serves throughput, power *and* area scoring — and every
+later run or concurrent process sharing the context.
+
+Layout, durability, and failure model:
+
+* ``<root>/v1/<key[:2]>/<key>.json`` — one JSON record per design, in a
+  fan-out of 256 subdirectories; the ``v1`` segment is the layout
+  version, and each record carries a ``schema`` field besides;
+* writes go to a temp file in the destination directory and are
+  published with ``os.replace``, so readers (including other processes)
+  never observe a half-written record;
+* loading is corruption-tolerant: a truncated, unparsable, wrong-schema
+  or wrong-shape record is *skipped with a warning* (a
+  :class:`RunStoreWarning`) and treated as a miss — the next evaluation
+  simply rewrites it.
+
+Hit/miss statistics reuse :class:`repro.core.evalcache.CacheStats`, the
+same object the in-memory evaluation cache reports through
+``repro.api``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..cdfg.ir import _digest
+from ..cdfg.regions import Behavior
+from ..core.evalcache import CacheStats, behavior_fingerprint
+from ..errors import ExploreError
+from .pareto import DesignMetrics
+
+#: Record schema version written into (and required of) every entry.
+STORE_SCHEMA = 1
+
+#: Layout version directory under the store root.
+LAYOUT_DIR = "v1"
+
+#: Environment knob consulted when no explicit store root is given.
+STORE_ENV = "REPRO_STORE"
+
+
+def default_store_root() -> str:
+    """The store directory when none is specified: ``$REPRO_STORE`` or
+    ``.repro-store`` under the current directory."""
+    return os.environ.get(STORE_ENV, "").strip() or ".repro-store"
+
+
+class RunStoreWarning(UserWarning):
+    """A run-store entry was unreadable and will be re-evaluated."""
+
+
+class StoredEval:
+    """One persisted evaluation outcome.
+
+    ``metrics`` is ``None`` for a design the scheduler rejected under
+    this context — remembering infeasibility saves rescheduling it in
+    every later run.
+    """
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: Optional[DesignMetrics]) -> None:
+        self.metrics = metrics
+
+    @property
+    def feasible(self) -> bool:
+        return self.metrics is not None
+
+
+class RunStore:
+    """Content-addressed, multi-process-safe store of design metrics.
+
+    A thin in-memory layer (plain dict, unbounded within a run) sits in
+    front of the directory so repeated lookups of one key cost one file
+    read at most.  Pass a shared ``stats`` object to aggregate counters
+    with another cache; otherwise the store owns a fresh
+    :class:`CacheStats`.
+    """
+
+    def __init__(self, root: Union[str, "os.PathLike[str]"], *,
+                 stats: Optional[CacheStats] = None) -> None:
+        self.root = Path(root)
+        self.stats = stats if stats is not None else CacheStats()
+        #: records skipped because they could not be read back
+        self.corrupt_entries = 0
+        self._mem: Dict[str, StoredEval] = {}
+        try:
+            (self.root / LAYOUT_DIR).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ExploreError(
+                f"cannot create run store at {self.root}: {exc}") from exc
+
+    # -- keys -----------------------------------------------------------
+    @staticmethod
+    def key_for(context_fp: str, behavior: Behavior) -> str:
+        """Store key of ``behavior`` under a fixed evaluation context."""
+        return _digest((context_fp + ":"
+                        + behavior_fingerprint(behavior)).encode()
+                       ).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / LAYOUT_DIR / key[:2] / f"{key}.json"
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, key: str) -> Optional[StoredEval]:
+        """Look up ``key``; None (a miss) if absent or unreadable."""
+        cached = self._mem.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        record = self._read_record(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._mem[key] = record
+        return record
+
+    def _read_record(self, key: str) -> Optional[StoredEval]:
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                doc = json.load(handle)
+            return _decode(doc)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.corrupt_entries += 1
+            warnings.warn(
+                f"run store: skipping unreadable entry {path.name} "
+                f"({exc}); it will be re-evaluated", RunStoreWarning,
+                stacklevel=3)
+            return None
+
+    # -- insertion ------------------------------------------------------
+    def put(self, key: str, metrics: Optional[DesignMetrics]) -> None:
+        """Persist one evaluation (atomically) and cache it in memory."""
+        entry = StoredEval(metrics)
+        self._mem[key] = entry
+        doc: Dict[str, object] = {"schema": STORE_SCHEMA,
+                                  "feasible": entry.feasible}
+        if metrics is not None:
+            doc.update(metrics.as_dict())
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(doc, handle, sort_keys=True)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError as exc:
+            # A read-only or full disk degrades to in-memory behavior.
+            warnings.warn(f"run store: cannot persist {path.name}: "
+                          f"{exc}", RunStoreWarning, stacklevel=2)
+
+    # -- maintenance ----------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    def scan(self) -> Iterator[Tuple[str, Optional[StoredEval]]]:
+        """Iterate (key, record) over the on-disk entries.
+
+        Unreadable entries yield ``(key, None)`` after warning, so
+        callers can garbage-collect them.
+        """
+        layout = self.root / LAYOUT_DIR
+        if not layout.is_dir():
+            return
+        for path in sorted(layout.glob("*/*.json")):
+            yield path.stem, self._read_record(path.stem)
+
+
+def _decode(doc: Dict[str, object]) -> StoredEval:
+    """Validate and decode one record (raises on any shape problem)."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"record is {type(doc).__name__}, not an object")
+    if doc.get("schema") != STORE_SCHEMA:
+        raise ValueError(f"schema {doc.get('schema')!r} != {STORE_SCHEMA}")
+    if not doc["feasible"]:
+        return StoredEval(None)
+    metrics = DesignMetrics(length=float(doc["length"]),
+                            energy=float(doc["energy"]),
+                            area=float(doc["area"]))
+    if not (metrics.length > 0):
+        raise ValueError(f"non-positive length {metrics.length!r}")
+    return StoredEval(metrics)

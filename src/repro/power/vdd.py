@@ -36,16 +36,22 @@ def solve_vdd(target_slowdown: float, vdd_initial: float = 5.0,
     designs operate).
 
     Args:
-        target_slowdown: desired delay multiplier, ≥ 1.
+        target_slowdown: desired delay multiplier, ≥ 1.  A slowdown of
+            exactly 1.0 returns ``vdd_initial``; a slowdown larger than
+            the ``2·Vt`` floor can realize returns that floor (the
+            model's validity edge).
 
     Raises:
-        PowerError: for a speed-up request (slowdown < 1) — scaling
-            *up* past the nominal supply is out of the model's scope.
+        PowerError: for a speed-up request (slowdown < 1) or a
+            non-finite target — scaling *up* past the nominal supply is
+            out of the model's scope.
     """
-    if target_slowdown < 1.0 - 1e-9:
+    if not (target_slowdown >= 1.0 - 1e-9):  # also catches NaN
         raise PowerError(
             f"cannot scale Vdd for a speed-up (slowdown "
             f"{target_slowdown:.4f} < 1)")
+    if target_slowdown == float("inf"):
+        raise PowerError("target slowdown must be finite")
     if target_slowdown <= 1.0 + 1e-12:
         return vdd_initial
     lo = max(2.0 * vt, vt + 1e-6)  # stay on the monotonic branch

@@ -6,7 +6,7 @@ controller estimation, area reporting, and activity-based power
 simulation (the IRSIM-CAP substitute).
 """
 
-from .area import AreaReport, SynthesizedDesign, synthesize
+from .area import AreaReport, SynthesizedDesign, synthesize, total_area
 from .binding import Binding, FuInstance, bind_functional_units
 from .controller import ControllerEstimate, estimate_controller
 from .interconnect import InterconnectEstimate, estimate_interconnect
@@ -22,5 +22,5 @@ __all__ = [
     "allocate_registers", "bind_functional_units", "estimate_controller",
     "estimate_interconnect", "linearize_states", "netlist_text",
     "simulate_power",
-    "synthesize", "value_lifetimes",
+    "synthesize", "total_area", "value_lifetimes",
 ]

@@ -57,6 +57,16 @@ def synthesize(result: ScheduleResult) -> SynthesizedDesign:
                              controller, area)
 
 
+def total_area(result: ScheduleResult) -> float:
+    """Total normalized area of a scheduled design.
+
+    Convenience for consumers that only need the scalar (the Pareto
+    explorer's area objective): runs the full synthesis substrate and
+    returns ``AreaReport.total``.
+    """
+    return synthesize(result).area.total
+
+
 def _area_report(result: ScheduleResult, binding: Binding,
                  registers: RegisterAllocation,
                  interconnect: InterconnectEstimate,

@@ -1,0 +1,157 @@
+"""Unit tests for the Pareto machinery (dominance, NSGA-II, exports)."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore import (DesignMetrics, DesignPoint, ParetoFront,
+                           crowding_distance, dominates,
+                           non_dominated_sort, nsga2_select,
+                           objectives_from_metrics)
+
+
+def point(fp, objectives, lineage=()):
+    t, p, a = objectives
+    return DesignPoint(fp, tuple(lineage),
+                       DesignMetrics(length=t, energy=p, area=a),
+                       tuple(float(v) for v in objectives))
+
+
+class TestDominance:
+    def test_strict_and_equal(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+        assert dominates((1, 1, 1), (1, 1, 2))
+        assert not dominates((1, 1, 1), (1, 1, 1))
+        assert not dominates((1, 3, 1), (2, 2, 2))  # trade-off
+
+    def test_sort_fronts(self):
+        objs = [(1, 4), (2, 3), (3, 3), (4, 1), (5, 5)]
+        fronts = non_dominated_sort(objs)
+        assert fronts[0] == [0, 1, 3]
+        assert fronts[1] == [2]
+        assert fronts[2] == [4]
+
+    def test_crowding_extremes_infinite(self):
+        objs = [(1.0, 4.0), (2.0, 3.0), (3.0, 2.0), (4.0, 1.0)]
+        dist = crowding_distance(objs, [0, 1, 2, 3])
+        assert dist[0] == float("inf")
+        assert dist[3] == float("inf")
+        assert 0 < dist[1] < float("inf")
+
+
+class TestSelect:
+    def test_small_population_passthrough(self):
+        pts = [point("a", (1, 2, 3)), point("b", (3, 2, 1))]
+        assert nsga2_select(pts, 5) == pts
+
+    def test_prefers_first_front_then_crowding(self):
+        pts = [point("a", (1, 4, 0)), point("b", (4, 1, 0)),
+               point("c", (2, 3, 0)), point("d", (3, 2, 0)),
+               point("e", (5, 5, 0))]  # dominated
+        chosen = nsga2_select(pts, 4)
+        names = {p.fingerprint for p in chosen}
+        assert "e" not in names
+        assert len(chosen) == 4
+
+    def test_deterministic_tiebreak(self):
+        pts = [point(fp, (1.0, float(i % 2), 0.0))
+               for i, fp in enumerate("abcdef")]
+        first = [p.fingerprint for p in nsga2_select(pts, 3)]
+        second = [p.fingerprint for p in nsga2_select(list(pts), 3)]
+        assert first == second
+
+
+class TestParetoFront:
+    def test_add_drops_dominated(self):
+        front = ParetoFront()
+        assert front.add(point("a", (2, 2, 2)))
+        assert front.add(point("b", (3, 1, 2)))      # trade-off: kept
+        assert not front.add(point("c", (3, 3, 3)))  # dominated
+        assert front.add(point("d", (1, 1, 1)))      # dominates a and b
+        assert [p.fingerprint for p in front] == ["d"]
+
+    def test_equal_objectives_keep_first(self):
+        front = ParetoFront()
+        assert front.add(point("a", (1, 2, 3)))
+        assert not front.add(point("b", (1, 2, 3)))
+        assert len(front) == 1
+
+    def test_no_member_dominates_another(self):
+        front = ParetoFront()
+        for i in range(40):
+            front.add(point(f"p{i:02d}",
+                            ((i * 7) % 11, (i * 5) % 13, (i * 3) % 7)))
+        members = front.sorted_points()
+        for a in members:
+            for b in members:
+                assert not dominates(a.objectives, b.objectives)
+
+    def test_best_endpoint_and_empty(self):
+        front = ParetoFront()
+        with pytest.raises(ExploreError):
+            front.best(0)
+        front.add(point("a", (1, 9, 5)))
+        front.add(point("b", (9, 1, 5)))
+        assert front.best(0).fingerprint == "a"
+        assert front.best(1).fingerprint == "b"
+
+    def test_hypervolume_proxy_properties(self):
+        assert ParetoFront().hypervolume_proxy() == 0.0
+        front = ParetoFront()
+        front.add(point("a", (4, 4, 4)))
+        assert front.hypervolume_proxy() == pytest.approx(1.0)
+        front.add(point("b", (1, 5, 4)))
+        hv = front.hypervolume_proxy()
+        assert 0.0 < hv <= len(front)
+        # Pure function of the member set, not of insertion order.
+        other = ParetoFront()
+        other.add(point("b", (1, 5, 4)))
+        other.add(point("a", (4, 4, 4)))
+        assert other.hypervolume_proxy() == pytest.approx(hv)
+
+
+class TestExport:
+    def test_json_round_trip_and_stability(self):
+        front = ParetoFront(baseline_length=10.0)
+        front.add(point("b", (2, 1, 3), lineage=("t:x",)))
+        front.add(point("a", (1, 2, 3), lineage=("t:y", "u:z")))
+        text = front.to_json()
+        again = ParetoFront.from_json(text)
+        assert again.to_json() == text
+        assert again.baseline_length == 10.0
+        assert [p.fingerprint for p in again] == ["a", "b"]
+
+    def test_json_rejects_unknown_schema(self):
+        with pytest.raises(ExploreError):
+            ParetoFront.from_json('{"schema": 999, "points": []}')
+
+    def test_csv_shape(self):
+        front = ParetoFront()
+        front.add(point("a", (1.5, 2.5, 3.5), lineage=("t:x",)))
+        lines = front.to_csv().splitlines()
+        assert lines[0].startswith("fingerprint,throughput_cost")
+        assert lines[1].startswith("a,1.5,2.5,3.5")
+        assert len(lines) == 2
+
+
+class TestObjectivesFromMetrics:
+    def test_faster_design_scales_vdd_down(self):
+        m = DesignMetrics(length=5.0, energy=100.0, area=1.0)
+        t, p, a = objectives_from_metrics(m, baseline_length=10.0)
+        assert t == 5.0 and a == 1.0
+        # At full 5 V the power would be 100*25/10 = 250; scaling must
+        # cut it (quadratically) below that.
+        assert p < 250.0
+
+    def test_slower_design_penalized(self):
+        m = DesignMetrics(length=20.0, energy=100.0, area=1.0)
+        _, p, _ = objectives_from_metrics(m, baseline_length=10.0)
+        nominal = 100.0 * 25.0 / 20.0
+        assert p == pytest.approx(nominal * 2.0)
+
+    def test_matches_power_objective(self):
+        # Same formula as Objective(POWER).evaluate, minus tie-break.
+        from repro.power.vdd import scaled_vdd_for_schedule
+        m = DesignMetrics(length=4.0, energy=60.0, area=0.0)
+        _, p, _ = objectives_from_metrics(m, baseline_length=8.0)
+        vdd = scaled_vdd_for_schedule(4.0, 8.0)
+        assert p == pytest.approx(60.0 * vdd ** 2 / 8.0)

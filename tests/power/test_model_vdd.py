@@ -99,3 +99,41 @@ class TestVddScaling:
     def test_bad_lengths_rejected(self):
         with pytest.raises(PowerError):
             scaled_vdd_for_schedule(0.0, 10.0)
+
+
+class TestSolveVddBoundaries:
+    """Edges of the scaling model: slowdown 1.0 and the 2·Vt floor."""
+
+    def test_slowdown_exactly_one_returns_nominal(self):
+        assert solve_vdd(1.0) == 5.0
+        assert solve_vdd(1.0, vdd_initial=3.3) == 3.3
+        # Within solver tolerance of 1.0 counts as "no slack" too.
+        assert solve_vdd(1.0 + 1e-13) == 5.0
+
+    def test_just_below_one_rejected(self):
+        with pytest.raises(PowerError):
+            solve_vdd(1.0 - 1e-6)
+        with pytest.raises(PowerError):
+            solve_vdd(0.0)
+        with pytest.raises(PowerError):
+            solve_vdd(-3.0)
+
+    def test_non_finite_targets_rejected(self):
+        with pytest.raises(PowerError):
+            solve_vdd(float("nan"))
+        with pytest.raises(PowerError):
+            solve_vdd(float("inf"))
+
+    def test_solution_near_floor_still_consistent(self):
+        # A target just inside what the floor can realize: the solved
+        # supply sits barely above 2·Vt and still round-trips.
+        vt = 1.0
+        floor = 2.0 * vt
+        target = slowdown(floor + 1e-3, 5.0, vt)
+        v = solve_vdd(target, vt=vt)
+        assert v == pytest.approx(floor + 1e-3, abs=1e-6)
+        assert slowdown(v, 5.0, vt) == pytest.approx(target, rel=1e-6)
+
+    def test_floor_is_respected_for_any_huge_target(self):
+        for target in (50.0, 1e6, 1e12):
+            assert solve_vdd(target, vt=1.5) >= 2.0 * 1.5

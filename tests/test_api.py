@@ -140,3 +140,39 @@ class TestBackCompat:
                      "SearchConfig", "SchedConfig", "ReproError",
                      "dac98_library", "__version__"):
             assert hasattr(repro, name), name
+
+
+class TestExploreFacade:
+    def small_config(self):
+        return repro.ExploreConfig(
+            generations=1, population_size=4,
+            max_candidates_per_seed=8, seed=1, warm_start=False,
+            search=repro.SearchConfig(max_outer_iters=1, seed=1,
+                                      max_candidates_per_seed=8))
+
+    def test_exports(self):
+        for name in ("explore", "ExploreConfig", "ExploreResult",
+                     "ParetoFront", "RunStore", "CacheStats"):
+            assert hasattr(repro, name), name
+
+    def test_explore_runs_and_reports_store_stats(self, tmp_path):
+        result = repro.explore(GCD_SRC, alloc=ALLOC,
+                               config=self.small_config(),
+                               store=tmp_path / "store")
+        assert len(result.front) >= 1
+        assert isinstance(result.store_stats, repro.CacheStats)
+        assert 0.0 <= result.store_hit_rate <= 1.0
+        assert result.store_stats.misses > 0  # cold store
+
+
+class TestCacheStatsSurface:
+    def test_optimize_exposes_cache_stats(self):
+        cfg = repro.ReproConfig(
+            search=repro.SearchConfig(max_outer_iters=1, seed=1,
+                                      max_candidates_per_seed=12))
+        res = repro.optimize(GCD_SRC, alloc=ALLOC, config=cfg)
+        stats = res.cache_stats
+        assert isinstance(stats, repro.CacheStats)
+        assert stats.hits + stats.misses > 0
+        assert 0.0 <= stats.hit_rate <= 1.0
+        assert stats.evictions >= 0

@@ -100,3 +100,38 @@ class TestTable2:
         out = capsys.readouterr().out
         assert "pps" in out
         assert "Table 2" in out
+
+
+class TestExplore:
+    ARGS = ["--alloc", "sb1=2,cp1=1,e1=1", "--seed", "1",
+            "--generations", "1", "--population", "4",
+            "--candidates-per-seed", "8", "--iterations", "1"]
+
+    def test_smoke_with_exports(self, gcd_file, tmp_path, capsys):
+        front_json = tmp_path / "front.json"
+        front_csv = tmp_path / "front.csv"
+        rc = main(["explore", gcd_file, *self.ARGS,
+                   "--store", str(tmp_path / "store"),
+                   "--export", str(front_json),
+                   "--csv", str(front_csv), "--stats"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "front of" in out
+        assert "store hit rate" in out
+        import json
+        doc = json.loads(front_json.read_text())
+        assert doc["schema"] == 1
+        assert doc["points"]
+        assert front_csv.read_text().startswith("fingerprint,")
+
+    def test_resume_of_finished_run_reproduces_front(self, gcd_file,
+                                                     tmp_path, capsys):
+        store = str(tmp_path / "store")
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["explore", gcd_file, *self.ARGS, "--store", store,
+                     "--export", str(first)]) == 0
+        assert main(["explore", gcd_file, *self.ARGS, "--store", store,
+                     "--resume", "--export", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
