@@ -4,8 +4,10 @@ Runs the same seeded FACT search on Test2 (the paper's Example-2
 circuit) under three engine configurations:
 
 * **baseline** — serial, cache disabled (``cache_size=0`` skips
-  fingerprinting entirely: the pre-engine code path);
-* **memo** — serial with the memoization cache;
+  fingerprinting entirely) and ``incremental=False``: the pre-engine
+  code path;
+* **memo** — serial with the memoization cache (and the default
+  incremental region-schedule cache);
 * **memo+4w** — memoization plus a 4-worker process pool.
 
 Requirements:
@@ -40,21 +42,23 @@ CIRCUIT = "test2"
 SEARCH = SearchConfig(max_outer_iters=8, max_moves=3, in_set_size=5,
                       seed=2, max_candidates_per_seed=48)
 
-CONFIGS: Dict[str, Tuple[int, int]] = {
-    # name -> (workers, cache_size)
-    "baseline": (0, 0),
-    "memo": (0, 4096),
-    "memo+4w": (4, 4096),
+CONFIGS: Dict[str, Tuple[int, int, bool]] = {
+    # name -> (workers, cache_size, incremental)
+    "baseline": (0, 0, False),
+    "memo": (0, 4096, True),
+    "memo+4w": (4, 4096, True),
 }
 
 
-def run_search(workers: int, cache_size: int) -> Tuple[FactResult, float]:
+def run_search(workers: int, cache_size: int,
+               incremental: bool) -> Tuple[FactResult, float]:
     """One seeded FACT run on Test2; returns (result, wall seconds)."""
     c = circuit(CIRCUIT)
     lib = dac98_library()
     beh = c.behavior()
     probs = profile(beh, c.traces(beh)).branch_probs
-    search = replace(SEARCH, workers=workers, cache_size=cache_size)
+    search = replace(SEARCH, workers=workers, cache_size=cache_size,
+                     incremental=incremental)
     fact = Fact(lib, config=FactConfig(sched=c.sched, search=search))
     start = time.perf_counter()
     res = fact.optimize(beh, c.allocation, branch_probs=probs,

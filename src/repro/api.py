@@ -65,8 +65,10 @@ class ReproConfig:
         ReproConfig(workers=4)                      # engine knob only
         ReproConfig(fact=FactConfig(vdd=3.3))       # full control
 
-    ``workers`` / ``cache_size``, when given, override the evaluation
-    engine knobs inside the search section.
+    ``workers`` / ``cache_size`` / ``incremental``, when given, override
+    the evaluation engine knobs inside the search section
+    (``incremental=False`` disables region-level schedule memoization —
+    same results, no reuse; see ``docs/performance.md``).
     """
 
     fact: FactConfig = field(default_factory=FactConfig)
@@ -74,6 +76,7 @@ class ReproConfig:
     search: Optional[SearchConfig] = None
     workers: Optional[int] = None
     cache_size: Optional[int] = None
+    incremental: Optional[bool] = None
 
     def resolved(self) -> FactConfig:
         """Collapse the overrides into one ``FactConfig``."""
@@ -87,6 +90,8 @@ class ReproConfig:
             updates["workers"] = self.workers
         if self.cache_size is not None:
             updates["cache_size"] = self.cache_size
+        if self.incremental is not None:
+            updates["incremental"] = self.incremental
         if updates:
             fact.search = replace(fact.search, **updates)
         return fact

@@ -135,7 +135,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     config = api.ReproConfig(
         sched=SchedConfig(clock=args.clock),
         search=SearchConfig(max_outer_iters=args.iterations,
-                            seed=args.seed),
+                            seed=args.seed,
+                            incremental=not args.no_incremental),
         workers=args.workers)
     result = api.optimize(
         behavior, objective=args.objective, config=config,
@@ -162,14 +163,16 @@ def cmd_explore(args: argparse.Namespace) -> int:
     from .core.search import SearchConfig as _SearchConfig
     from .explore import ExploreConfig
     search = _SearchConfig(max_outer_iters=args.iterations,
-                           seed=args.seed, workers=args.workers)
+                           seed=args.seed, workers=args.workers,
+                           incremental=not args.no_incremental)
     config = ExploreConfig(
         generations=args.generations,
         population_size=args.population,
         max_candidates_per_seed=args.candidates_per_seed,
         seed=args.seed, workers=args.workers,
         warm_start=not args.no_warm_start,
-        sched=SchedConfig(clock=args.clock), search=search)
+        sched=SchedConfig(clock=args.clock), search=search,
+        incremental=not args.no_incremental)
     result = api.explore(
         behavior, config=config, alloc=args.alloc,
         profile_traces=args.profile_traces, store=args.store,
@@ -259,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--stats", action="store_true",
                            help="print engine telemetry (per-generation "
                                 "wall time, cache hit rate)")
+            p.add_argument("--no-incremental", action="store_true",
+                           help="disable region-level schedule "
+                                "memoization (identical results, "
+                                "slower; the benchmark baseline)")
         p.set_defaults(func=func)
 
     p = sub.add_parser(
@@ -299,6 +306,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print per-generation telemetry (front size, "
                         "hypervolume proxy, store hit rate)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable region-level schedule memoization "
+                        "(identical results, slower)")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")

@@ -7,13 +7,13 @@ from .objectives import POWER, THROUGHPUT, Objective
 from .partition import (StgBlock, hot_cdfg_nodes, partition_stg,
                         relative_frequencies)
 from .search import SearchConfig, SearchResult, TransformSearch
-from .telemetry import GenerationRecord, SearchTelemetry
+from .telemetry import EvalStats, GenerationRecord, SearchTelemetry
 
 __all__ = [
-    "CacheStats", "EvalCache", "Evaluated", "EvaluationEngine", "Fact",
-    "FactConfig", "FactResult", "GenerationRecord", "Objective", "POWER",
-    "SearchConfig", "SearchResult", "SearchTelemetry", "StgBlock",
-    "THROUGHPUT", "TransformSearch", "behavior_fingerprint",
-    "hot_cdfg_nodes", "partition_stg", "relative_frequencies",
-    "resolve_workers",
+    "CacheStats", "EvalCache", "EvalStats", "Evaluated",
+    "EvaluationEngine", "Fact", "FactConfig", "FactResult",
+    "GenerationRecord", "Objective", "POWER", "SearchConfig",
+    "SearchResult", "SearchTelemetry", "StgBlock", "THROUGHPUT",
+    "TransformSearch", "behavior_fingerprint", "hot_cdfg_nodes",
+    "partition_stg", "relative_frequencies", "resolve_workers",
 ]

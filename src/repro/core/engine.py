@@ -29,6 +29,7 @@ when their first step alone does not shorten the schedule).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import astuple, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -38,9 +39,11 @@ from ..cdfg.regions import Behavior
 from ..errors import ReproError, SearchError
 from ..hw import Allocation, Library
 from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.regioncache import RegionScheduleCache
 from ..sched.types import BranchProbs, ResourceModel, SchedConfig
 from .evalcache import CacheStats, EvalCache, behavior_fingerprint
 from .objectives import Objective
+from .telemetry import EvalStats
 
 #: Weight of the datapath-size tie-break added to every score.
 TIEBREAK = 1e-7
@@ -51,12 +54,18 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 @dataclass
 class Evaluated:
-    """A behavior with its schedule and score."""
+    """A behavior with its schedule and score.
+
+    ``stats`` carries the incremental-evaluation counters of the
+    scheduling that produced this result; it is ``None`` for candidates
+    served from the behavior-level cache (no scheduling happened).
+    """
 
     behavior: Behavior
     result: Optional[ScheduleResult]
     score: float
     lineage: Tuple[str, ...] = ()
+    stats: Optional[EvalStats] = None
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -92,6 +101,26 @@ class _EvalContext:
     sched_config: SchedConfig
     branch_probs: Optional[BranchProbs]
     objective: Objective
+    incremental: bool = True
+    region_cache_size: int = 4096
+
+    def make_region_cache(self) -> Optional[RegionScheduleCache]:
+        """A region-schedule cache bound to this context.
+
+        ``incremental=False`` returns None: the scheduler then takes the
+        plain in-place walk with one full Markov solve per candidate —
+        the full-evaluation baseline this feature is measured against.
+        (A ``max_entries=0`` cache, which runs the build-and-splice path
+        without storing anything, is still available for equivalence
+        testing via :class:`~repro.sched.Scheduler` directly.)
+        """
+        if not self.incremental:
+            return None
+        return RegionScheduleCache(
+            max_entries=self.region_cache_size,
+            context_fp=context_fingerprint(
+                self.library, self.allocation, self.sched_config,
+                self.branch_probs))
 
 
 def context_fingerprint(library: Library, allocation: Allocation,
@@ -132,32 +161,59 @@ def _datapath_cost(behavior: Behavior, library: Library,
     return sum(rm.delay_of(nid) for nid in behavior.graph.node_ids())
 
 
-def _score_one(ctx: _EvalContext, behavior: Behavior
-               ) -> Tuple[Optional[ScheduleResult], float]:
-    """Schedule and score one behavior ((None, inf) if unschedulable)."""
+def _score_one(ctx: _EvalContext, behavior: Behavior,
+               region_cache: Optional[RegionScheduleCache]
+               ) -> Tuple[Optional[ScheduleResult], float, EvalStats]:
+    """Schedule and score one behavior ((None, inf, ...) if
+    unschedulable).  The returned :class:`EvalStats` is the per-candidate
+    delta of the region cache's counters (picklable, so pool workers can
+    ship it home); with no cache (the full-evaluation baseline) it
+    records the candidate's full state count as built-from-scratch."""
+    before = region_cache.snapshot() if region_cache is not None else None
+    stats = EvalStats(scheduled=1)
+    t0 = time.perf_counter()
     try:
         result = Scheduler(behavior, ctx.library, ctx.allocation,
-                           ctx.sched_config, ctx.branch_probs).schedule()
+                           ctx.sched_config, ctx.branch_probs,
+                           region_cache=region_cache).schedule()
         score = ctx.objective.evaluate(result)
         score += TIEBREAK * _datapath_cost(behavior, ctx.library,
                                            ctx.allocation)
     except ReproError:
-        return None, float("inf")
-    return result, score
+        result, score = None, float("inf")
+    stats.sched_time = time.perf_counter() - t0
+    if region_cache is None or before is None:
+        if result is not None:
+            stats.states_built = len(result.stg.states)
+        return result, score, stats
+    after = region_cache.snapshot()
+    (stats.region_hits, stats.region_requests, stats.markov_local,
+     stats.markov_reused, stats.markov_full, stats.solver_time,
+     stats.states_built, stats.states_reused) = (
+        after[0] - before[0],
+        (after[0] - before[0]) + (after[1] - before[1]),
+        after[2] - before[2], after[3] - before[3],
+        after[4] - before[4], after[5] - before[5],
+        after[6] - before[6], after[7] - before[7])
+    return result, score, stats
 
 
 _WORKER_CTX: Optional[_EvalContext] = None
+_WORKER_REGION_CACHE: Optional[RegionScheduleCache] = None
 
 
 def _init_worker(ctx: _EvalContext) -> None:
-    global _WORKER_CTX
+    global _WORKER_CTX, _WORKER_REGION_CACHE
     _WORKER_CTX = ctx
+    # Each worker keeps its own region cache for the whole run; it stays
+    # warm across generations (units are keyed by content, not lineage).
+    _WORKER_REGION_CACHE = ctx.make_region_cache()
 
 
 def _eval_worker(behavior: Behavior
-                 ) -> Tuple[Optional[ScheduleResult], float]:
+                 ) -> Tuple[Optional[ScheduleResult], float, EvalStats]:
     assert _WORKER_CTX is not None, "worker used before initialization"
-    return _score_one(_WORKER_CTX, behavior)
+    return _score_one(_WORKER_CTX, behavior, _WORKER_REGION_CACHE)
 
 
 # ---------------------------------------------------------------------------
@@ -179,12 +235,39 @@ class EvaluationEngine:
                  sched_config: Optional[SchedConfig] = None,
                  branch_probs: Optional[BranchProbs] = None, *,
                  workers: Optional[int] = None,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096,
+                 incremental: bool = True,
+                 region_cache_size: int = 4096,
+                 region_cache: Optional[RegionScheduleCache] = None
+                 ) -> None:
         self._ctx = _EvalContext(library, allocation,
                                  sched_config or SchedConfig(),
-                                 branch_probs, objective)
+                                 branch_probs, objective,
+                                 incremental=incremental,
+                                 region_cache_size=region_cache_size)
         self.workers = resolve_workers(workers)
         self.cache = EvalCache(max_entries=cache_size)
+        if region_cache is not None and incremental:
+            # Externally shared cache (e.g. the Fact driver's per-context
+            # registry): unit schedules survive across engines — and
+            # across whole searches — as long as the evaluation context
+            # matches.  Objectives are deliberately absent from the
+            # region-cache namespace, so a throughput run warms the
+            # cache for a subsequent power run.
+            expected = context_fingerprint(library, allocation,
+                                           sched_config or SchedConfig(),
+                                           branch_probs)
+            if region_cache.context_fp != expected:
+                raise SearchError(
+                    "region_cache was built for a different evaluation "
+                    "context (library/allocation/schedule-config/"
+                    "branch-probs mismatch)")
+            self._region_cache: Optional[RegionScheduleCache] = \
+                region_cache
+        else:
+            self._region_cache = self._ctx.make_region_cache()
+        #: aggregated incremental-evaluation counters (all backends)
+        self.eval_stats = EvalStats()
         #: total evaluation requests (cache hits included)
         self.requests = 0
         self._pool: Optional[Executor] = None
@@ -238,8 +321,8 @@ class EvaluationEngine:
             # pre-engine code path, used as the benchmark baseline).
             self.cache.stats.misses += len(pairs)
             scored = self._score_batch([b for b, _ in pairs])
-            return [Evaluated(b, result, score, lineage)
-                    for (b, lineage), (result, score)
+            return [Evaluated(b, result, score, lineage, st)
+                    for (b, lineage), (result, score, st)
                     in zip(pairs, scored)]
         # key -> indices into `pairs` awaiting that evaluation
         pending: Dict[str, List[int]] = {}
@@ -261,24 +344,34 @@ class EvaluationEngine:
         if pending:
             firsts = [pairs[pending[key][0]][0] for key in order]
             scored = self._score_batch(firsts)
-            for key, (result, score) in zip(order, scored):
+            for key, (result, score, st) in zip(order, scored):
                 self.cache.put(key, (result, score))
                 for i in pending[key]:
                     behavior, lineage = pairs[i]
                     outputs[i] = Evaluated(behavior, result, score,
-                                           lineage)
+                                           lineage,
+                                           st if i == pending[key][0]
+                                           else None)
         assert all(e is not None for e in outputs)
         return outputs  # type: ignore[return-value]
 
     def _score_batch(self, behaviors: List[Behavior]
-                     ) -> List[Tuple[Optional[ScheduleResult], float]]:
+                     ) -> List[Tuple[Optional[ScheduleResult], float,
+                                     EvalStats]]:
         if len(behaviors) >= 2 and self.workers >= 2:
             pool = self._ensure_pool()
             if pool is not None:
                 chunk = max(1, len(behaviors) // (self.workers * 4))
-                return list(pool.map(_eval_worker, behaviors,
-                                     chunksize=chunk))
-        return [_score_one(self._ctx, b) for b in behaviors]
+                scored = list(pool.map(_eval_worker, behaviors,
+                                       chunksize=chunk))
+                for _result, _score, st in scored:
+                    self.eval_stats.add(st)
+                return scored
+        scored = [_score_one(self._ctx, b, self._region_cache)
+                  for b in behaviors]
+        for _result, _score, st in scored:
+            self.eval_stats.add(st)
+        return scored
 
     def _ensure_pool(self) -> Optional[Executor]:
         if self._pool is None and not self._pool_broken:
@@ -293,10 +386,20 @@ class EvaluationEngine:
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Shut down pool workers (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut down pool workers (idempotent and exception-safe).
+
+        Safe to call any number of times, including after a failed
+        :meth:`_ensure_pool`; a shutdown that itself raises (e.g. a pool
+        whose workers already died) is swallowed, leaving the engine in
+        the serial-fallback state.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown()
+        except Exception:
+            self._pool_broken = True
 
     def __enter__(self) -> "EvaluationEngine":
         return self

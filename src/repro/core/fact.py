@@ -29,8 +29,10 @@ from ..power.vdd import scaled_vdd_for_schedule
 from ..profiling.profiler import Profile, profile
 from ..profiling.traces import TraceSet
 from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.regioncache import RegionScheduleCache
 from ..sched.types import BranchProbs, SchedConfig
 from ..transforms import TransformLibrary, default_library
+from .engine import context_fingerprint
 from .objectives import POWER, THROUGHPUT, Objective
 from .partition import hot_cdfg_nodes
 from .search import Evaluated, SearchConfig, SearchResult, TransformSearch
@@ -130,10 +132,36 @@ class Fact:
 
     def __init__(self, library: Optional[Library] = None,
                  transforms: Optional[TransformLibrary] = None,
-                 config: Optional[FactConfig] = None) -> None:
+                 config: Optional[FactConfig] = None,
+                 region_caches: Optional[
+                     Dict[str, RegionScheduleCache]] = None) -> None:
         self.library = library or dac98_library()
         self.transforms = transforms or default_library()
         self.config = config or FactConfig()
+        # Region-schedule caches keyed by evaluation context, shared by
+        # every run of this Fact instance: objectives are not part of
+        # the region-cache namespace, so e.g. a Table-2 throughput run
+        # warms the cache for the matching power run.  A caller owning a
+        # wider scope (the Pareto explorer) can pass its own registry so
+        # warm-start searches and the main exploration share schedules.
+        self._region_caches: Dict[str, RegionScheduleCache] = \
+            region_caches if region_caches is not None else {}
+
+    def _region_cache_for(self, allocation: Allocation,
+                          branch_probs: Optional[BranchProbs]
+                          ) -> Optional[RegionScheduleCache]:
+        """The shared per-context cache (None when non-incremental)."""
+        if not self.config.search.incremental:
+            return None
+        fp = context_fingerprint(self.library, allocation,
+                                 self.config.sched, branch_probs)
+        cache = self._region_caches.get(fp)
+        if cache is None:
+            cache = RegionScheduleCache(
+                max_entries=self.config.search.region_cache_size,
+                context_fp=fp)
+            self._region_caches[fp] = cache
+        return cache
 
     def optimize(self, behavior: Behavior, allocation: Allocation,
                  traces: Optional[TraceSet] = None,
@@ -156,10 +184,14 @@ class Fact:
             prof = profile(behavior, traces)
             branch_probs = dict(prof.branch_probs)
 
-        # Step 1: schedule the untransformed behavior.
+        region_cache = self._region_cache_for(allocation, branch_probs)
+
+        # Step 1: schedule the untransformed behavior (through the
+        # shared region cache, so the search's evaluation of the same
+        # behavior reuses every unit).
         initial_result = Scheduler(behavior, self.library, allocation,
-                                   self.config.sched,
-                                   branch_probs).schedule()
+                                   self.config.sched, branch_probs,
+                                   region_cache=region_cache).schedule()
 
         if objective == POWER:
             obj = Objective(POWER,
@@ -182,7 +214,8 @@ class Fact:
         search = TransformSearch(
             self.transforms, self.library, allocation, obj,
             sched_config=self.config.sched, branch_probs=branch_probs,
-            config=self.config.search, hot_nodes=hot)
+            config=self.config.search, hot_nodes=hot,
+            region_cache=region_cache)
         result = search.run(behavior)
         return FactResult(objective=objective, initial=result.initial,
                           best=result.best, search=result, profile=prof,

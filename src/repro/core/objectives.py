@@ -57,7 +57,8 @@ class Objective:
             return length
         est = estimate_power(result.stg, result.behavior.graph,
                              result.library, vdd=self.vdd,
-                             cycle_time=self.cycle_time)
+                             cycle_time=self.cycle_time,
+                             visits=result.expected_visits())
         baseline = self.baseline_length
         if baseline is None:
             # No reference: plain power at the nominal supply.

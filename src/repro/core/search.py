@@ -39,7 +39,7 @@ from ..sched.types import BranchProbs, SchedConfig
 from ..transforms.base import TransformLibrary
 from .engine import Evaluated, EvaluationEngine
 from .objectives import Objective
-from .telemetry import SearchTelemetry
+from .telemetry import EvalStats, SearchTelemetry
 
 __all__ = ["Evaluated", "SearchConfig", "SearchResult", "TransformSearch",
            "expand_candidates"]
@@ -92,6 +92,10 @@ class SearchConfig:
     evaluation backend (0/1 serial, >= 2 a process pool; ``None`` defers
     to the ``REPRO_WORKERS`` environment variable); ``cache_size``
     bounds the evaluation memoization cache (0 disables it).
+    ``incremental`` toggles region-level schedule memoization — both
+    modes produce identical results (``--no-incremental`` on the CLI is
+    the escape hatch / benchmark baseline); ``region_cache_size``
+    bounds the per-process region schedule cache.
     """
 
     max_outer_iters: int = 6
@@ -103,6 +107,8 @@ class SearchConfig:
     seed: int = 0
     workers: Optional[int] = None
     cache_size: int = 4096
+    incremental: bool = True
+    region_cache_size: int = 4096
 
 
 @dataclass
@@ -133,7 +139,8 @@ class TransformSearch:
                  branch_probs: Optional[BranchProbs] = None,
                  config: Optional[SearchConfig] = None,
                  hot_nodes: Optional[Set[int]] = None,
-                 engine: Optional[EvaluationEngine] = None) -> None:
+                 engine: Optional[EvaluationEngine] = None,
+                 region_cache=None) -> None:
         self.transforms = transforms
         self.library = library
         self.allocation = allocation
@@ -145,6 +152,10 @@ class TransformSearch:
         #: externally supplied engine (caller manages its lifetime);
         #: when None, each run creates and closes its own.
         self.engine = engine
+        #: externally shared region-schedule cache (e.g. the Fact
+        #: driver's per-context registry), handed to engines this search
+        #: creates; must match this search's evaluation context.
+        self.region_cache = region_cache
         self._rng = random.Random(self.config.seed)
         self._shared_engine: Optional[EvaluationEngine] = None
         self._fresh_from: Optional[int] = None
@@ -156,7 +167,10 @@ class TransformSearch:
             sched_config=self.sched_config,
             branch_probs=self.branch_probs,
             workers=self.config.workers,
-            cache_size=self.config.cache_size)
+            cache_size=self.config.cache_size,
+            incremental=self.config.incremental,
+            region_cache_size=self.config.region_cache_size,
+            region_cache=self.region_cache)
 
     def evaluate(self, behavior: Behavior,
                  lineage: Tuple[str, ...] = ()) -> Evaluated:
@@ -179,6 +193,7 @@ class TransformSearch:
         telemetry = SearchTelemetry(backend=engine.backend,
                                     workers=max(engine.workers, 1))
         telemetry.start()
+        run_start_stats = engine.eval_stats.minus(EvalStats())
         try:
             initial = engine.evaluate(behavior)
             if initial.result is None:
@@ -199,9 +214,11 @@ class TransformSearch:
                     if not pairs:
                         break
                     hits_before = engine.stats.hits
+                    stats_before = engine.eval_stats.minus(EvalStats())
                     gen_start = time.perf_counter()
                     generation = engine.evaluate_batch(pairs)
                     gen_time = time.perf_counter() - gen_start
+                    gen_stats = engine.eval_stats.minus(stats_before)
                     generation.sort(key=lambda e: e.score)
                     if generation[0].score < best.score - 1e-9:
                         best = generation[0]
@@ -211,7 +228,10 @@ class TransformSearch:
                         outer_iter=outer, wall_time=gen_time,
                         evaluations=len(pairs),
                         cache_hits=engine.stats.hits - hits_before,
-                        best_score=best.score)
+                        best_score=best.score,
+                        scheduled=gen_stats.scheduled,
+                        reschedule_fraction=gen_stats.reschedule_fraction,
+                        solver_time=gen_stats.solver_time)
                     k = cfg.k0 + cfg.k_step * outer
                     in_set = self._select(generation, k)
                 outer += 1
@@ -220,6 +240,7 @@ class TransformSearch:
         finally:
             telemetry.finish()
             telemetry.cache = engine.stats
+            telemetry.eval = engine.eval_stats.minus(run_start_stats)
             telemetry.backend = engine.backend
             if owns_engine:
                 engine.close()

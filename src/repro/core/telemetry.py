@@ -20,10 +20,77 @@ next to the engine cache's.
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
 from .evalcache import CacheStats
+
+
+@dataclass
+class EvalStats:
+    """Incremental-evaluation counters, aggregated over candidates.
+
+    Fills the observability gap left by :class:`CacheStats` (which only
+    sees whole-candidate memoization): how much *scheduling* work each
+    candidate actually caused once region-level reuse is accounted for.
+
+    Attributes:
+        scheduled: candidates that went through the scheduler (i.e. were
+            not served by the behavior-level evaluation cache).
+        region_requests / region_hits: region-schedule-cache lookups and
+            hits across those candidates.
+        states_built / states_reused: STG states emitted by fresh
+            scheduling vs. spliced from cached fragments.
+        markov_local / markov_reused / markov_full: localized fragment
+            Markov solves, memoized reuses, and full-chain fallback
+            solves.
+        sched_time / solver_time: seconds spent scheduling (total) and
+            inside Markov solves (a subset, when solves happen during
+            scheduling).
+    """
+
+    scheduled: int = 0
+    region_requests: int = 0
+    region_hits: int = 0
+    states_built: int = 0
+    states_reused: int = 0
+    markov_local: int = 0
+    markov_reused: int = 0
+    markov_full: int = 0
+    sched_time: float = 0.0
+    solver_time: float = 0.0
+
+    @property
+    def region_hit_rate(self) -> float:
+        if self.region_requests <= 0:
+            return 0.0
+        return self.region_hits / self.region_requests
+
+    @property
+    def reschedule_fraction(self) -> float:
+        """Fraction of emitted STG states that were freshly scheduled
+        (1.0 = everything rescheduled, i.e. no reuse)."""
+        total = self.states_built + self.states_reused
+        if total <= 0:
+            return 1.0
+        return self.states_built / total
+
+    def add(self, other: "EvalStats") -> None:
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+
+    def minus(self, other: "EvalStats") -> "EvalStats":
+        """Field-wise difference (for since-snapshot deltas)."""
+        return EvalStats(**{
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)})
+
+    def as_dict(self) -> Dict[str, float]:
+        d: Dict[str, float] = asdict(self)
+        d["region_hit_rate"] = self.region_hit_rate
+        d["reschedule_fraction"] = self.reschedule_fraction
+        return d
 
 
 @dataclass
@@ -36,6 +103,9 @@ class GenerationRecord:
     evaluations: int
     cache_hits: int
     best_score: float
+    scheduled: int = 0
+    reschedule_fraction: float = 1.0
+    solver_time: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -54,6 +124,7 @@ class SearchTelemetry:
     total_wall_time: float = 0.0
     evaluations: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    eval: EvalStats = field(default_factory=EvalStats)
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -64,11 +135,16 @@ class SearchTelemetry:
 
     def record_generation(self, outer_iter: int, wall_time: float,
                           evaluations: int, cache_hits: int,
-                          best_score: float) -> None:
+                          best_score: float, scheduled: int = 0,
+                          reschedule_fraction: float = 1.0,
+                          solver_time: float = 0.0) -> None:
         self.generations.append(GenerationRecord(
             index=len(self.generations), outer_iter=outer_iter,
             wall_time=wall_time, evaluations=evaluations,
-            cache_hits=cache_hits, best_score=best_score))
+            cache_hits=cache_hits, best_score=best_score,
+            scheduled=scheduled,
+            reschedule_fraction=reschedule_fraction,
+            solver_time=solver_time))
         self.evaluations += evaluations
 
     # -- views ----------------------------------------------------------
@@ -90,6 +166,7 @@ class SearchTelemetry:
             "evaluations": self.evaluations,
             "generations": [asdict(g) for g in self.generations],
             "cache": self.cache.as_dict(),
+            "eval": self.eval.as_dict(),
             "best_trajectory": self.best_trajectory,
         }
 
@@ -103,11 +180,21 @@ class SearchTelemetry:
             f"(cache: {self.cache.hits} hits / {self.cache.misses} misses"
             f" / {self.cache.evictions} evictions, "
             f"hit rate {100 * self.cache.hit_rate:.1f}%)",
+            f"  incremental: {self.eval.scheduled} scheduled, "
+            f"region hit rate {100 * self.eval.region_hit_rate:.1f}%, "
+            f"reschedule fraction "
+            f"{100 * self.eval.reschedule_fraction:.1f}%, "
+            f"solver {self.eval.solver_time * 1000:.1f} ms "
+            f"({self.eval.markov_local} local / "
+            f"{self.eval.markov_reused} reused / "
+            f"{self.eval.markov_full} full)",
         ]
         for g in self.generations:
             lines.append(
                 f"  gen {g.index:2d} (outer {g.outer_iter}): "
                 f"{g.evaluations:4d} evals, {g.cache_hits:4d} cached, "
+                f"{g.scheduled:4d} scheduled "
+                f"(resched {100 * g.reschedule_fraction:5.1f}%), "
                 f"{g.wall_time * 1000:8.1f} ms, best {g.best_score:.4f}")
         return "\n".join(lines)
 
@@ -123,6 +210,8 @@ class ExploreGenerationRecord:
     store_hits: int
     front_size: int
     hypervolume: float
+    reschedule_fraction: float = 1.0
+    solver_time: float = 0.0
 
     @property
     def store_hit_rate(self) -> float:
@@ -150,6 +239,7 @@ class ExploreTelemetry:
     total_wall_time: float = 0.0
     store: CacheStats = field(default_factory=CacheStats)
     cache: CacheStats = field(default_factory=CacheStats)
+    eval: EvalStats = field(default_factory=EvalStats)
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -160,12 +250,16 @@ class ExploreTelemetry:
 
     def record_generation(self, wall_time: float, candidates: int,
                           scheduled: int, store_hits: int,
-                          front_size: int, hypervolume: float) -> None:
+                          front_size: int, hypervolume: float,
+                          reschedule_fraction: float = 1.0,
+                          solver_time: float = 0.0) -> None:
         self.generations.append(ExploreGenerationRecord(
             index=len(self.generations), wall_time=wall_time,
             candidates=candidates, scheduled=scheduled,
             store_hits=store_hits, front_size=front_size,
-            hypervolume=hypervolume))
+            hypervolume=hypervolume,
+            reschedule_fraction=reschedule_fraction,
+            solver_time=solver_time))
 
     # -- views ----------------------------------------------------------
     @property
@@ -187,6 +281,7 @@ class ExploreTelemetry:
             "generations": [asdict(g) for g in self.generations],
             "store": self.store.as_dict(),
             "cache": self.cache.as_dict(),
+            "eval": self.eval.as_dict(),
             "front_trajectory": self.front_trajectory,
         }
 
@@ -200,6 +295,10 @@ class ExploreTelemetry:
             f"  store: {self.store.hits} hits / {self.store.misses} "
             f"misses (hit rate {100 * self.store.hit_rate:.1f}%); "
             f"engine cache hit rate {100 * self.cache.hit_rate:.1f}%",
+            f"  incremental: region hit rate "
+            f"{100 * self.eval.region_hit_rate:.1f}%, reschedule "
+            f"fraction {100 * self.eval.reschedule_fraction:.1f}%, "
+            f"solver {self.eval.solver_time * 1000:.1f} ms",
         ]
         for g in self.generations:
             lines.append(

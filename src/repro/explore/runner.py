@@ -41,7 +41,7 @@ import signal
 import tempfile
 import threading
 import time
-from dataclasses import astuple, dataclass, field
+from dataclasses import astuple, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -55,17 +55,20 @@ from ..synth.area import total_area
 from ..transforms import TransformLibrary, default_library
 from ..core.engine import (Evaluated, EvaluationEngine,
                            context_fingerprint)
+from ..sched.regioncache import RegionScheduleCache
 from ..core.evalcache import CacheStats
 from ..core.fact import Fact, FactConfig
 from ..core.objectives import POWER, THROUGHPUT, Objective
 from ..core.search import SearchConfig, expand_candidates
-from ..core.telemetry import ExploreTelemetry
+from ..core.telemetry import EvalStats, ExploreTelemetry
 from .pareto import (DesignMetrics, DesignPoint, ParetoFront,
                      nsga2_select, objectives_from_metrics)
 from .store import RunStore, StoredEval, default_store_root
 
-#: Version stamp of the pickled checkpoint documents.
-CHECKPOINT_SCHEMA = 1
+#: Version stamp of the pickled checkpoint documents.  Bumped to 2 when
+#: the telemetry records grew incremental-evaluation fields (old
+#: checkpoints would unpickle into the new dataclasses inconsistently).
+CHECKPOINT_SCHEMA = 2
 
 
 @dataclass
@@ -90,21 +93,29 @@ class ExploreConfig:
     vdd: float = 5.0
     vt: float = 1.0
     cycle_time: float = 1.0
+    incremental: bool = True
 
     def warm_start_search(self) -> SearchConfig:
         """The warm-start budget (explicit, or derived from the knobs)."""
         if self.search is not None:
             return self.search
         return SearchConfig(seed=self.seed, workers=self.workers,
-                            cache_size=self.cache_size)
+                            cache_size=self.cache_size,
+                            incremental=self.incremental)
 
     def identity(self) -> Tuple:
         """Everything that shapes the search trajectory (for the run
         fingerprint; ``generations`` is deliberately excluded so a
-        finished run can be extended by resuming with a higher cap)."""
+        finished run can be extended by resuming with a higher cap).
+        ``incremental`` and the region-cache size are normalized out:
+        both evaluation modes produce identical trajectories by
+        construction, so a run checkpointed in one mode can resume in
+        the other."""
         return (self.population_size, self.max_candidates_per_seed,
                 self.seed, self.warm_start,
-                astuple(self.warm_start_search()),
+                astuple(replace(self.warm_start_search(),
+                                incremental=True,
+                                region_cache_size=4096)),
                 self.vdd, self.vt, self.cycle_time)
 
 
@@ -153,6 +164,10 @@ class ExploreRunner:
                                   else default_store_root())
         self._context_fp = context_fingerprint(
             self.library, allocation, self.config.sched, branch_probs)
+        # Per-context region-schedule caches (see Fact): the warm-start
+        # searches and every generation of the main loop share one, so
+        # a unit scheduled during warm start is never rebuilt later.
+        self._region_caches: Dict[str, RegionScheduleCache] = {}
         self.run_fingerprint = _digest(
             (self._context_fp + "|"
              + repr(self.config.identity())).encode()).hexdigest()
@@ -164,6 +179,17 @@ class ExploreRunner:
         self._stop_requested = False
 
     # ------------------------------------------------------------------
+    def _region_cache(self) -> RegionScheduleCache:
+        """The shared region-schedule cache of this runner's context."""
+        cache = self._region_caches.get(self._context_fp)
+        if cache is None:
+            cache = RegionScheduleCache(
+                max_entries=self.config.warm_start_search()
+                .region_cache_size,
+                context_fp=self._context_fp)
+            self._region_caches[self._context_fp] = cache
+        return cache
+
     def request_stop(self) -> None:
         """Ask the loop to checkpoint and return after the current
         generation (what the SIGINT handler calls)."""
@@ -176,10 +202,12 @@ class ExploreRunner:
         interrupted run; without a checkpoint it starts fresh.
         """
         cfg = self.config
+        region_cache = self._region_cache() if cfg.incremental else None
         engine = EvaluationEngine(
             self.library, self.allocation, Objective(THROUGHPUT),
             sched_config=cfg.sched, branch_probs=self.branch_probs,
-            workers=cfg.workers, cache_size=cfg.cache_size)
+            workers=cfg.workers, cache_size=cfg.cache_size,
+            incremental=cfg.incremental, region_cache=region_cache)
         telemetry = ExploreTelemetry(backend=engine.backend,
                                      workers=max(engine.workers, 1),
                                      store=self.store.stats,
@@ -215,6 +243,7 @@ class ExploreRunner:
                         break
                     t0 = time.perf_counter()
                     hits_before = self.store.stats.hits
+                    stats_before = engine.eval_stats.minus(EvalStats())
                     seeds = [(p.behavior, p.lineage)
                              for p in population
                              if p.behavior is not None]
@@ -227,12 +256,16 @@ class ExploreRunner:
                     population = self._next_population(population,
                                                        points)
                     generation += 1
+                    gen_stats = engine.eval_stats.minus(stats_before)
                     telemetry.record_generation(
                         wall_time=time.perf_counter() - t0,
                         candidates=len(pairs), scheduled=scheduled,
                         store_hits=self.store.stats.hits - hits_before,
                         front_size=len(front),
-                        hypervolume=front.hypervolume_proxy())
+                        hypervolume=front.hypervolume_proxy(),
+                        reschedule_fraction=(
+                            gen_stats.reschedule_fraction),
+                        solver_time=gen_stats.solver_time)
                     self._save_checkpoint(generation, rng, population,
                                           front, telemetry,
                                           baseline_length)
@@ -243,6 +276,7 @@ class ExploreRunner:
             interrupted = True
         finally:
             self._restore_sigint(previous_handler)
+            telemetry.eval = engine.eval_stats
             telemetry.finish()
         if front is None:
             raise ExploreError(
@@ -272,7 +306,8 @@ class ExploreRunner:
         if cfg.warm_start:
             fact = Fact(self.library, self.transforms, FactConfig(
                 sched=cfg.sched, search=cfg.warm_start_search(),
-                vdd=cfg.vdd, vt=cfg.vt))
+                vdd=cfg.vdd, vt=cfg.vt),
+                region_caches=self._region_caches)
             for objective in (THROUGHPUT, POWER):
                 result = fact.optimize(self.behavior, self.allocation,
                                        objective=objective,
@@ -349,7 +384,8 @@ class ExploreRunner:
         try:
             est = estimate_power(result.stg, result.behavior.graph,
                                  self.library, vdd=cfg.vdd,
-                                 cycle_time=cfg.cycle_time)
+                                 cycle_time=cfg.cycle_time,
+                                 visits=result.expected_visits())
             area = total_area(result)
         except ReproError:
             return None

@@ -14,16 +14,20 @@ from .driver import ScheduleResult, Scheduler, schedule_behavior
 from .fragments import Frag, compose, connect, single_entry
 from .loops import loop_fragment, sequential_loop
 from .pipeline import PipelinedLoop, continue_probability, pipeline_loop
+from .regioncache import (CachedFragment, RegionScheduleCache, splice,
+                          unit_key)
 from .restable import LinearTable, ModuloTable
 from .types import (BlockSchedule, BranchProbs, OpSlot, Position,
                     ResourceModel, SchedConfig, prob_true)
 
 __all__ = [
-    "BlockSchedule", "BranchProbs", "Frag", "LinearTable", "ModuloTable",
-    "OpSlot", "PipelinedLoop", "Position", "ResourceModel", "SchedConfig",
+    "BlockSchedule", "BranchProbs", "CachedFragment", "Frag",
+    "LinearTable", "ModuloTable", "OpSlot", "PipelinedLoop", "Position",
+    "RegionScheduleCache", "ResourceModel", "SchedConfig",
     "ScheduleContext", "ScheduleResult", "Scheduler", "block_fragment",
     "compose", "compute_priorities", "concurrent_fragment", "connect",
     "continue_probability", "expected_iterations", "independent",
     "loop_fragment", "pipeline_loop", "prob_true", "schedule_acyclic",
-    "schedule_behavior", "sequential_loop", "single_entry",
+    "schedule_behavior", "sequential_loop", "single_entry", "splice",
+    "unit_key",
 ]

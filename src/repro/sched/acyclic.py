@@ -176,6 +176,10 @@ def _place_op(graph: Graph, nid: int, ids, rm: ResourceModel,
                 table.place(cycle, n_cycles, resource, nid)
             return OpSlot(cycle, ns, end_cycle, end_ns)
         cycle, ns = cycle + 1, 0.0
+        if isinstance(table, LinearTable):
+            # Jump over saturated cycles in one step (the per-resource
+            # free-list); placements are identical to the linear scan.
+            cycle = table.next_free_cycle(cycle, resource)
     node = graph.nodes[nid]
     cap = rm.capacity_of(resource) if resource else 0
     raise ScheduleError(

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Set
 from ..cdfg.ops import OpKind
 from ..cdfg.regions import Behavior, LoopRegion
 from ..errors import ScheduleError
-from ..stg.model import ScheduledOp
+from ..stg.model import ScheduledOp, Stg
 from .acyclic import schedule_acyclic
 from .branching import ScheduleContext
 from .fragments import Frag, Port
@@ -71,11 +71,21 @@ def expected_iterations(ctx: ScheduleContext, loop: LoopRegion) -> float:
 
 
 def concurrent_fragment(ctx: ScheduleContext,
-                        loops: List[LoopRegion]) -> Optional[Frag]:
+                        loops: List[LoopRegion],
+                        cache=None,
+                        behavior: Optional[Behavior] = None
+                        ) -> Optional[Frag]:
     """Co-schedule independent loops into phase kernels.
 
     Returns ``None`` when any loop is not pipelineable (nested loops in
     its body) or a phase cannot be scheduled.
+
+    When a :class:`~repro.sched.regioncache.RegionScheduleCache` (and
+    the owning ``behavior``) is supplied, each phase kernel is memoized
+    individually: phases are the reusable grain of a concurrent run — a
+    transformation touching one loop leaves every phase that does not
+    contain it byte-identical, so those kernels are spliced from the
+    cache instead of re-running the modulo scheduler.
     """
     node_sets: List[Set[int]] = []
     for loop in loops:
@@ -100,8 +110,8 @@ def concurrent_fragment(ctx: ScheduleContext,
         for i in active:
             union |= node_sets[i]
         phase_label = "+".join(loops[i].name for i in active)
-        frag = _phase_kernel(ctx, loops, active, union, passes,
-                             phase_label)
+        frag = _phase_fragment(ctx, loops, active, union, passes,
+                               phase_label, cache, behavior)
         if frag is None:
             return None
         if not entry_ports:
@@ -114,6 +124,47 @@ def concurrent_fragment(ctx: ScheduleContext,
     if not entry_ports:
         return Frag.empty()
     return Frag(entry_ports, pending)
+
+
+def _phase_fragment(ctx: ScheduleContext, loops: List[LoopRegion],
+                    active: List[int], union: Set[int], passes: float,
+                    label: str, cache, behavior: Optional[Behavior]
+                    ) -> Optional[Frag]:
+    """``_phase_kernel`` through the region cache.
+
+    The key covers the active loops' exact content (in phase order) plus
+    ``passes`` — the pass count is derived from the iteration count of
+    the loop that *dropped out before* this phase, which is not part of
+    the active suffix, so it must enter the key explicitly.  A phase
+    that could not be scheduled is remembered as failed.  With no cache
+    (or the ``max_entries=0`` baseline) the kernel is built in place,
+    bit-identically.
+    """
+    if cache is None or cache.max_entries <= 0 or behavior is None:
+        return _phase_kernel(ctx, loops, active, union, passes, label)
+    # Runtime import: regioncache pulls in .fragments at module scope,
+    # keep this edge lazy for symmetry with the driver's wiring.
+    from .regioncache import CachedFragment, splice
+    key = cache.key_for(behavior, [loops[i] for i in active], ctx.guards,
+                        variant=f"phase:{passes!r}")
+    cached = cache.get(key)
+    if cached is None:
+        scratch = Stg(f"{label}:phase")
+        frag = _phase_kernel(ctx.with_stg(scratch), loops, active, union,
+                             passes, label)
+        if frag is None:
+            cached = CachedFragment(Stg("failed"), build_failed=True)
+        else:
+            cached = CachedFragment(scratch, list(frag.entries),
+                                    list(frag.exits))
+            cache.states_built += len(scratch)
+        cache.put(key, cached)
+    elif not cached.build_failed:
+        cache.states_reused += len(cached.stg)
+    if cached.build_failed:
+        return None
+    out, _ = splice(ctx.stg, cached)
+    return out
 
 
 def _phase_kernel(ctx: ScheduleContext, loops: List[LoopRegion],

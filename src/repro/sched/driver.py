@@ -12,24 +12,38 @@ fragments:
 This provides the paper's scheduler interface (their reference [13],
 Wavesched): loop unrolling, functional pipelining across ``if``
 constructs, and concurrent loop optimization, all behind one call.
+
+With a :class:`~repro.sched.regioncache.RegionScheduleCache` attached,
+every schedulable *unit* (a block, a loop, or a run of independent
+adjacent loops) is built into a private scratch STG and spliced into
+the target, keyed by its exact content — so a candidate that differs
+from its parent in one block reuses every other unit's schedule
+verbatim, and the Markov analysis is assembled from memoized
+per-fragment solves (see ``docs/performance.md``).  The spliced STG is
+identical — state ids, labels, transition order — to the one the plain
+in-place walk produces, which is what makes the incremental and
+non-incremental evaluation paths bit-compatible.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..cdfg.analysis import GuardAnalysis
 from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
                             SeqRegion)
 from ..errors import ScheduleError
 from ..hw import Allocation, Library
-from ..stg.markov import average_schedule_length, throughput
+from ..stg.markov import average_schedule_length, expected_visits, throughput
 from ..stg.model import Stg
 from .branching import ScheduleContext, block_fragment
 from .concurrent import concurrent_fragment, independent
 from .fragments import Frag, compose, connect, single_entry
-from .loops import loop_fragment
+from .loops import (_cond_count, _pipelined_or_none, loop_fragment,
+                    sequential_loop)
+from .regioncache import CachedFragment, RegionScheduleCache, splice
 from .types import BranchProbs, ResourceModel, SchedConfig
 
 
@@ -43,32 +57,64 @@ class ScheduleResult:
     allocation: Allocation
     config: SchedConfig
     branch_probs: Optional[BranchProbs] = None
+    #: Expected visits per state, memoized; pre-filled by the incremental
+    #: scheduler from per-fragment solves (splicing), computed on demand
+    #: from the full chain otherwise.
+    visits: Optional[Dict[int, float]] = field(
+        default=None, repr=False, compare=False)
+
+    def expected_visits(self) -> Dict[int, float]:
+        """Expected entries into each state per execution, memoized."""
+        if self.visits is None:
+            self.visits = expected_visits(self.stg)
+        return self.visits
 
     def average_length(self) -> float:
         """Expected cycles per execution (paper's average schedule
         length)."""
-        return average_schedule_length(self.stg)
+        return float(sum(self.expected_visits().values()))
 
     def throughput(self) -> float:
         """Executions per cycle."""
-        return throughput(self.stg)
+        length = self.average_length()
+        if length <= 0:
+            from ..errors import MarkovError
+            raise MarkovError(
+                f"{self.stg.name}: non-positive schedule length")
+        return 1.0 / length
 
     def n_states(self) -> int:
         return len(self.stg)
 
 
 class Scheduler:
-    """Schedules a behavior under a library / allocation / clock."""
+    """Schedules a behavior under a library / allocation / clock.
+
+    Args:
+        region_cache: optional unit-schedule memo.  When given, every
+            schedulable unit is built scratch-and-spliced through it and
+            the result's visit totals come from per-fragment Markov
+            solves.  The cache must have been created for this exact
+            evaluation context (see ``RegionScheduleCache.context_fp``);
+            pass a ``max_entries=0`` cache for the non-incremental
+            baseline that still shares the identical code path.
+    """
 
     def __init__(self, behavior: Behavior, library: Library,
                  allocation: Allocation,
                  config: Optional[SchedConfig] = None,
-                 branch_probs: Optional[BranchProbs] = None) -> None:
+                 branch_probs: Optional[BranchProbs] = None,
+                 region_cache: Optional[RegionScheduleCache] = None) -> None:
         self.behavior = behavior
         self.library = library
         self.allocation = allocation
         self.config = config or SchedConfig()
         self.branch_probs = branch_probs
+        self.region_cache = region_cache
+        self._main_stg: Optional[Stg] = None
+        # (CachedFragment, fragment-local -> main-STG id map) per
+        # top-level spliced unit, in splice order.
+        self._pieces: List[tuple] = []
 
     def schedule(self) -> ScheduleResult:
         """Produce the STG.
@@ -79,6 +125,8 @@ class Scheduler:
         """
         behavior = self.behavior
         stg = Stg(behavior.name)
+        self._main_stg = stg
+        self._pieces = []
         rm = ResourceModel(
             behavior.graph, self.library, self.allocation,
             array_ports={name: decl.ports
@@ -89,25 +137,36 @@ class Scheduler:
             guards=GuardAnalysis(behavior.graph))
         frag = self._region(ctx, behavior.region)
         exit_sid = stg.add_state(label="done")
+        # States outside any spliced fragment; each is entered exactly
+        # once per execution.
+        once = [exit_sid]
         if frag.is_empty:
             entry_sid = stg.add_state(label="entry")
             stg.add_transition(entry_sid, exit_sid, 1.0)
+            once.append(entry_sid)
         else:
             connect(stg, frag.exits, [(exit_sid, 1.0, "")])
             entry_sid = single_entry(stg, frag, label="entry")
+            if len(frag.entries) != 1:
+                once.append(entry_sid)  # fresh dispatch state
         stg.entry, stg.exit = entry_sid, exit_sid
         stg.validate()
-        return ScheduleResult(stg, behavior, self.library, self.allocation,
-                              self.config, self.branch_probs)
+        result = ScheduleResult(stg, behavior, self.library, self.allocation,
+                                self.config, self.branch_probs)
+        if self.region_cache is not None:
+            result.visits = self._spliced_visits(stg, once)
+        return result
 
     # ------------------------------------------------------------------
     def _region(self, ctx: ScheduleContext, region: Region) -> Frag:
+        if isinstance(region, SeqRegion):
+            return self._sequence(ctx, region.children)
+        if self.region_cache is not None:
+            return self._memoized(ctx, [region])
         if isinstance(region, BlockRegion):
             return block_fragment(ctx, region.nodes)
         if isinstance(region, LoopRegion):
             return loop_fragment(ctx, region, self._region)
-        if isinstance(region, SeqRegion):
-            return self._sequence(ctx, region.children)
         raise ScheduleError(f"unknown region {type(region).__name__}")
 
     def _sequence(self, ctx: ScheduleContext,
@@ -118,7 +177,12 @@ class Scheduler:
             child = children[i]
             run = self._independent_loop_run(ctx, children, i)
             if len(run) >= 2:
-                frag = self._best_loop_composition(ctx, run)
+                # A run is one schedulable unit: its concurrent-vs-
+                # sequential decision depends on every loop in it.
+                if self.region_cache is not None:
+                    frag = self._memoized(ctx, run)
+                else:
+                    frag = self._best_loop_composition(ctx, run)
                 frags.append(frag)
                 i += len(run)
                 continue
@@ -141,22 +205,43 @@ class Scheduler:
             run.append(child)
         return run
 
+    def _loop(self, ctx: ScheduleContext, loop: LoopRegion) -> Frag:
+        """One loop, routed through the cache when one is attached."""
+        if self.region_cache is not None:
+            return self._memoized(ctx, [loop])
+        return loop_fragment(ctx, loop, self._region)
+
     def _best_loop_composition(self, ctx: ScheduleContext,
                                run: List[LoopRegion]) -> Frag:
         """Concurrent phases vs back-to-back loops: keep the shorter."""
+        if self.region_cache is not None:
+            conc = self._variant(
+                ctx, list(run), "conc",
+                lambda c: concurrent_fragment(
+                    c, run, cache=self.region_cache,
+                    behavior=self.behavior))
+            conc_len = self._variant_len(conc)
+            seq_len = self._measure(
+                ctx, lambda c: compose(
+                    c.stg, [self._loop(c, lp) for lp in run]))
+            if conc_len is not None and (seq_len is None
+                                         or conc_len < seq_len):
+                frag, _ = splice(ctx.stg, conc)
+                return frag
+            return compose(
+                ctx.stg, [self._loop(ctx, lp) for lp in run])
         conc_len = self._measure(
             ctx, lambda c: concurrent_fragment(c, run))
         seq_len = self._measure(
             ctx, lambda c: compose(
-                c.stg, [loop_fragment(c, lp, self._region) for lp in run]))
+                c.stg, [self._loop(c, lp) for lp in run]))
         if conc_len is not None and (seq_len is None
                                      or conc_len < seq_len):
             frag = concurrent_fragment(ctx, run)
             assert frag is not None
             return frag
         return compose(
-            ctx.stg,
-            [loop_fragment(ctx, lp, self._region) for lp in run])
+            ctx.stg, [self._loop(ctx, lp) for lp in run])
 
     @staticmethod
     def _measure(ctx: ScheduleContext,
@@ -180,6 +265,211 @@ class Scheduler:
             connect(scratch, frag.exits, [(exit_, 1.0, "")])
         scratch.entry, scratch.exit = entry, exit_
         return average_schedule_length(scratch)
+
+    # -- incremental path ----------------------------------------------
+    def _memoized(self, ctx: ScheduleContext,
+                  regions: Sequence[Region]) -> Frag:
+        """Build-or-fetch one schedulable unit and splice it into
+        ``ctx.stg``."""
+        cache = self.region_cache
+        assert cache is not None
+        if cache.max_entries > 0:
+            key: Optional[str] = cache.key_for(self.behavior, regions,
+                                               ctx.guards)
+            cached = cache.get(key)
+        else:
+            # Non-incremental baseline: skip the (pure-overhead) key
+            # computation entirely; still count the build as a miss.
+            key = None
+            cached = None
+            cache.stats.misses += 1
+        if cached is None:
+            scratch = Stg(f"{self.behavior.name}:unit")
+            built0, reused0 = cache.states_built, cache.states_reused
+            frag = self._build_unit(ctx.with_stg(scratch), regions)
+            cached = CachedFragment(scratch, list(frag.entries),
+                                    list(frag.exits))
+            # Count each state once, at the level that scheduled it:
+            # states spliced from nested unit / variant entries were
+            # already booked built or reused down there.
+            nested = (cache.states_built - built0
+                      + cache.states_reused - reused0)
+            cache.states_built += max(0, len(scratch) - nested)
+            if key is not None:
+                cache.put(key, cached)
+        else:
+            cache.states_reused += len(cached.stg)
+        out_frag, idmap = splice(ctx.stg, cached)
+        if ctx.stg is self._main_stg:
+            self._pieces.append((cached, idmap))
+        return out_frag
+
+    def _build_unit(self, ctx: ScheduleContext,
+                    regions: Sequence[Region]) -> Frag:
+        """Schedule one unit from scratch (into the unit's own STG)."""
+        if len(regions) == 1:
+            region = regions[0]
+            if isinstance(region, BlockRegion):
+                return block_fragment(ctx, region.nodes)
+            if isinstance(region, LoopRegion):
+                return self._loop_unit(ctx, region)
+            raise ScheduleError(
+                f"cannot build unit from {type(region).__name__}")
+        return self._best_loop_composition(ctx, list(regions))
+
+    def _loop_unit(self, ctx: ScheduleContext, loop: LoopRegion) -> Frag:
+        """Cached replica of :func:`loop_fragment`.
+
+        The sequential / pipelined variants are built (at most) once
+        each through the cache and the winner is spliced, where the
+        plain walk builds the winner a second time after measuring it.
+        The decision sequence — build pipelined, measure, count
+        conditions, build sequential, measure, compare — mirrors
+        ``loop_fragment`` exactly, so the chosen variant (and any
+        propagated ScheduleError / MarkovError) is identical.
+        """
+        if not ctx.config.allow_pipelining:
+            seq = self._variant(
+                ctx, [loop], "seq",
+                lambda c: sequential_loop(c, loop, self._region))
+            if seq.build_failed:
+                # Rebuild in place to raise the same ScheduleError the
+                # plain walk would.
+                return sequential_loop(ctx, loop, self._region)
+            frag, _ = splice(ctx.stg, seq)
+            return frag
+        pipe = self._variant(ctx, [loop], "pipe",
+                             lambda c: _pipelined_or_none(c, loop))
+        pipe_len = self._variant_len(pipe)
+        if pipe_len is not None and _cond_count(ctx, loop) > 8:
+            frag, _ = splice(ctx.stg, pipe)
+            return frag
+        seq = self._variant(
+            ctx, [loop], "seq",
+            lambda c: sequential_loop(c, loop, self._region))
+        seq_len = self._variant_len(seq)
+        if pipe_len is not None and (seq_len is None or pipe_len < seq_len):
+            frag, _ = splice(ctx.stg, pipe)
+            return frag
+        if seq.build_failed:
+            return sequential_loop(ctx, loop, self._region)
+        frag, _ = splice(ctx.stg, seq)
+        return frag
+
+    def _variant(self, ctx: ScheduleContext, regions: List[Region],
+                 kind: str, build: Callable[[ScheduleContext],
+                                            Optional[Frag]]
+                 ) -> CachedFragment:
+        """Build-or-fetch one design variant of a unit.
+
+        Variants (``"pipe"`` / ``"seq"`` / ``"conc"``) share the unit's
+        content key with a suffix, so measuring a variant and then
+        keeping it costs one build instead of two, and a failed build
+        (ScheduleError or not-applicable) is remembered rather than
+        retried.
+        """
+        cache = self.region_cache
+        assert cache is not None
+        if cache.max_entries > 0:
+            key: Optional[str] = cache.key_for(self.behavior, regions,
+                                               ctx.guards, variant=kind)
+            cached = cache.get(key)
+        else:
+            key = None
+            cached = None
+            cache.stats.misses += 1
+        if cached is not None:
+            if not cached.build_failed:
+                cache.states_reused += len(cached.stg)
+            return cached
+        scratch = Stg(f"{self.behavior.name}:{kind}")
+        built0, reused0 = cache.states_built, cache.states_reused
+        try:
+            frag = build(ctx.with_stg(scratch))
+        except ScheduleError:
+            frag = None
+        if frag is None:
+            cached = CachedFragment(Stg("failed"), build_failed=True)
+        else:
+            cached = CachedFragment(scratch, list(frag.entries),
+                                    list(frag.exits))
+            nested = (cache.states_built - built0
+                      + cache.states_reused - reused0)
+            cache.states_built += max(0, len(scratch) - nested)
+        if key is not None:
+            cache.put(key, cached)
+        return cached
+
+    def _variant_len(self, cached: CachedFragment) -> Optional[float]:
+        """Expected cycles of a variant, measured at most once."""
+        if cached.build_failed:
+            return None
+        if cached.measured_len is None:
+            cached.measured_len = self._measure_cached(cached)
+        return cached.measured_len
+
+    def _measure_cached(self, cached: CachedFragment) -> float:
+        """Measure a cached variant exactly as ``_measure`` would."""
+        scratch = Stg("scratch")
+        frag, _ = splice(scratch, cached)
+        entry = scratch.add_state(label="in")
+        exit_ = scratch.add_state(label="out")
+        if frag.is_empty:
+            scratch.add_transition(entry, exit_, 1.0)
+        else:
+            connect(scratch, [(entry, 1.0, "")], frag.entries)
+            connect(scratch, frag.exits, [(exit_, 1.0, "")])
+        scratch.entry, scratch.exit = entry, exit_
+        cache = self.region_cache
+        assert cache is not None
+        t0 = time.perf_counter()
+        try:
+            return average_schedule_length(scratch)
+        finally:
+            cache.solver_time += time.perf_counter() - t0
+
+    def _spliced_visits(self, stg: Stg,
+                        once: List[int]) -> Dict[int, float]:
+        """Assemble expected visits from memoized per-fragment solves.
+
+        Sequential composition hands the full unit of probability mass
+        to each top-level fragment per execution, so a fragment's visit
+        totals — solved once, in isolation, under its entry-port weights
+        — are exact wherever the fragment is spliced.  Falls back to one
+        full-chain solve if any fragment's sub-chain is singular or the
+        fragments do not tile the STG (both content-dependent, so the
+        fallback decision is identical across cache modes).
+        """
+        cache = self.region_cache
+        assert cache is not None
+        visits: Dict[int, float] = {}
+        ok = True
+        for cached, idmap in self._pieces:
+            fv = cache.visits_of(cached)
+            if fv is None:
+                ok = False
+                break
+            for local_sid, v in fv.items():
+                visits[idmap[local_sid]] = v
+        if ok:
+            for sid in once:
+                visits[sid] = 1.0
+            if len(visits) == len(stg.states):
+                # Iteration order must match expected_visits() (transient
+                # states by id, exit last): downstream sums over
+                # .values() are float-order sensitive, and both
+                # evaluation paths must produce bit-identical metrics.
+                ordered = {sid: visits[sid] for sid in sorted(visits)
+                           if sid != stg.exit}
+                ordered[stg.exit] = visits[stg.exit]
+                return ordered
+        t0 = time.perf_counter()
+        try:
+            full = expected_visits(stg)
+        finally:
+            cache.solver_time += time.perf_counter() - t0
+        cache.markov_full += 1
+        return full
 
 
 def schedule_behavior(behavior: Behavior, library: Library,

@@ -1,0 +1,283 @@
+"""Region-level schedule memoization for incremental candidate evaluation.
+
+The FACT inner loop (paper Figure 6) evaluates hundreds of candidates
+per generation, and most of Section 3's transformations are local: a
+candidate differs from its parent in one region while every other
+region is byte-for-byte identical.  Rescheduling those untouched
+regions — and re-solving their Markov sub-chains — is pure waste.  This
+module supplies the pieces the scheduler driver uses to make evaluation
+cost proportional to *what changed*:
+
+* :func:`unit_key` — content hash of one schedulable unit (a block, a
+  loop, or a run of independent adjacent loops) under a fixed
+  evaluation context.  Keys serialize **exact node ids**, not the
+  Weisfeiler-Lehman canonical signatures used by the behavior-level
+  evaluation cache: list scheduling tie-breaks on node ids
+  (``sorted(ids)`` orderings, ``min(..., key=(end_cycle, id))``), so
+  two isomorphic-but-renumbered regions can legitimately schedule
+  differently, and splicing one's fragment for the other would not
+  reproduce the from-scratch schedule bit-for-bit.
+* :class:`CachedFragment` — a relocatable scheduled fragment: a private
+  STG holding the region's states, the weighted entry/exit ports, and
+  (memoized) the expected-visit totals of its internal sub-chain.
+* :func:`splice` — copy a cached fragment into a target STG, preserving
+  state-creation and transition order, so the assembled STG is
+  *identical* (ids, labels, transition list) to a from-scratch build.
+* :class:`RegionScheduleCache` — a bounded LRU over all of the above
+  with ``CacheStats`` hit/miss/eviction counters plus Markov-solver
+  bookkeeping (local solves, reuses, full-solve fallbacks, time).
+
+A cache is only valid for one evaluation context (library, allocation,
+scheduler config, branch probabilities): the creator stamps
+``context_fp`` (see :func:`repro.core.engine.context_fingerprint`) and
+every unit key is namespaced by it.  Never share one cache across
+contexts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..cdfg.ir import _digest
+from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
+                            SeqRegion)
+from ..errors import MarkovError, ScheduleError
+from ..stg.markov import fragment_visits
+from ..stg.model import ScheduledOp, Stg
+from .fragments import Frag, Port
+
+__all__ = ["CachedFragment", "RegionScheduleCache", "splice", "unit_key"]
+
+
+def _region_shape(region: Region, conds: Set[int]) -> str:
+    """Exact serialization of a region's structure.
+
+    Collects loop condition ids into ``conds`` along the way (their
+    probability bookkeeping must enter the key even when the condition
+    node itself carries no control edge inside the unit).
+    """
+    if isinstance(region, BlockRegion):
+        # The block scheduler treats members as a set.
+        return f"B{sorted(region.nodes)}"
+    if isinstance(region, SeqRegion):
+        return "S(" + ",".join(_region_shape(c, conds)
+                               for c in region.children) + ")"
+    if isinstance(region, LoopRegion):
+        conds.add(region.cond)
+        return (f"L({region.name},"
+                f"vars={[(lv.name, lv.join) for lv in region.loop_vars]},"
+                f"conds={sorted(region.cond_nodes)},cond={region.cond},"
+                f"trip={region.trip_count},"
+                f"body={_region_shape(region.body, conds)})")
+    raise ScheduleError(f"unknown region type {type(region).__name__}")
+
+
+def unit_key(behavior: Behavior, regions: Sequence[Region], guards,
+             context_fp: str = "") -> str:
+    """Content hash of one schedulable unit under a fixed context.
+
+    Covers everything the fragment schedulers may read:
+
+    * the exact node ids, kinds, constants, interface names and edges
+      (data, control, order) of every node owned by the unit;
+    * the region structure (names, loop variables, trip counts);
+    * the *effective guards* of external producers feeding the unit —
+      guard literals propagate transitively through data inputs, so a
+      condition attached outside the unit can change predicated-sharing
+      and execution-probability decisions inside it;
+    * the condition weight/alias bookkeeping of every condition the
+      unit can reference (branch probabilities themselves are part of
+      ``context_fp``);
+    * the behavior's array declarations (memory port counts).
+    """
+    graph = behavior.graph
+    ids: Set[int] = set()
+    for region in regions:
+        ids |= region.node_ids()
+    conds: Set[int] = set()
+    shape = ";".join(_region_shape(r, conds) for r in regions)
+    h = _digest(context_fp.encode())
+    h.update(shape.encode())
+    externals: Set[int] = set()
+    for nid in sorted(ids):
+        node = graph.nodes[nid]
+        h.update(f"|n{nid}:{node.kind.name}:{node.value!r}:"
+                 f"{node.var!r}:{node.array!r}".encode())
+        for port, src in sorted(graph.input_ports(nid).items()):
+            h.update(f",d{port}<{src}".encode())
+            if src not in ids:
+                externals.add(src)
+        for src, pol in sorted(graph.control_inputs(nid)):
+            h.update(f",c{src}:{int(pol)}".encode())
+            conds.add(src)
+        for src in sorted(graph.order_preds(nid)):
+            h.update(f",o{src}".encode())
+    for src in sorted(externals):
+        literals = sorted(guards.effective_guard(src))
+        h.update(f"|x{src}:{literals!r}".encode())
+        conds.update(cond for cond, _pol in literals)
+    env = [(cond, behavior.cond_weights.get(cond, 1),
+            behavior.cond_aliases.get(cond))
+           for cond in sorted(conds)]
+    h.update(f"|w{env!r}".encode())
+    arrays = sorted((a.name, a.size, a.ports)
+                    for a in behavior.arrays.values())
+    h.update(f"|a{arrays!r}".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CachedFragment:
+    """A relocatable scheduled fragment.
+
+    ``stg`` is private to the cache entry and never mutated after the
+    build; its states are numbered 0..n-1 in creation order, which is
+    what lets :func:`splice` reproduce a from-scratch build exactly.
+    ``visits`` memoizes the fragment's expected-visit totals (solved at
+    most once per entry — the localized Markov re-analysis);
+    ``solve_failed`` remembers that the sub-chain was singular so the
+    caller falls back to a full solve without retrying.
+    """
+
+    stg: Stg
+    entries: List[Port] = field(default_factory=list)
+    exits: List[Port] = field(default_factory=list)
+    visits: Optional[Dict[int, float]] = None
+    solve_failed: bool = False
+    #: Expected cycles of the fragment under the standard entry/exit
+    #: wrapper (see ``Scheduler._measure``), memoized so a reused design
+    #: variant never re-solves its measuring chain; None = not measured.
+    measured_len: Optional[float] = None
+    #: The build raised ScheduleError / was not applicable; remembered
+    #: so every lookup reproduces the same decision without rebuilding.
+    build_failed: bool = False
+
+
+def splice(target: Stg, cached: CachedFragment
+           ) -> Tuple[Frag, Dict[int, int]]:
+    """Copy a cached fragment into ``target``.
+
+    States are appended in their original creation order and transitions
+    in their original list order, so an STG assembled from spliced
+    fragments is identical — ids, labels and ``to_dot()`` output — to
+    one built in place.  Returns the relocated fragment ports and the
+    fragment-local → target state-id map.
+    """
+    idmap: Dict[int, int] = {}
+    for state in cached.stg.states.values():  # insertion == creation order
+        ops = [ScheduledOp(o.node, o.iteration, o.exec_prob)
+               for o in state.ops]
+        idmap[state.id] = target.add_state(ops, label=state.label)
+    for t in cached.stg.transitions:
+        target.add_transition(idmap[t.src], idmap[t.dst], t.prob, t.label)
+    frag = Frag([(idmap[sid], prob, label)
+                 for sid, prob, label in cached.entries],
+                [(idmap[sid], prob, label)
+                 for sid, prob, label in cached.exits])
+    return frag, idmap
+
+
+class RegionScheduleCache:
+    """Bounded LRU from unit keys to :class:`CachedFragment` entries.
+
+    ``max_entries=0`` disables storage: every lookup misses, nothing is
+    kept, and unit keys are not even computed — this is the
+    non-incremental baseline, which still runs the exact same
+    build-and-splice path so both modes produce identical schedules.
+
+    Counters: ``stats`` (a :class:`~repro.core.evalcache.CacheStats`)
+    tracks unit lookups; ``markov_local`` / ``markov_reused`` /
+    ``markov_full`` count fragment sub-chain solves, memoized reuses
+    and full-solve fallbacks; ``solver_time`` accumulates seconds spent
+    in Markov solves; ``states_built`` / ``states_reused`` count STG
+    states emitted by fresh scheduling vs. served from the cache (their
+    ratio is the *reschedule fraction* reported by the telemetry).
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 context_fp: str = "") -> None:
+        # Runtime import: repro.core imports the scheduler package, so
+        # a module-level import here would be circular.
+        from ..core.evalcache import EvalCache
+        self._lru = EvalCache(max_entries=max_entries)
+        self.context_fp = context_fp
+        self.markov_local = 0
+        self.markov_reused = 0
+        self.markov_full = 0
+        self.solver_time = 0.0
+        self.states_built = 0
+        self.states_reused = 0
+
+    # -- storage --------------------------------------------------------
+    @property
+    def max_entries(self) -> int:
+        return self._lru.max_entries
+
+    @property
+    def stats(self):
+        """Unit lookup counters (``CacheStats``)."""
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, key: str) -> Optional[CachedFragment]:
+        return self._lru.get(key)
+
+    def put(self, key: str, value: CachedFragment) -> None:
+        self._lru.put(key, value)
+
+    def key_for(self, behavior: Behavior, regions: Sequence[Region],
+                guards, variant: str = "") -> str:
+        """The unit key of ``regions``, namespaced by this cache's
+        context fingerprint.
+
+        ``variant`` distinguishes alternative designs of the *same*
+        unit content (``"pipe"`` / ``"seq"`` loop schedules, ``"conc"``
+        run kernels) so the winner-selection step can fetch the variant
+        it measured instead of rebuilding it.
+        """
+        key = unit_key(behavior, regions, guards, self.context_fp)
+        return f"{key}:{variant}" if variant else key
+
+    # -- localized Markov analysis --------------------------------------
+    def visits_of(self, cached: CachedFragment
+                  ) -> Optional[Dict[int, float]]:
+        """Expected-visit totals of the fragment's sub-chain, memoized.
+
+        A reused fragment is never solved again — this is the localized
+        re-analysis.  Returns None when the sub-chain cannot be solved
+        in isolation (singular system); callers then fall back to one
+        full solve of the assembled STG.
+        """
+        if cached.solve_failed:
+            return None
+        if cached.visits is not None:
+            self.markov_reused += 1
+            return cached.visits
+        if not cached.entries:
+            cached.visits = {}
+            return cached.visits
+        sources: Dict[int, float] = {}
+        for sid, weight, _label in cached.entries:
+            sources[sid] = sources.get(sid, 0.0) + weight
+        t0 = time.perf_counter()
+        try:
+            cached.visits = fragment_visits(cached.stg, sources)
+        except MarkovError:
+            cached.solve_failed = True
+            return None
+        finally:
+            self.solver_time += time.perf_counter() - t0
+        self.markov_local += 1
+        return cached.visits
+
+    # -- bookkeeping ----------------------------------------------------
+    def snapshot(self) -> Tuple[int, int, int, int, int, float, int, int]:
+        """Counter snapshot for per-candidate deltas."""
+        s = self.stats
+        return (s.hits, s.misses, self.markov_local, self.markov_reused,
+                self.markov_full, self.solver_time, self.states_built,
+                self.states_reused)

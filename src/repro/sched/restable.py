@@ -15,6 +15,7 @@ guard analysis.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Callable, Dict, List, Optional
 
 #: Predicate deciding whether two ops may share one FU instance.
@@ -60,7 +61,22 @@ class _InstanceTable:
 
 
 class LinearTable(_InstanceTable):
-    """Cycle-indexed reservation table."""
+    """Cycle-indexed reservation table.
+
+    Keeps a per-resource sorted free-list (strictly: a sorted list of
+    *saturated* cycles — cycles where every instance is taken) so the
+    list scheduler can skip over fully booked stretches instead of
+    probing them cycle by cycle.  With a sharing predicate installed a
+    saturated cycle may still admit a compatible op, so the skip is
+    only taken for plain (unshared) tables; placement results are
+    identical either way.
+    """
+
+    def __init__(self, capacity_of: Callable[[str], int],
+                 share: Optional[SharePredicate] = None) -> None:
+        super().__init__(capacity_of, share)
+        # resource -> sorted cycles at which every instance is in use
+        self._saturated: Dict[str, List[int]] = {}
 
     def can_place(self, cycle: int, n_cycles: int, resource: str,
                   nid: int) -> bool:
@@ -74,6 +90,32 @@ class LinearTable(_InstanceTable):
         """Reserve the resource (call only after ``can_place``)."""
         for c in range(cycle, cycle + max(n_cycles, 1)):
             self._place_slot((c,), resource, nid)
+            instances = self._table[((c,), resource)]
+            if (len(instances) >= self._capacity_of(resource)
+                    and self._share is None):
+                full = self._saturated.setdefault(resource, [])
+                i = bisect_left(full, c)
+                if i >= len(full) or full[i] != c:
+                    insort(full, c)
+
+    def next_free_cycle(self, cycle: int, resource: str) -> int:
+        """Smallest cycle ``>= cycle`` whose slot is not saturated.
+
+        Used by the scheduler's placement scan to jump over fully
+        booked cycles in one step.  With a sharing predicate the
+        saturation test is not definitive (a compatible op may still
+        fit), so the scan falls back to advancing one cycle at a time.
+        """
+        if self._share is not None:
+            return cycle
+        full = self._saturated.get(resource)
+        if not full:
+            return cycle
+        i = bisect_left(full, cycle)
+        while i < len(full) and full[i] == cycle:
+            cycle += 1
+            i += 1
+        return cycle
 
 
 class ModuloTable(_InstanceTable):

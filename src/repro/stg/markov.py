@@ -10,17 +10,22 @@ reference [10]) used throughout Section 2.2:
   of expected visits (each state is one cycle);
 * **state probabilities** — the fraction of time spent in each state
   over repeated executions (Example 1's ``P_Si`` values), i.e. expected
-  visits normalized by the average schedule length.
+  visits normalized by the average schedule length;
+* **fragment visits** — the localized variant used by the incremental
+  evaluation pipeline: solve one region's sub-chain in isolation given
+  the entry mass flowing into it, so an unchanged region's totals can
+  be spliced into a candidate's analysis without re-solving the whole
+  system.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Mapping
 
 import numpy as np
 
 from ..errors import MarkovError
-from .model import Stg
+from .model import Stg, Transition
 
 #: Use a sparse linear solve above this many states.
 SPARSE_THRESHOLD = 600
@@ -28,17 +33,55 @@ SPARSE_THRESHOLD = 600
 MAX_STATES = 60_000
 
 
-def _sparse_solve(stg: Stg, index, n: int, e):
-    """Sparse ``(I − Qᵀ) v = e`` for large STGs."""
-    from scipy.sparse import identity, lil_matrix
+def _sparse_solve(transitions: List[Transition], index: Dict[int, int],
+                  n: int, e):
+    """Sparse ``(I − Qᵀ) v = e``, assembled directly in COO triplets."""
+    from scipy.sparse import coo_matrix, identity
     from scipy.sparse.linalg import spsolve
-    q = lil_matrix((n, n))
-    for t in stg.transitions:
-        if t.src == stg.exit or t.dst == stg.exit:
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
+    for t in transitions:
+        si = index.get(t.src)
+        di = index.get(t.dst)
+        if si is None or di is None:
             continue
-        q[index[t.dst], index[t.src]] += t.prob  # transposed
-    a = (identity(n, format="csr") - q.tocsr())
+        rows.append(di)  # transposed
+        cols.append(si)
+        data.append(t.prob)
+    qt = coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr()
+    a = identity(n, format="csr") - qt
     return spsolve(a, e)
+
+
+def _solve_visits(name: str, transitions: List[Transition],
+                  index: Dict[int, int], n: int, e):
+    """Solve ``v = e + Qᵀ v`` over the states in ``index``.
+
+    ``Q`` keeps only transitions whose source *and* destination are
+    indexed; everything else (the exit state, or mass leaving a
+    fragment) simply drains.
+    """
+    try:
+        if n > SPARSE_THRESHOLD:
+            v = _sparse_solve(transitions, index, n, e)
+        else:
+            q = np.zeros((n, n))
+            for t in transitions:
+                si = index.get(t.src)
+                di = index.get(t.dst)
+                if si is None or di is None:
+                    continue
+                q[si, di] += t.prob
+            v = np.linalg.solve(np.eye(n) - q.T, e)
+    except Exception as exc:
+        raise MarkovError(
+            f"{name}: absorbing-chain solve failed ({exc}); the STG "
+            f"may loop forever with probability 1") from None
+    if np.any(v < -1e-6):
+        raise MarkovError(f"{name}: negative expected visits; "
+                          f"inconsistent probabilities")
+    return v
 
 
 def expected_visits(stg: Stg) -> Dict[int, float]:
@@ -67,26 +110,52 @@ def expected_visits(stg: Stg) -> Dict[int, float]:
     e = np.zeros(n)
     if stg.entry != stg.exit:
         e[index[stg.entry]] = 1.0
-    try:
-        if n > SPARSE_THRESHOLD:
-            v = _sparse_solve(stg, index, n, e)
-        else:
-            q = np.zeros((n, n))
-            for t in stg.transitions:
-                if t.src == stg.exit or t.dst == stg.exit:
-                    continue
-                q[index[t.src], index[t.dst]] += t.prob
-            v = np.linalg.solve(np.eye(n) - q.T, e)
-    except Exception as exc:
-        raise MarkovError(
-            f"{stg.name}: absorbing-chain solve failed ({exc}); the STG "
-            f"may loop forever with probability 1") from None
-    if np.any(v < -1e-6):
-        raise MarkovError(f"{stg.name}: negative expected visits; "
-                          f"inconsistent probabilities")
+    v = _solve_visits(stg.name, stg.transitions, index, n, e)
     visits = {sid: max(float(v[i]), 0.0) for sid, i in index.items()}
     visits[stg.exit] = 1.0
     return visits
+
+
+def fragment_visits(stg: Stg, sources: Mapping[int, float]
+                    ) -> Dict[int, float]:
+    """Expected entries into each state of an STG *fragment*.
+
+    The localized re-analysis primitive: ``stg`` holds one region's
+    states (a relocatable schedule fragment) and ``sources`` gives the
+    external entry mass per entry state — for a scheduled fragment, its
+    entry-port weights.  Solves ``v = e + Qᵀ v`` over *all* fragment
+    states; transitions leaving the fragment are simply absent from it,
+    so their mass drains out.
+
+    Splicing these per-fragment totals back together is exact for
+    sequentially composed fragments: probability conservation delivers
+    the full unit of mass to each top-level fragment per execution, so
+    a fragment solved once under ``sources`` summing to 1 has the same
+    visit totals wherever it is spliced.
+
+    Raises:
+        MarkovError: if a source state is unknown, the fragment exceeds
+            the analysis size limit, or its internal chain does not
+            drain (singular system) — callers fall back to a full
+            :func:`expected_visits` solve.
+    """
+    ids = stg.state_ids()
+    n = len(ids)
+    if n == 0:
+        return {}
+    if n > MAX_STATES:
+        raise MarkovError(
+            f"{stg.name}: {n} states exceeds the analysis limit "
+            f"{MAX_STATES}; the schedule is degenerate")
+    index = {sid: i for i, sid in enumerate(ids)}
+    e = np.zeros(n)
+    for sid, weight in sources.items():
+        if sid not in index:
+            raise MarkovError(
+                f"{stg.name}: fragment source state {sid} does not exist")
+        e[index[sid]] += weight
+    v = _solve_visits(stg.name, stg.transitions, index, n, e)
+    return {sid: max(float(v[i]), 0.0) for sid, i in index.items()}
 
 
 def average_schedule_length(stg: Stg) -> float:

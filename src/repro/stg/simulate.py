@@ -14,6 +14,11 @@ from typing import Dict, List, Optional
 from ..errors import StgError
 from .model import Stg
 
+#: Maximum tolerated float drift in a state's outgoing probability mass.
+#: Rows further from 1 than this indicate a real modelling bug, not
+#: accumulated rounding, and must not be silently renormalized.
+ROW_SUM_TOL = 1e-3
+
 
 @dataclass
 class WalkResult:
@@ -39,7 +44,15 @@ def walk_once(stg: Stg, rng: random.Random,
         edges = stg.out_edges(sid)
         if not edges:
             raise StgError(f"state {sid} has no outgoing transitions")
-        r = rng.random()
+        total = sum(t.prob for t in edges)
+        if abs(total - 1.0) > ROW_SUM_TOL:
+            raise StgError(
+                f"state {sid} outgoing probabilities sum to {total:.6f}, "
+                f"expected 1 (tolerance {ROW_SUM_TOL})")
+        # Sample against the actual row mass: float drift within the
+        # tolerance is renormalized instead of silently funnelling the
+        # missing mass into the last edge.
+        r = rng.random() * total
         acc = 0.0
         chosen = edges[-1]
         for t in edges:

@@ -1,0 +1,181 @@
+"""Region-level schedule memoization: identity with the legacy path."""
+
+import pytest
+
+from repro.bench.circuits import circuit
+from repro.hw import dac98_library
+from repro.lang import compile_source
+from repro.profiling import profile
+from repro.sched.driver import Scheduler
+from repro.sched.regioncache import (CachedFragment, RegionScheduleCache,
+                                     splice, unit_key)
+from repro.stg.model import ScheduledOp, Stg
+
+LIB = dac98_library()
+NAMES = ("gcd", "fir", "test2", "sintran", "igf", "pps")
+
+GCD_SRC = """
+proc gcd(in a, in b, out g) {
+    while (a != b) {
+        if (a < b) { b = b - a; } else { a = a - b; }
+    }
+    g = a;
+}
+"""
+
+
+def _setup(name):
+    c = circuit(name)
+    beh = c.behavior()
+    probs = dict(profile(beh, c.traces(beh)).branch_probs)
+    return c, beh, probs
+
+
+def _schedule(c, beh, probs, cache):
+    return Scheduler(beh, LIB, c.allocation, c.sched, probs,
+                     region_cache=cache).schedule()
+
+
+class TestBitIdentity:
+    """The build-and-splice path reproduces the in-place walk exactly."""
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_cached_and_zero_storage_match_legacy(self, name):
+        c, beh, probs = _setup(name)
+        legacy = _schedule(c, beh, probs, None)
+        cached = _schedule(c, beh, probs,
+                           RegionScheduleCache(context_fp="t"))
+        zero = _schedule(c, beh, probs,
+                         RegionScheduleCache(max_entries=0,
+                                             context_fp="t"))
+        assert cached.stg.to_dot() == legacy.stg.to_dot()
+        assert zero.stg.to_dot() == legacy.stg.to_dot()
+        assert cached.average_length() == legacy.average_length()
+        assert zero.average_length() == legacy.average_length()
+
+    @pytest.mark.parametrize("name", ("gcd", "fir", "test2"))
+    def test_warm_reschedule_is_pure_reuse(self, name):
+        """Same content twice: every unit is spliced, none rebuilt.
+
+        fir exercises the pipe/seq loop variants, test2 the concurrent
+        run and its per-phase kernels.
+        """
+        c, beh, probs = _setup(name)
+        cache = RegionScheduleCache(context_fp="t")
+        first = _schedule(c, beh, probs, cache)
+        built = cache.states_built
+        solved = cache.markov_local
+        second = _schedule(c, beh, probs, cache)
+        assert second.stg.to_dot() == first.stg.to_dot()
+        assert second.average_length() == first.average_length()
+        assert cache.stats.hits > 0
+        assert cache.states_built == built       # nothing rescheduled
+        assert cache.states_reused > 0
+        assert cache.markov_local == solved      # no new local solves
+
+
+class TestLocalizedMarkov:
+    def test_visits_memoized_per_fragment(self):
+        frag = Stg("f")
+        a = frag.add_state()
+        b = frag.add_state()
+        frag.add_transition(a, b, 0.5)
+        frag.add_transition(a, a, 0.5)
+        cf = CachedFragment(frag, entries=[(a, 1.0, "")],
+                            exits=[(b, 1.0, "")])
+        cache = RegionScheduleCache(context_fp="t")
+        v1 = cache.visits_of(cf)
+        assert v1 is not None
+        assert v1[a] == pytest.approx(2.0)   # geometric self-loop
+        assert cache.markov_local == 1
+        assert cache.visits_of(cf) is v1
+        assert cache.markov_reused == 1
+        assert cache.markov_local == 1
+
+    def test_singular_subchain_falls_back(self):
+        """A fragment that never reaches its exit cannot be solved in
+        isolation; the failure is remembered, not retried."""
+        frag = Stg("trap")
+        a = frag.add_state()
+        b = frag.add_state()
+        frag.add_transition(a, a, 1.0)       # absorbing: b unreachable
+        cf = CachedFragment(frag, entries=[(a, 1.0, "")],
+                            exits=[(b, 1.0, "")])
+        cache = RegionScheduleCache(context_fp="t")
+        assert cache.visits_of(cf) is None
+        assert cf.solve_failed
+        assert cache.visits_of(cf) is None   # no second solve attempt
+        assert cache.markov_local == 0
+
+
+class TestSplice:
+    def test_splice_preserves_order_ids_and_ports(self):
+        frag = Stg("frag")
+        a = frag.add_state([ScheduledOp(1)], label="a")
+        b = frag.add_state([ScheduledOp(2, iteration=1)], label="b")
+        frag.add_transition(a, b, 0.5, "c")
+        frag.add_transition(b, a, 1.0)
+        cf = CachedFragment(frag, entries=[(a, 1.0, "")],
+                            exits=[(b, 0.5, "x")])
+        target = Stg("t")
+        target.add_state(label="pre")
+        out, idmap = splice(target, cf)
+        assert idmap == {a: 1, b: 2}
+        assert out.entries == [(1, 1.0, "")]
+        assert out.exits == [(2, 0.5, "x")]
+        assert [(t.src, t.dst, t.prob, t.label)
+                for t in target.transitions] == [(1, 2, 0.5, "c"),
+                                                 (2, 1, 1.0, "")]
+        assert target.states[2].label == "b"
+        assert target.states[2].ops[0].iteration == 1
+        # The cached fragment itself is untouched.
+        assert len(frag) == 2
+
+
+class _NoGuards:
+    def effective_guard(self, nid):
+        return []
+
+
+class TestUnitKey:
+    def test_recompilation_is_stable(self):
+        b1 = compile_source(GCD_SRC)
+        b2 = compile_source(GCD_SRC)
+        key = lambda b: unit_key(b, [b.loops()[0]], _NoGuards(), "fp")
+        assert key(b1) == key(b2)
+
+    def test_semantic_change_is_visible(self):
+        b1 = compile_source(GCD_SRC)
+        b2 = compile_source(GCD_SRC.replace("b - a", "b - a - a"))
+        key = lambda b: unit_key(b, [b.loops()[0]], _NoGuards(), "fp")
+        assert key(b1) != key(b2)
+
+    def test_context_namespacing_and_variants(self):
+        b = compile_source(GCD_SRC)
+        loop = [b.loops()[0]]
+        c1 = RegionScheduleCache(context_fp="ctx1")
+        c2 = RegionScheduleCache(context_fp="ctx2")
+        assert (c1.key_for(b, loop, _NoGuards())
+                != c2.key_for(b, loop, _NoGuards()))
+        assert (c1.key_for(b, loop, _NoGuards(), variant="pipe")
+                != c1.key_for(b, loop, _NoGuards()))
+        assert (c1.key_for(b, loop, _NoGuards(), variant="pipe")
+                != c1.key_for(b, loop, _NoGuards(), variant="seq"))
+
+
+class TestStorage:
+    def test_zero_entry_cache_stores_nothing(self):
+        cache = RegionScheduleCache(max_entries=0, context_fp="t")
+        cache.put("k", CachedFragment(Stg()))
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_snapshot_tracks_counters(self):
+        cache = RegionScheduleCache(context_fp="t")
+        before = cache.snapshot()
+        assert cache.get("missing") is None
+        cache.put("k", CachedFragment(Stg()))
+        assert cache.get("k") is not None
+        after = cache.snapshot()
+        assert after[0] - before[0] == 1     # hits
+        assert after[1] - before[1] == 1     # misses

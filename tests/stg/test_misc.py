@@ -83,3 +83,46 @@ class TestWalks:
         import random
         with pytest.raises(StgError):
             walk_once(stg, random.Random(0))
+
+
+class TestRowDrift:
+    """Regression: rows whose probability mass drifts off 1 by float
+    rounding are sampled against the actual mass (renormalized), while a
+    genuine modelling defect still raises instead of silently funnelling
+    the missing mass into the last edge."""
+
+    def _drifting(self, p_left, p_right):
+        stg = Stg("drift")
+        entry = stg.add_state()
+        left = stg.add_state()
+        right = stg.add_state()
+        exit_ = stg.add_state()
+        stg.add_transition(entry, left, p_left)
+        stg.add_transition(entry, right, p_right)
+        stg.add_transition(left, exit_, 1.0)
+        stg.add_transition(right, exit_, 1.0)
+        stg.entry, stg.exit = entry, exit_
+        return stg
+
+    def test_tolerated_drift_walks_and_renormalizes(self):
+        import random
+        stg = self._drifting(0.25, 0.7495)   # row mass 0.9995
+        rng = random.Random(2)
+        lefts = 0
+        for _ in range(4000):
+            path = walk_once(stg, rng)
+            assert path[0] == stg.entry and path[-1] == stg.exit
+            lefts += path[1] == 1
+        assert lefts / 4000 == pytest.approx(0.25 / 0.9995, abs=0.02)
+
+    def test_overshoot_within_tolerance_walks(self):
+        import random
+        stg = self._drifting(0.5, 0.5004)
+        path = walk_once(stg, random.Random(3))
+        assert path[-1] == stg.exit
+
+    def test_real_mass_defect_raises(self):
+        import random
+        stg = self._drifting(0.45, 0.45)
+        with pytest.raises(StgError):
+            walk_once(stg, random.Random(0))
