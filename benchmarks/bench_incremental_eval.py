@@ -125,6 +125,53 @@ def compare_circuit(name: str, seeds: Sequence[int],
     }
 
 
+# -- observability no-op overhead guard ---------------------------------
+
+def bench_obs_overhead(campaign_seconds: float, campaign_runs: int,
+                       outer_iters: int = OUTER_ITERS) -> Dict:
+    """Project the disabled-tracer cost against the campaign wall.
+
+    Instrumented call sites pay one ``NULL_TRACER.span()`` no-op per
+    span when tracing is off (docs/observability.md documents the
+    < 2 % budget).  There is no un-instrumented build to diff against,
+    so the guard is a projection: per-call no-op cost x the span count
+    a traced run actually emits, as a fraction of the measured
+    untraced campaign wall.  The ratio is machine-relative, so a slow
+    CI box does not produce spurious failures.
+    """
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    calls = 50_000
+    per_call = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            with NULL_TRACER.span("evaluate"):
+                pass
+        per_call = min(per_call, (time.perf_counter() - t0) / calls)
+
+    # span volume of one representative traced run (gcd, one seed)
+    c = circuit("gcd")
+    behavior = c.behavior()
+    probs = dict(profile(behavior, c.traces(behavior)).branch_probs)
+    tracer = Tracer()
+    Fact(config=FactConfig(
+        sched=c.sched,
+        search=SearchConfig(seed=0, max_outer_iters=outer_iters,
+                            workers=0)), trace=tracer).optimize(
+        behavior, c.allocation, objective=THROUGHPUT,
+        branch_probs=probs)
+    spans_per_run = len(tracer.spans)
+    projected = per_call * spans_per_run * campaign_runs
+    fraction = projected / campaign_seconds if campaign_seconds else 0.0
+    return {"null_span_ns": per_call * 1e9,
+            "spans_per_run": spans_per_run,
+            "campaign_runs": campaign_runs,
+            "projected_seconds": projected,
+            "projected_fraction": fraction,
+            "budget_fraction": 0.02}
+
+
 # -- reservation-table free-list micro-benchmark ------------------------
 
 def _naive_next_free(table: LinearTable, cycle: int, resource: str,
@@ -185,6 +232,9 @@ def run_all(circuits: Sequence[str], seeds: Sequence[int],
                for name in circuits]
     slowest = max(records, key=lambda r: r["full_seconds"])
     freelist = bench_freelist(500 if quick else 3000)
+    obs = bench_obs_overhead(
+        sum(r["incremental_seconds"] for r in records),
+        sum(r["runs"] for r in records), outer_iters)
     report = {
         "workload": {"circuits": list(circuits),
                      "seeds": list(seeds),
@@ -195,8 +245,16 @@ def run_all(circuits: Sequence[str], seeds: Sequence[int],
         "slowest": slowest["circuit"],
         "slowest_speedup": slowest["speedup"],
         "restable_freelist": freelist,
+        "obs_overhead": obs,
     }
     code = 0
+    if obs["projected_fraction"] >= obs["budget_fraction"]:
+        print(f"FAIL: disabled-tracer overhead projects to "
+              f"{100 * obs['projected_fraction']:.2f}% of the "
+              f"campaign (budget "
+              f"{100 * obs['budget_fraction']:.0f}%)",
+              file=sys.stderr)
+        code = 3
     for rec in records:
         if not rec["identical"]:
             print(f"FAIL: {rec['circuit']}: incremental output diverges "
@@ -226,6 +284,11 @@ def _print_report(report: Dict) -> None:
           f"{fl['naive_seconds'] * 1000:.1f} ms naive -> "
           f"{fl['freelist_seconds'] * 1000:.1f} ms "
           f"({fl['speedup']:.1f}x)")
+    obs = report["obs_overhead"]
+    print(f"obs no-op overhead: {obs['null_span_ns']:.0f} ns/span x "
+          f"{obs['spans_per_run']} spans x {obs['campaign_runs']} runs "
+          f"-> {100 * obs['projected_fraction']:.3f}% of the campaign "
+          f"(budget {100 * obs['budget_fraction']:.0f}%)")
     print(f"slowest benchmark: {report['slowest']} at "
           f"{report['slowest_speedup']:.2f}x")
 

@@ -28,15 +28,19 @@ Subsystems (all importable directly, as before):
   :class:`~repro.core.fact.Fact` driver.
 * :mod:`repro.explore` — Pareto design-space exploration (joint
   throughput / power / area) with a persistent, resumable run store.
+* :mod:`repro.obs` — structured tracing + unified metrics registry
+  (``docs/observability.md``).
 * :mod:`repro.baselines` — M1 (no transformations) and Flamel
   (transform-first) reference flows.
 * :mod:`repro.bench` — the paper's benchmark circuits and allocations.
 """
 
 from .api import (AllocLike, CacheStats, ExploreConfig, ExploreResult,
-                  ParetoFront, ReproConfig, RunStore, coerce_allocation,
-                  compile, explore, optimize, schedule)
+                  NULL_TRACER, ParetoFront, ReproConfig, RunStore,
+                  Tracer, coerce_allocation, compile, explore, optimize,
+                  schedule)
 from .core.fact import Fact, FactConfig, FactResult
+from .obs.metrics import MetricsRegistry
 from .core.objectives import POWER, THROUGHPUT
 from .core.search import SearchConfig, SearchResult
 from .errors import ReproError
@@ -48,8 +52,9 @@ __version__ = "0.3.0"
 __all__ = [
     "Allocation", "AllocLike", "CacheStats", "ExploreConfig",
     "ExploreResult", "Fact", "FactConfig", "FactResult", "Library",
-    "POWER", "ParetoFront", "ReproConfig", "ReproError", "RunStore",
-    "SearchConfig", "SearchResult", "SchedConfig", "THROUGHPUT",
+    "MetricsRegistry", "NULL_TRACER", "POWER", "ParetoFront",
+    "ReproConfig", "ReproError", "RunStore", "SearchConfig",
+    "SearchResult", "SchedConfig", "THROUGHPUT", "Tracer",
     "coerce_allocation", "compile", "dac98_library", "explore",
     "optimize", "schedule", "__version__",
 ]

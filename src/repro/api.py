@@ -43,6 +43,7 @@ from .explore import (ExploreConfig, ExploreResult, ExploreRunner,
                       ParetoFront, RunStore)
 from .hw import Allocation, Library, dac98_library
 from .lang import compile_source
+from .obs.trace import NULL_TRACER, AnyTracer, Tracer
 from .profiling import uniform_traces
 from .profiling.traces import TraceSet
 from .sched.driver import ScheduleResult, Scheduler
@@ -69,6 +70,13 @@ class ReproConfig:
     the evaluation engine knobs inside the search section
     (``incremental=False`` disables region-level schedule memoization —
     same results, no reuse; see ``docs/performance.md``).
+
+    ``trace`` attaches a :class:`~repro.obs.trace.Tracer`: the run
+    records nested spans (compile / schedule / evaluate /
+    search.generation / apply, ...) you can export with
+    :func:`repro.obs.write_trace` — see ``docs/observability.md``.
+    Tracing never changes results; ``None`` (the default) is a
+    documented no-op fast path.
     """
 
     fact: FactConfig = field(default_factory=FactConfig)
@@ -77,6 +85,7 @@ class ReproConfig:
     workers: Optional[int] = None
     cache_size: Optional[int] = None
     incremental: Optional[bool] = None
+    trace: Optional[AnyTracer] = None
 
     def resolved(self) -> FactConfig:
         """Collapse the overrides into one ``FactConfig``."""
@@ -169,17 +178,20 @@ def schedule(behavior: Union[Behavior, str], *,
              alloc: AllocLike = None,
              config: Optional[ReproConfig] = None,
              library: Optional[Library] = None,
-             branch_probs: Optional[BranchProbs] = None
-             ) -> ScheduleResult:
+             branch_probs: Optional[BranchProbs] = None,
+             trace: Optional[AnyTracer] = None) -> ScheduleResult:
     """Schedule a behavior (or BDL source) into a state transition graph.
 
     This is the M1 baseline: no transformations, one scheduler run.
     """
     beh = _coerce_behavior(behavior)
-    cfg = (config or ReproConfig()).resolved()
+    full_cfg = config or ReproConfig()
+    cfg = full_cfg.resolved()
     return Scheduler(beh, library or dac98_library(),
                      coerce_allocation(alloc), cfg.sched,
-                     branch_probs).schedule()
+                     branch_probs,
+                     tracer=trace if trace is not None
+                     else full_cfg.trace).schedule()
 
 
 def optimize(behavior_or_source: Union[Behavior, str], *,
@@ -190,7 +202,8 @@ def optimize(behavior_or_source: Union[Behavior, str], *,
              library: Optional[Library] = None,
              traces: Optional[TraceSet] = None,
              branch_probs: Optional[BranchProbs] = None,
-             profile_traces: int = 12) -> FactResult:
+             profile_traces: int = 12,
+             trace: Optional[AnyTracer] = None) -> FactResult:
     """Run the full FACT flow on a behavior or BDL source.
 
     Args:
@@ -206,6 +219,8 @@ def optimize(behavior_or_source: Union[Behavior, str], *,
             ``branch_probs`` is given, ``profile_traces`` uniform random
             traces are generated and profiled.
         branch_probs: precomputed branch probabilities (skip profiling).
+        trace: a :class:`~repro.obs.trace.Tracer` recording the run
+            (overrides ``config.trace``); see ``docs/observability.md``.
     """
     beh = _coerce_behavior(behavior_or_source)
     cfg = config or ReproConfig()
@@ -215,7 +230,8 @@ def optimize(behavior_or_source: Union[Behavior, str], *,
     if branch_probs is None and traces is None and profile_traces > 0:
         traces = uniform_traces(beh, profile_traces, lo=1, hi=255,
                                 seed=fact_config.search.seed)
-    fact = Fact(library or dac98_library(), config=fact_config)
+    fact = Fact(library or dac98_library(), config=fact_config,
+                trace=trace if trace is not None else cfg.trace)
     return fact.optimize(beh, coerce_allocation(alloc), traces=traces,
                          objective=objective, branch_probs=branch_probs)
 
@@ -233,7 +249,8 @@ def explore(behavior_or_source: Union[Behavior, str], *,
             resume: bool = False,
             workers: Optional[int] = None,
             seed: Optional[int] = None,
-            generations: Optional[int] = None) -> ExploreResult:
+            generations: Optional[int] = None,
+            trace: Optional[AnyTracer] = None) -> ExploreResult:
     """Map the throughput / power / area trade-off surface.
 
     Runs the checkpointed Pareto exploration
@@ -265,6 +282,8 @@ def explore(behavior_or_source: Union[Behavior, str], *,
             bit-for-bit identical to an uninterrupted run.
         workers / seed / generations: convenience overrides for the
             corresponding ``config`` fields.
+        trace: a :class:`~repro.obs.trace.Tracer` recording the run;
+            traced and untraced runs export byte-identical fronts.
     """
     beh = _coerce_behavior(behavior_or_source)
     cfg = config or ExploreConfig()
@@ -286,12 +305,13 @@ def explore(behavior_or_source: Union[Behavior, str], *,
     runner = ExploreRunner(beh, coerce_allocation(alloc),
                            library=library or dac98_library(),
                            config=cfg, branch_probs=branch_probs,
-                           store=store, checkpoint_path=checkpoint)
+                           store=store, checkpoint_path=checkpoint,
+                           trace=trace)
     return runner.run(resume=resume)
 
 
 __all__ = [
     "AllocLike", "CacheStats", "ExploreConfig", "ExploreResult",
-    "ParetoFront", "ReproConfig", "RunStore", "coerce_allocation",
-    "compile", "explore", "optimize", "schedule",
+    "NULL_TRACER", "ParetoFront", "ReproConfig", "RunStore", "Tracer",
+    "coerce_allocation", "compile", "explore", "optimize", "schedule",
 ]

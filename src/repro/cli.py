@@ -16,12 +16,23 @@ Commands:
   SIGINT checkpoints cleanly and ``--resume`` continues bit-for-bit;
   ``--export front.json`` / ``--csv front.csv`` write the front).
 * ``table2 [CIRCUIT...]`` — regenerate the paper's Table-2 rows.
+* ``trace summarize FILE`` — aggregate a recorded trace file into a
+  per-stage self-time table plus the run's metric counters.
+
+Every pipeline command additionally accepts ``--trace FILE`` (record
+nested spans — compile / schedule / evaluate / search.generation / ...
+— to FILE) and ``--trace-format {jsonl,chrome}`` (``chrome`` loads
+straight into ``chrome://tracing`` / Perfetto).  Tracing never changes
+results; see ``docs/observability.md``.
 
 Examples::
 
     python -m repro compile examples/gcd.bdl --dot > gcd.dot
     python -m repro optimize examples/gcd.bdl --alloc sb1=2,cp1=1,e1=1
     python -m repro optimize examples/gcd.bdl --workers 4 --stats
+    python -m repro optimize examples/gcd.bdl --trace out.json \\
+        --trace-format chrome
+    python -m repro trace summarize out.json
     python -m repro table2 gcd pps
 
 The commands are thin wrappers over the :mod:`repro.api` facade
@@ -42,6 +53,7 @@ from .cdfg.dot import behavior_to_dot
 from .core.search import SearchConfig
 from .errors import ConfigError, ReproError
 from .hw import Allocation
+from .obs.trace import NULL_TRACER, AnyTracer, Tracer
 from .profiling import profile, uniform_traces
 from .sched import SchedConfig
 
@@ -72,6 +84,30 @@ def _parse_inputs(pairs: List[str]) -> Dict[str, int]:
     return out
 
 
+def _tracer_for(args: argparse.Namespace) -> AnyTracer:
+    """A live :class:`Tracer` when ``--trace`` was given, else the
+    shared no-op (so command bodies thread one object unconditionally).
+    """
+    return Tracer() if getattr(args, "trace", None) else NULL_TRACER
+
+
+def _export_trace(args: argparse.Namespace, tracer: AnyTracer,
+                  metrics=None) -> None:
+    """Write the recorded spans to ``--trace FILE`` (if given).
+
+    The confirmation goes to stderr so ``--dot`` and other
+    machine-readable stdout stays clean.
+    """
+    if not getattr(args, "trace", None):
+        return
+    from .obs import write_trace
+    write_trace(args.trace, tracer.spans, metrics,
+                format=args.trace_format)
+    print(f"trace written to {args.trace} "
+          f"({len(tracer.spans)} spans, {args.trace_format})",
+          file=sys.stderr)
+
+
 def _load(path: str):
     # The CLI always takes a file (api.compile would fall back to
     # treating a missing path as source text and report a confusing
@@ -85,11 +121,15 @@ def _load(path: str):
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
-    behavior = _load(args.file)
+    tracer = _tracer_for(args)
+    with tracer.span("compile", file=args.file) as span:
+        behavior = _load(args.file)
+        span.set(behavior=behavior.name)
+    stats = behavior.graph.stats()
+    _export_trace(args, tracer)
     if args.dot:
         print(behavior_to_dot(behavior))
         return 0
-    stats = behavior.graph.stats()
     print(f"{behavior.name}: {stats['nodes']} nodes, "
           f"{stats['data_edges']} data edges, "
           f"{stats['control_edges']} control edges")
@@ -100,9 +140,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    behavior = _load(args.file)
+    tracer = _tracer_for(args)
+    with tracer.span("compile", file=args.file):
+        behavior = _load(args.file)
     from .cdfg.interp import execute
-    result = execute(behavior, _parse_inputs(args.inputs))
+    with tracer.span("execute", behavior=behavior.name) as span:
+        result = execute(behavior, _parse_inputs(args.inputs))
+        span.set(loop_iterations=sum(result.loop_iterations.values()))
+    _export_trace(args, tracer)
     for name, value in sorted(result.outputs.items()):
         print(f"{name} = {value}")
     for name, iters in sorted(result.loop_iterations.items()):
@@ -111,16 +156,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
-    behavior = _load(args.file)
+    tracer = _tracer_for(args)
+    with tracer.span("compile", file=args.file):
+        behavior = _load(args.file)
     probs = None
     if args.profile_traces > 0:
-        traces = uniform_traces(behavior, args.profile_traces,
-                                lo=1, hi=255, seed=args.seed)
-        probs = profile(behavior, traces).branch_probs
+        with tracer.span("profile", traces=args.profile_traces):
+            traces = uniform_traces(behavior, args.profile_traces,
+                                    lo=1, hi=255, seed=args.seed)
+            probs = profile(behavior, traces).branch_probs
     result = api.schedule(
         behavior, alloc=args.alloc,
         config=api.ReproConfig(sched=SchedConfig(clock=args.clock)),
-        branch_probs=probs)
+        branch_probs=probs, trace=tracer)
+    _export_trace(args, tracer)
     if args.dot:
         print(result.stg.to_dot())
         return 0
@@ -131,7 +180,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
-    behavior = _load(args.file)
+    tracer = _tracer_for(args)
+    with tracer.span("compile", file=args.file):
+        behavior = _load(args.file)
     config = api.ReproConfig(
         sched=SchedConfig(clock=args.clock),
         search=SearchConfig(max_outer_iters=args.iterations,
@@ -140,7 +191,11 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         workers=args.workers)
     result = api.optimize(
         behavior, objective=args.objective, config=config,
-        alloc=args.alloc, profile_traces=args.profile_traces or 12)
+        alloc=args.alloc, profile_traces=args.profile_traces or 12,
+        trace=tracer)
+    metrics = (result.telemetry.metrics().as_dict()
+               if result.telemetry is not None else None)
+    _export_trace(args, tracer, metrics)
     print(f"initial: {result.initial_length:.2f} cycles")
     print(f"optimized: {result.best_length:.2f} cycles "
           f"({result.speedup:.2f}x)")
@@ -159,7 +214,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    behavior = _load(args.file)
+    tracer = _tracer_for(args)
+    with tracer.span("compile", file=args.file):
+        behavior = _load(args.file)
     from .core.search import SearchConfig as _SearchConfig
     from .explore import ExploreConfig
     search = _SearchConfig(max_outer_iters=args.iterations,
@@ -176,7 +233,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
     result = api.explore(
         behavior, config=config, alloc=args.alloc,
         profile_traces=args.profile_traces, store=args.store,
-        checkpoint=args.checkpoint, resume=args.resume)
+        checkpoint=args.checkpoint, resume=args.resume, trace=tracer)
+    _export_trace(args, tracer,
+                  result.telemetry.metrics().as_dict())
     front = result.front
     state = "interrupted" if result.interrupted else "complete"
     print(f"{behavior.name}: front of {len(front)} designs after "
@@ -203,6 +262,18 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 130 if result.interrupted else 0
 
 
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    if not os.path.isfile(args.file):
+        raise SystemExit(f"cannot read {args.file}: no such file")
+    from .obs import format_summary, load_trace, summarize_trace
+    try:
+        spans, metrics = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace {args.file}: {exc}")
+    print(format_summary(summarize_trace(spans, metrics)))
+    return 0
+
+
 def cmd_table2(args: argparse.Namespace) -> int:
     names = args.circuits or ["gcd", "fir", "test2", "sintran", "igf",
                               "pps"]
@@ -221,6 +292,18 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", metavar="FILE",
+                   help="record nested spans of the run to FILE "
+                        "(never changes results; see "
+                        "docs/observability.md)")
+    p.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                   default="jsonl",
+                   help="trace file format: one JSON object per line, "
+                        "or Chrome trace_event JSON for "
+                        "chrome://tracing / Perfetto (default: jsonl)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,11 +315,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--dot", action="store_true",
                    help="emit the CDFG as Graphviz DOT")
+    _add_trace_args(p)
     p.set_defaults(func=cmd_compile)
 
     p = sub.add_parser("run", help="execute a behavior")
     p.add_argument("file")
     p.add_argument("inputs", nargs="*", metavar="name=value")
+    _add_trace_args(p)
     p.set_defaults(func=cmd_run)
 
     for name, func in (("schedule", cmd_schedule),
@@ -266,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable region-level schedule "
                                 "memoization (identical results, "
                                 "slower; the benchmark baseline)")
+        _add_trace_args(p)
         p.set_defaults(func=func)
 
     p = sub.add_parser(
@@ -309,7 +395,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-incremental", action="store_true",
                    help="disable region-level schedule memoization "
                         "(identical results, slower)")
+    _add_trace_args(p)
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser("trace", help="inspect recorded trace files")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ps = tsub.add_parser(
+        "summarize",
+        help="per-stage self-time table + metric counters of a trace")
+    ps.add_argument("file", help="a file written by --trace "
+                                 "(jsonl or chrome format)")
+    ps.set_defaults(func=cmd_trace_summarize)
 
     p = sub.add_parser("table2", help="regenerate the paper's Table 2")
     p.add_argument("circuits", nargs="*",

@@ -38,6 +38,9 @@ from ..cdfg.ir import _digest
 from ..cdfg.regions import Behavior
 from ..errors import ReproError, SearchError
 from ..hw import Allocation, Library
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, AnyTracer, Tracer
+from ..stg import markov as _markov
 from ..sched.driver import ScheduleResult, Scheduler
 from ..sched.regioncache import RegionScheduleCache
 from ..sched.types import BranchProbs, ResourceModel, SchedConfig
@@ -94,7 +97,13 @@ def resolve_workers(workers: Optional[int] = None) -> int:
 
 @dataclass
 class _EvalContext:
-    """Everything fixed across one run, shipped once per worker."""
+    """Everything fixed across one run, shipped once per worker.
+
+    ``traced`` is a plain bool, never a tracer object: each worker
+    builds its own process-local :class:`~repro.obs.trace.Tracer` and
+    ships finished spans home with each result (tracers don't pickle,
+    and sharing one across processes would be meaningless anyway).
+    """
 
     library: Library
     allocation: Allocation
@@ -103,6 +112,7 @@ class _EvalContext:
     objective: Objective
     incremental: bool = True
     region_cache_size: int = 4096
+    traced: bool = False
 
     def make_region_cache(self) -> Optional[RegionScheduleCache]:
         """A region-schedule cache bound to this context.
@@ -162,58 +172,85 @@ def _datapath_cost(behavior: Behavior, library: Library,
 
 
 def _score_one(ctx: _EvalContext, behavior: Behavior,
-               region_cache: Optional[RegionScheduleCache]
+               region_cache: Optional[RegionScheduleCache],
+               tracer: AnyTracer = NULL_TRACER,
+               key: Optional[str] = None
                ) -> Tuple[Optional[ScheduleResult], float, EvalStats]:
     """Schedule and score one behavior ((None, inf, ...) if
     unschedulable).  The returned :class:`EvalStats` is the per-candidate
     delta of the region cache's counters (picklable, so pool workers can
     ship it home); with no cache (the full-evaluation baseline) it
     records the candidate's full state count as built-from-scratch."""
-    before = region_cache.snapshot() if region_cache is not None else None
-    stats = EvalStats(scheduled=1)
-    t0 = time.perf_counter()
-    try:
-        result = Scheduler(behavior, ctx.library, ctx.allocation,
-                           ctx.sched_config, ctx.branch_probs,
-                           region_cache=region_cache).schedule()
-        score = ctx.objective.evaluate(result)
-        score += TIEBREAK * _datapath_cost(behavior, ctx.library,
-                                           ctx.allocation)
-    except ReproError:
-        result, score = None, float("inf")
-    stats.sched_time = time.perf_counter() - t0
-    if region_cache is None or before is None:
-        if result is not None:
-            stats.states_built = len(result.stg.states)
+    with tracer.span("evaluate", cache="miss") as span:
+        if key is not None:
+            span.set(candidate=key[:16])
+        before = region_cache.snapshot() \
+            if region_cache is not None else None
+        stats = EvalStats(scheduled=1)
+        t0 = time.perf_counter()
+        try:
+            result = Scheduler(behavior, ctx.library, ctx.allocation,
+                               ctx.sched_config, ctx.branch_probs,
+                               region_cache=region_cache,
+                               tracer=tracer).schedule()
+            score = ctx.objective.evaluate(result)
+            score += TIEBREAK * _datapath_cost(behavior, ctx.library,
+                                               ctx.allocation)
+        except ReproError as err:
+            result, score = None, float("inf")
+            span.set(unschedulable=type(err).__name__)
+        stats.sched_time = time.perf_counter() - t0
+        if region_cache is None or before is None:
+            if result is not None:
+                stats.states_built = len(result.stg.states)
+        else:
+            after = region_cache.snapshot()
+            (stats.region_hits, stats.region_requests, stats.markov_local,
+             stats.markov_reused, stats.markov_full, stats.solver_time,
+             stats.states_built, stats.states_reused,
+             stats.region_evictions) = (
+                after[0] - before[0],
+                (after[0] - before[0]) + (after[1] - before[1]),
+                after[2] - before[2], after[3] - before[3],
+                after[4] - before[4], after[5] - before[5],
+                after[6] - before[6], after[7] - before[7],
+                after[8] - before[8])
+        # inf is not valid JSON; unschedulable candidates carry the
+        # `unschedulable` attribute instead of a score.
+        span.set(score=score if score != float("inf") else None,
+                 region_hits=stats.region_hits,
+                 states_built=stats.states_built,
+                 states_reused=stats.states_reused,
+                 reschedule_fraction=round(stats.reschedule_fraction, 4))
         return result, score, stats
-    after = region_cache.snapshot()
-    (stats.region_hits, stats.region_requests, stats.markov_local,
-     stats.markov_reused, stats.markov_full, stats.solver_time,
-     stats.states_built, stats.states_reused) = (
-        after[0] - before[0],
-        (after[0] - before[0]) + (after[1] - before[1]),
-        after[2] - before[2], after[3] - before[3],
-        after[4] - before[4], after[5] - before[5],
-        after[6] - before[6], after[7] - before[7])
-    return result, score, stats
 
 
 _WORKER_CTX: Optional[_EvalContext] = None
 _WORKER_REGION_CACHE: Optional[RegionScheduleCache] = None
+_WORKER_TRACER: AnyTracer = NULL_TRACER
 
 
 def _init_worker(ctx: _EvalContext) -> None:
-    global _WORKER_CTX, _WORKER_REGION_CACHE
+    global _WORKER_CTX, _WORKER_REGION_CACHE, _WORKER_TRACER
     _WORKER_CTX = ctx
     # Each worker keeps its own region cache for the whole run; it stays
     # warm across generations (units are keyed by content, not lineage).
     _WORKER_REGION_CACHE = ctx.make_region_cache()
+    # Each traced worker records into its own tracer and ships the
+    # finished spans home with every result (see _eval_worker); the
+    # parent re-parents them under its open span via Tracer.adopt.
+    _WORKER_TRACER = Tracer() if ctx.traced else NULL_TRACER
+    _markov.set_tracer(_WORKER_TRACER)
 
 
 def _eval_worker(behavior: Behavior
-                 ) -> Tuple[Optional[ScheduleResult], float, EvalStats]:
+                 ) -> Tuple[Tuple[Optional[ScheduleResult], float,
+                                  EvalStats],
+                            Tuple[Dict[str, object], ...]]:
     assert _WORKER_CTX is not None, "worker used before initialization"
-    return _score_one(_WORKER_CTX, behavior, _WORKER_REGION_CACHE)
+    scored = _score_one(_WORKER_CTX, behavior, _WORKER_REGION_CACHE,
+                        _WORKER_TRACER)
+    return scored, _WORKER_TRACER.drain_payload()
 
 
 # ---------------------------------------------------------------------------
@@ -238,13 +275,17 @@ class EvaluationEngine:
                  cache_size: int = 4096,
                  incremental: bool = True,
                  region_cache_size: int = 4096,
-                 region_cache: Optional[RegionScheduleCache] = None
+                 region_cache: Optional[RegionScheduleCache] = None,
+                 tracer: Optional[AnyTracer] = None
                  ) -> None:
+        self.tracer: AnyTracer = tracer if tracer is not None \
+            else NULL_TRACER
         self._ctx = _EvalContext(library, allocation,
                                  sched_config or SchedConfig(),
                                  branch_probs, objective,
                                  incremental=incremental,
-                                 region_cache_size=region_cache_size)
+                                 region_cache_size=region_cache_size,
+                                 traced=bool(self.tracer.enabled))
         self.workers = resolve_workers(workers)
         self.cache = EvalCache(max_entries=cache_size)
         if region_cache is not None and incremental:
@@ -273,6 +314,10 @@ class EvaluationEngine:
         self._pool: Optional[Executor] = None
         self._pool_broken = False
         self._context_fp = self._fingerprint_context()
+        if self.tracer.enabled:
+            # markov.solve spans come from deep inside the scheduler;
+            # the hook is per process (workers install their own).
+            _markov.set_tracer(self.tracer)
 
     # -- cache keys -----------------------------------------------------
     def _fingerprint_context(self) -> str:
@@ -291,6 +336,23 @@ class EvaluationEngine:
     @property
     def stats(self) -> CacheStats:
         return self.cache.stats
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Unified metrics view of everything this engine has done.
+
+        Built from the engine-level cache stats (parent-process state)
+        and the *aggregated* :attr:`eval_stats` — the per-candidate
+        deltas every backend ships home — so the totals are consistent
+        between serial and process-pool runs.  Reading counters off
+        ``self._region_cache`` directly would under-report under the
+        pool backend (each worker owns a private region cache).
+        """
+        reg = MetricsRegistry()
+        reg.set("engine.workers", self.workers)
+        reg.inc("engine.requests", self.requests)
+        reg.absorb_cache_stats("engine.cache", self.cache.stats)
+        reg.absorb_eval_stats(self.eval_stats)
+        return reg
 
     @property
     def backend(self) -> str:
@@ -315,18 +377,27 @@ class EvaluationEngine:
         generations whichever backend ran.
         """
         self.requests += len(pairs)
+        with self.tracer.span("evaluate.batch", size=len(pairs)) as span:
+            outputs = self._evaluate_batch(pairs, span)
+        return outputs
+
+    def _evaluate_batch(self, pairs: Sequence[Tuple[Behavior,
+                                                    Tuple[str, ...]]],
+                        span) -> List[Evaluated]:
         outputs: List[Optional[Evaluated]] = [None] * len(pairs)
         if self.cache.max_entries <= 0:
             # Cache disabled: skip fingerprinting entirely (this is the
             # pre-engine code path, used as the benchmark baseline).
             self.cache.stats.misses += len(pairs)
             scored = self._score_batch([b for b, _ in pairs])
+            span.set(cache_hits=0, scheduled=len(pairs))
             return [Evaluated(b, result, score, lineage, st)
                     for (b, lineage), (result, score, st)
                     in zip(pairs, scored)]
         # key -> indices into `pairs` awaiting that evaluation
         pending: Dict[str, List[int]] = {}
         order: List[str] = []
+        traced = self.tracer.enabled
         for i, (behavior, lineage) in enumerate(pairs):
             key = self.key_for(behavior)
             if key in pending:
@@ -338,12 +409,18 @@ class EvaluationEngine:
             if cached is not None:
                 result, score = cached
                 outputs[i] = Evaluated(behavior, result, score, lineage)
+                if traced:
+                    with self.tracer.span("evaluate") as hit_span:
+                        hit_span.set(
+                            candidate=key[:16], cache="hit",
+                            score=score
+                            if score != float("inf") else None)
             else:
                 pending[key] = [i]
                 order.append(key)
         if pending:
             firsts = [pairs[pending[key][0]][0] for key in order]
-            scored = self._score_batch(firsts)
+            scored = self._score_batch(firsts, keys=order)
             for key, (result, score, st) in zip(order, scored):
                 self.cache.put(key, (result, score))
                 for i in pending[key]:
@@ -352,23 +429,34 @@ class EvaluationEngine:
                                            lineage,
                                            st if i == pending[key][0]
                                            else None)
+        span.set(cache_hits=len(pairs) - len(pending),
+                 scheduled=len(pending))
         assert all(e is not None for e in outputs)
         return outputs  # type: ignore[return-value]
 
-    def _score_batch(self, behaviors: List[Behavior]
+    def _score_batch(self, behaviors: List[Behavior],
+                     keys: Optional[List[str]] = None
                      ) -> List[Tuple[Optional[ScheduleResult], float,
                                      EvalStats]]:
         if len(behaviors) >= 2 and self.workers >= 2:
             pool = self._ensure_pool()
             if pool is not None:
                 chunk = max(1, len(behaviors) // (self.workers * 4))
-                scored = list(pool.map(_eval_worker, behaviors,
-                                       chunksize=chunk))
-                for _result, _score, st in scored:
-                    self.eval_stats.add(st)
+                shipped = list(pool.map(_eval_worker, behaviors,
+                                        chunksize=chunk))
+                scored = []
+                for i, (triple, payload) in enumerate(shipped):
+                    self.eval_stats.add(triple[2])
+                    if payload:
+                        attrs = {"candidate": keys[i][:16]} \
+                            if keys is not None else None
+                        self.tracer.adopt(payload, root_attrs=attrs)
+                    scored.append(triple)
                 return scored
-        scored = [_score_one(self._ctx, b, self._region_cache)
-                  for b in behaviors]
+        scored = [_score_one(self._ctx, b, self._region_cache,
+                             self.tracer,
+                             keys[i] if keys is not None else None)
+                  for i, b in enumerate(behaviors)]
         for _result, _score, st in scored:
             self.eval_stats.add(st)
         return scored
@@ -393,6 +481,12 @@ class EvaluationEngine:
         whose workers already died) is swallowed, leaving the engine in
         the serial-fallback state.
         """
+        # The markov.solve hook is deliberately NOT reset here: nested
+        # engines (a warm-start search inside an exploration run) share
+        # one tracer, and the outer engine must keep receiving spans
+        # after the inner one closes.  The next traced engine replaces
+        # the hook; an untraced engine leaves it alone (spans recorded
+        # into an already-exported tracer are simply never exported).
         pool, self._pool = self._pool, None
         if pool is None:
             return

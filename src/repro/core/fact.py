@@ -24,6 +24,7 @@ from typing import Dict, Optional, Set
 from ..cdfg.regions import Behavior
 from ..errors import SearchError
 from ..hw import Allocation, Library, dac98_library
+from ..obs.trace import NULL_TRACER, AnyTracer
 from ..power.model import PowerEstimate, estimate_power
 from ..power.vdd import scaled_vdd_for_schedule
 from ..profiling.profiler import Profile, profile
@@ -134,10 +135,15 @@ class Fact:
                  transforms: Optional[TransformLibrary] = None,
                  config: Optional[FactConfig] = None,
                  region_caches: Optional[
-                     Dict[str, RegionScheduleCache]] = None) -> None:
+                     Dict[str, RegionScheduleCache]] = None,
+                 trace: Optional[AnyTracer] = None) -> None:
         self.library = library or dac98_library()
         self.transforms = transforms or default_library()
         self.config = config or FactConfig()
+        #: tracer threaded through every run of this instance (see
+        #: docs/observability.md); None/NULL_TRACER disables tracing.
+        self.tracer: AnyTracer = trace if trace is not None \
+            else NULL_TRACER
         # Region-schedule caches keyed by evaluation context, shared by
         # every run of this Fact instance: objectives are not part of
         # the region-cache namespace, so e.g. a Table-2 throughput run
@@ -179,44 +185,61 @@ class Fact:
             branch_probs: precomputed branch probabilities (skip
                 profiling).
         """
-        prof: Optional[Profile] = None
-        if branch_probs is None and traces is not None:
-            prof = profile(behavior, traces)
-            branch_probs = dict(prof.branch_probs)
+        tracer = self.tracer
+        with tracer.span("optimize", behavior=behavior.name,
+                         objective=objective) as span:
+            prof: Optional[Profile] = None
+            if branch_probs is None and traces is not None:
+                with tracer.span("profile"):
+                    prof = profile(behavior, traces)
+                    branch_probs = dict(prof.branch_probs)
 
-        region_cache = self._region_cache_for(allocation, branch_probs)
+            region_cache = self._region_cache_for(allocation,
+                                                  branch_probs)
 
-        # Step 1: schedule the untransformed behavior (through the
-        # shared region cache, so the search's evaluation of the same
-        # behavior reuses every unit).
-        initial_result = Scheduler(behavior, self.library, allocation,
-                                   self.config.sched, branch_probs,
-                                   region_cache=region_cache).schedule()
+            # Step 1: schedule the untransformed behavior (through the
+            # shared region cache, so the search's evaluation of the
+            # same behavior reuses every unit).
+            initial_result = Scheduler(
+                behavior, self.library, allocation, self.config.sched,
+                branch_probs, region_cache=region_cache,
+                tracer=tracer).schedule()
 
-        if objective == POWER:
-            obj = Objective(POWER,
-                            baseline_length=initial_result
-                            .average_length(),
-                            vdd=self.config.vdd, vt=self.config.vt)
-        elif objective == THROUGHPUT:
-            obj = Objective(THROUGHPUT)
-        else:
-            raise SearchError(f"unknown objective {objective!r}")
+            if objective == POWER:
+                obj = Objective(POWER,
+                                baseline_length=initial_result
+                                .average_length(),
+                                vdd=self.config.vdd, vt=self.config.vt)
+            elif objective == THROUGHPUT:
+                obj = Objective(THROUGHPUT)
+            else:
+                raise SearchError(f"unknown objective {objective!r}")
 
-        # Step 2/3: partition into hot blocks; focus the search there.
-        hot: Optional[Set[int]] = None
-        if self.config.focus_on_hot_blocks:
-            hot = hot_cdfg_nodes(initial_result.stg,
-                                 self.config.partition_threshold)
-            if not hot:
-                hot = None
+            # Step 2/3: partition into hot blocks; focus the search
+            # there.
+            hot: Optional[Set[int]] = None
+            if self.config.focus_on_hot_blocks:
+                with tracer.span("partition") as part_span:
+                    hot = hot_cdfg_nodes(initial_result.stg,
+                                         self.config.partition_threshold)
+                    part_span.set(hot_nodes=len(hot))
+                    if not hot:
+                        hot = None
 
-        search = TransformSearch(
-            self.transforms, self.library, allocation, obj,
-            sched_config=self.config.sched, branch_probs=branch_probs,
-            config=self.config.search, hot_nodes=hot,
-            region_cache=region_cache)
-        result = search.run(behavior)
-        return FactResult(objective=objective, initial=result.initial,
-                          best=result.best, search=result, profile=prof,
-                          hot_nodes=hot)
+            with tracer.span("search") as search_span:
+                search = TransformSearch(
+                    self.transforms, self.library, allocation, obj,
+                    sched_config=self.config.sched,
+                    branch_probs=branch_probs,
+                    config=self.config.search, hot_nodes=hot,
+                    region_cache=region_cache, tracer=tracer)
+                result = search.run(behavior)
+                search_span.set(generations=result.generations,
+                                best_score=result.best.score,
+                                initial_score=result.initial.score)
+            span.set(improvement=round(result.improvement, 6)
+                     if result.improvement != float("inf") else None)
+            return FactResult(objective=objective,
+                              initial=result.initial,
+                              best=result.best, search=result,
+                              profile=prof, hot_nodes=hot)

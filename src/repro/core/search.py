@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 from ..cdfg.regions import Behavior
 from ..errors import ReproError, SearchError
 from ..hw import Allocation, Library
+from ..obs.trace import NULL_TRACER, AnyTracer
 from ..sched.types import BranchProbs, SchedConfig
 from ..transforms.base import TransformLibrary
 from .engine import Evaluated, EvaluationEngine
@@ -50,7 +51,8 @@ def expand_candidates(transforms: TransformLibrary,
                       rng: random.Random, *,
                       max_per_seed: int,
                       hot_nodes: Optional[Set[int]] = None,
-                      fresh_from: int = 0
+                      fresh_from: int = 0,
+                      tracer: AnyTracer = NULL_TRACER
                       ) -> List[Tuple[Behavior, Tuple[str, ...]]]:
     """Apply candidate transformations to every seed behavior.
 
@@ -61,6 +63,10 @@ def expand_candidates(transforms: TransformLibrary,
     list at ``max_per_seed`` with a seeded sample, and return the next
     ``Behavior_set`` as (behavior, lineage) pairs in deterministic
     enumeration order, ready for batch evaluation.
+
+    With a ``tracer``, every applied transformation instance is recorded
+    as an ``apply`` span (the sampling and filtering decisions are pure
+    functions of the seeded RNG, so tracing never changes the output).
     """
     out: List[Tuple[Behavior, Tuple[str, ...]]] = []
     for behavior, lineage in seeds:
@@ -73,10 +79,13 @@ def expand_candidates(transforms: TransformLibrary,
         if len(candidates) > max_per_seed:
             candidates = rng.sample(candidates, max_per_seed)
         for cand in candidates:
-            try:
-                transformed = cand.apply(behavior)
-            except ReproError:
-                continue
+            with tracer.span("apply", transform=cand.transform) as span:
+                try:
+                    transformed = cand.apply(behavior)
+                except ReproError as err:
+                    span.set(inapplicable=type(err).__name__)
+                    continue
+                span.set(description=cand.description)
             out.append((transformed,
                         lineage + (f"{cand.transform}:"
                                    f"{cand.description}",)))
@@ -140,7 +149,8 @@ class TransformSearch:
                  config: Optional[SearchConfig] = None,
                  hot_nodes: Optional[Set[int]] = None,
                  engine: Optional[EvaluationEngine] = None,
-                 region_cache=None) -> None:
+                 region_cache=None,
+                 tracer: Optional[AnyTracer] = None) -> None:
         self.transforms = transforms
         self.library = library
         self.allocation = allocation
@@ -156,6 +166,11 @@ class TransformSearch:
         #: driver's per-context registry), handed to engines this search
         #: creates; must match this search's evaluation context.
         self.region_cache = region_cache
+        #: tracer for search.generation / apply spans; engines created
+        #: by this search inherit it.  An externally supplied engine
+        #: keeps its own tracer (see :meth:`run`).
+        self.tracer: AnyTracer = tracer if tracer is not None \
+            else NULL_TRACER
         self._rng = random.Random(self.config.seed)
         self._shared_engine: Optional[EvaluationEngine] = None
         self._fresh_from: Optional[int] = None
@@ -170,7 +185,8 @@ class TransformSearch:
             cache_size=self.config.cache_size,
             incremental=self.config.incremental,
             region_cache_size=self.config.region_cache_size,
-            region_cache=self.region_cache)
+            region_cache=self.region_cache,
+            tracer=self.tracer)
 
     def evaluate(self, behavior: Behavior,
                  lineage: Tuple[str, ...] = ()) -> Evaluated:
@@ -190,6 +206,9 @@ class TransformSearch:
         engine = self.engine if self.engine is not None \
             else self._make_engine()
         owns_engine = engine is not self.engine
+        # An externally supplied engine keeps its own tracer so its
+        # evaluate spans and ours land in one tree.
+        tracer = self.tracer if self.tracer.enabled else engine.tracer
         telemetry = SearchTelemetry(backend=engine.backend,
                                     workers=max(engine.workers, 1))
         telemetry.start()
@@ -210,30 +229,43 @@ class TransformSearch:
             while outer < cfg.max_outer_iters:
                 improved = False
                 for _move in range(cfg.max_moves):
-                    pairs = self._expand(in_set)
-                    if not pairs:
-                        break
-                    hits_before = engine.stats.hits
-                    stats_before = engine.eval_stats.minus(EvalStats())
-                    gen_start = time.perf_counter()
-                    generation = engine.evaluate_batch(pairs)
-                    gen_time = time.perf_counter() - gen_start
-                    gen_stats = engine.eval_stats.minus(stats_before)
-                    generation.sort(key=lambda e: e.score)
-                    if generation[0].score < best.score - 1e-9:
-                        best = generation[0]
-                        improved = True
-                    history.append(best.score)
-                    telemetry.record_generation(
-                        outer_iter=outer, wall_time=gen_time,
-                        evaluations=len(pairs),
-                        cache_hits=engine.stats.hits - hits_before,
-                        best_score=best.score,
-                        scheduled=gen_stats.scheduled,
-                        reschedule_fraction=gen_stats.reschedule_fraction,
-                        solver_time=gen_stats.solver_time)
-                    k = cfg.k0 + cfg.k_step * outer
-                    in_set = self._select(generation, k)
+                    with tracer.span("search.generation",
+                                     outer=outer) as gen_span:
+                        pairs = self._expand(in_set, tracer)
+                        if not pairs:
+                            break
+                        hits_before = engine.stats.hits
+                        stats_before = engine.eval_stats.minus(
+                            EvalStats())
+                        gen_start = time.perf_counter()
+                        generation = engine.evaluate_batch(pairs)
+                        gen_time = time.perf_counter() - gen_start
+                        gen_stats = engine.eval_stats.minus(stats_before)
+                        generation.sort(key=lambda e: e.score)
+                        best_before = best.score
+                        if generation[0].score < best.score - 1e-9:
+                            best = generation[0]
+                            improved = True
+                        history.append(best.score)
+                        gen_span.set(
+                            candidates=len(pairs),
+                            cache_hits=engine.stats.hits - hits_before,
+                            scheduled=gen_stats.scheduled,
+                            best_score=best.score,
+                            objective_delta=best_before - best.score,
+                            reschedule_fraction=round(
+                                gen_stats.reschedule_fraction, 4))
+                        telemetry.record_generation(
+                            outer_iter=outer, wall_time=gen_time,
+                            evaluations=len(pairs),
+                            cache_hits=engine.stats.hits - hits_before,
+                            best_score=best.score,
+                            scheduled=gen_stats.scheduled,
+                            reschedule_fraction=(
+                                gen_stats.reschedule_fraction),
+                            solver_time=gen_stats.solver_time)
+                        k = cfg.k0 + cfg.k_step * outer
+                        in_set = self._select(generation, k)
                 outer += 1
                 if not improved:
                     break
@@ -249,7 +281,8 @@ class TransformSearch:
                             history=history, telemetry=telemetry)
 
     # ------------------------------------------------------------------
-    def _expand(self, in_set: Sequence[Evaluated]
+    def _expand(self, in_set: Sequence[Evaluated],
+                tracer: AnyTracer = NULL_TRACER
                 ) -> List[Tuple[Behavior, Tuple[str, ...]]]:
         """Apply candidate transformations to every seed behavior.
 
@@ -263,7 +296,8 @@ class TransformSearch:
             max_per_seed=self.config.max_candidates_per_seed,
             hot_nodes=self.hot_nodes,
             fresh_from=self._fresh_from
-            if self._fresh_from is not None else 0)
+            if self._fresh_from is not None else 0,
+            tracer=tracer)
 
     def _select(self, ranked: List[Evaluated], k: float
                 ) -> List[Evaluated]:

@@ -15,6 +15,17 @@ generation it tracks the candidate count, how many evaluations the
 persistent run store served, the archive (front) size, and a
 hypervolume proxy, and it aggregates the run store's hit statistics
 next to the engine cache's.
+
+Both telemetry classes export a
+:class:`~repro.obs.metrics.MetricsRegistry` view (:meth:`SearchTelemetry
+.metrics` / :meth:`ExploreTelemetry.metrics`): the unified sink the
+``--stats`` totals and ``repro trace summarize`` read from.  The
+registry is built from the *aggregated* :class:`EvalStats` (per-
+candidate deltas shipped home from pool workers), never from any single
+process-local cache object, so parallel runs report their workers'
+activity in full (work totals match the serial run exactly; hit/reuse
+splits may differ because each worker owns a private region cache) —
+see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -37,8 +48,9 @@ class EvalStats:
     Attributes:
         scheduled: candidates that went through the scheduler (i.e. were
             not served by the behavior-level evaluation cache).
-        region_requests / region_hits: region-schedule-cache lookups and
-            hits across those candidates.
+        region_requests / region_hits / region_evictions: region-
+            schedule-cache lookups, hits and LRU evictions across those
+            candidates.
         states_built / states_reused: STG states emitted by fresh
             scheduling vs. spliced from cached fragments.
         markov_local / markov_reused / markov_full: localized fragment
@@ -52,6 +64,7 @@ class EvalStats:
     scheduled: int = 0
     region_requests: int = 0
     region_hits: int = 0
+    region_evictions: int = 0
     states_built: int = 0
     states_reused: int = 0
     markov_local: int = 0
@@ -157,6 +170,26 @@ class SearchTelemetry:
     def cache_hit_rate(self) -> float:
         return self.cache.hit_rate
 
+    def metrics(self) -> "MetricsRegistry":
+        """Unified-registry view of this run's counters.
+
+        Built from the engine-level :class:`CacheStats` (recorded in the
+        parent process) and the aggregated :class:`EvalStats` (shipped
+        per-candidate deltas), so every worker's activity is counted
+        whichever backend ran the evaluations.
+        """
+        from ..obs.metrics import MetricsRegistry
+        reg = MetricsRegistry()
+        reg.set("engine.workers", self.workers)
+        reg.inc("engine.evaluations", self.evaluations)
+        reg.inc("search.generations", len(self.generations))
+        reg.inc("search.wall_seconds", self.total_wall_time)
+        reg.absorb_cache_stats("engine.cache", self.cache)
+        reg.absorb_eval_stats(self.eval)
+        for g in self.generations:
+            reg.observe("search.generation.seconds", g.wall_time)
+        return reg
+
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready summary (used by benchmarks and tests)."""
         return {
@@ -168,6 +201,7 @@ class SearchTelemetry:
             "cache": self.cache.as_dict(),
             "eval": self.eval.as_dict(),
             "best_trajectory": self.best_trajectory,
+            "metrics": self.metrics().as_dict(),
         }
 
     def summary(self) -> str:
@@ -189,6 +223,14 @@ class SearchTelemetry:
             f"{self.eval.markov_reused} reused / "
             f"{self.eval.markov_full} full)",
         ]
+        reg = self.metrics()
+        lines.append(
+            "  totals (aggregated across workers): region cache "
+            f"{int(reg.value('region_cache.requests'))} requests / "
+            f"{int(reg.value('region_cache.hits'))} hits / "
+            f"{int(reg.value('region_cache.evictions'))} evictions; "
+            f"states {int(reg.value('stg.states_built'))} built / "
+            f"{int(reg.value('stg.states_reused'))} reused")
         for g in self.generations:
             lines.append(
                 f"  gen {g.index:2d} (outer {g.outer_iter}): "
@@ -272,6 +314,26 @@ class ExploreTelemetry:
         """Archive size after each generation."""
         return [g.front_size for g in self.generations]
 
+    def metrics(self) -> "MetricsRegistry":
+        """Unified-registry view (see :meth:`SearchTelemetry.metrics`);
+        adds the persistent run store's counters under ``store.*``."""
+        from ..obs.metrics import MetricsRegistry
+        reg = MetricsRegistry()
+        reg.set("engine.workers", self.workers)
+        reg.inc("engine.evaluations", self.evaluations)
+        reg.inc("explore.generations", len(self.generations))
+        reg.inc("explore.wall_seconds", self.total_wall_time)
+        reg.absorb_cache_stats("store", self.store)
+        reg.absorb_cache_stats("engine.cache", self.cache)
+        reg.absorb_eval_stats(self.eval)
+        for g in self.generations:
+            reg.observe("explore.generation.seconds", g.wall_time)
+        if self.generations:
+            reg.set("explore.front_size", self.generations[-1].front_size)
+            reg.set("explore.hypervolume",
+                    self.generations[-1].hypervolume)
+        return reg
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "backend": self.backend,
@@ -283,6 +345,7 @@ class ExploreTelemetry:
             "cache": self.cache.as_dict(),
             "eval": self.eval.as_dict(),
             "front_trajectory": self.front_trajectory,
+            "metrics": self.metrics().as_dict(),
         }
 
     def summary(self) -> str:
@@ -300,6 +363,14 @@ class ExploreTelemetry:
             f"fraction {100 * self.eval.reschedule_fraction:.1f}%, "
             f"solver {self.eval.solver_time * 1000:.1f} ms",
         ]
+        reg = self.metrics()
+        lines.append(
+            "  totals (aggregated across workers): region cache "
+            f"{int(reg.value('region_cache.requests'))} requests / "
+            f"{int(reg.value('region_cache.hits'))} hits / "
+            f"{int(reg.value('region_cache.evictions'))} evictions; "
+            f"states {int(reg.value('stg.states_built'))} built / "
+            f"{int(reg.value('stg.states_reused'))} reused")
         for g in self.generations:
             lines.append(
                 f"  gen {g.index:2d}: {g.candidates:4d} candidates, "

@@ -49,6 +49,7 @@ from ..cdfg.ir import _digest
 from ..cdfg.regions import Behavior
 from ..errors import ExploreError, ReproError
 from ..hw import Allocation, Library, dac98_library
+from ..obs.trace import NULL_TRACER, AnyTracer
 from ..power.model import estimate_power
 from ..sched.types import BranchProbs, SchedConfig
 from ..synth.area import total_area
@@ -150,13 +151,19 @@ class ExploreRunner:
                  store: Union[RunStore, str, "os.PathLike[str]",
                               None] = None,
                  checkpoint_path: Union[str, "os.PathLike[str]",
-                                        None] = None) -> None:
+                                        None] = None,
+                 trace: Optional[AnyTracer] = None) -> None:
         self.behavior = behavior
         self.allocation = allocation
         self.library = library or dac98_library()
         self.transforms = transforms or default_library()
         self.config = config or ExploreConfig()
         self.branch_probs = branch_probs
+        #: tracer for explore.generation / evaluate spans; tracing only
+        #: reads clocks, so traced and untraced runs (and their
+        #: checkpoints and exported fronts) are byte-identical.
+        self.tracer: AnyTracer = trace if trace is not None \
+            else NULL_TRACER
         if isinstance(store, RunStore):
             self.store = store
         else:
@@ -207,7 +214,8 @@ class ExploreRunner:
             self.library, self.allocation, Objective(THROUGHPUT),
             sched_config=cfg.sched, branch_probs=self.branch_probs,
             workers=cfg.workers, cache_size=cfg.cache_size,
-            incremental=cfg.incremental, region_cache=region_cache)
+            incremental=cfg.incremental, region_cache=region_cache,
+            tracer=self.tracer)
         telemetry = ExploreTelemetry(backend=engine.backend,
                                      workers=max(engine.workers, 1),
                                      store=self.store.stats,
@@ -218,7 +226,8 @@ class ExploreRunner:
         previous_handler = self._install_sigint()
         telemetry.start()
         try:
-            with engine:
+            with engine, self.tracer.span("explore",
+                                          behavior=self.behavior.name):
                 state = self._load_checkpoint() if resume else None
                 if state is not None:
                     rng = random.Random()
@@ -241,34 +250,49 @@ class ExploreRunner:
                     if self._stop_requested:
                         interrupted = True
                         break
-                    t0 = time.perf_counter()
-                    hits_before = self.store.stats.hits
-                    stats_before = engine.eval_stats.minus(EvalStats())
-                    seeds = [(p.behavior, p.lineage)
-                             for p in population
-                             if p.behavior is not None]
-                    pairs = expand_candidates(
-                        self.transforms, seeds, rng,
-                        max_per_seed=cfg.max_candidates_per_seed)
-                    points, scheduled = self._evaluate_pairs(
-                        pairs, engine, baseline_length)
-                    front.update(points)
-                    population = self._next_population(population,
-                                                       points)
-                    generation += 1
-                    gen_stats = engine.eval_stats.minus(stats_before)
-                    telemetry.record_generation(
-                        wall_time=time.perf_counter() - t0,
-                        candidates=len(pairs), scheduled=scheduled,
-                        store_hits=self.store.stats.hits - hits_before,
-                        front_size=len(front),
-                        hypervolume=front.hypervolume_proxy(),
-                        reschedule_fraction=(
-                            gen_stats.reschedule_fraction),
-                        solver_time=gen_stats.solver_time)
-                    self._save_checkpoint(generation, rng, population,
-                                          front, telemetry,
-                                          baseline_length)
+                    with self.tracer.span("explore.generation",
+                                          index=generation) as gen_span:
+                        t0 = time.perf_counter()
+                        hits_before = self.store.stats.hits
+                        stats_before = engine.eval_stats.minus(
+                            EvalStats())
+                        seeds = [(p.behavior, p.lineage)
+                                 for p in population
+                                 if p.behavior is not None]
+                        pairs = expand_candidates(
+                            self.transforms, seeds, rng,
+                            max_per_seed=cfg.max_candidates_per_seed,
+                            tracer=self.tracer)
+                        points, scheduled = self._evaluate_pairs(
+                            pairs, engine, baseline_length)
+                        front.update(points)
+                        population = self._next_population(population,
+                                                           points)
+                        generation += 1
+                        gen_stats = engine.eval_stats.minus(stats_before)
+                        gen_span.set(
+                            candidates=len(pairs), scheduled=scheduled,
+                            store_hits=(self.store.stats.hits
+                                        - hits_before),
+                            front_size=len(front),
+                            hypervolume=round(
+                                front.hypervolume_proxy(), 6),
+                            reschedule_fraction=round(
+                                gen_stats.reschedule_fraction, 4))
+                        telemetry.record_generation(
+                            wall_time=time.perf_counter() - t0,
+                            candidates=len(pairs), scheduled=scheduled,
+                            store_hits=(self.store.stats.hits
+                                        - hits_before),
+                            front_size=len(front),
+                            hypervolume=front.hypervolume_proxy(),
+                            reschedule_fraction=(
+                                gen_stats.reschedule_fraction),
+                            solver_time=gen_stats.solver_time)
+                        self._save_checkpoint(generation, rng,
+                                              population, front,
+                                              telemetry,
+                                              baseline_length)
         except KeyboardInterrupt:
             # A second SIGINT (or one outside our handler's reach)
             # lands here: the checkpoint of the last completed
@@ -307,7 +331,8 @@ class ExploreRunner:
             fact = Fact(self.library, self.transforms, FactConfig(
                 sched=cfg.sched, search=cfg.warm_start_search(),
                 vdd=cfg.vdd, vt=cfg.vt),
-                region_caches=self._region_caches)
+                region_caches=self._region_caches,
+                trace=self.tracer)
             for objective in (THROUGHPUT, POWER):
                 result = fact.optimize(self.behavior, self.allocation,
                                        objective=objective,

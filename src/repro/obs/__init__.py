@@ -1,0 +1,40 @@
+"""Observability layer: structured tracing + unified metrics.
+
+Zero-dependency (stdlib only).  Three pieces:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span` /
+  :data:`NULL_TRACER`: nested, attributed spans with cross-process
+  shipping and re-parenting, and a hard no-op disabled path.
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters,
+  gauges and histograms that absorb the pipeline's pre-existing
+  ``CacheStats`` / ``EvalStats`` structures into one sink.
+* :mod:`repro.obs.export` / :mod:`repro.obs.summary` — JSONL and
+  Chrome ``trace_event`` exporters, the format-sniffing loader, and
+  the per-stage time-share report behind ``repro trace summarize``.
+
+See ``docs/observability.md`` for the user guide and
+``docs/architecture.md`` for where the pipeline emits spans.
+"""
+
+from .export import load_trace, write_chrome, write_jsonl, write_trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .summary import format_summary, summarize_trace
+from .trace import NULL_TRACER, AnyTracer, NullTracer, Span, Tracer
+
+__all__ = [
+    "AnyTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "format_summary",
+    "load_trace",
+    "summarize_trace",
+    "write_chrome",
+    "write_jsonl",
+    "write_trace",
+]

@@ -1,0 +1,150 @@
+"""Trace exporters and loaders (JSONL and Chrome ``trace_event``).
+
+Two on-disk formats, one logical document — a list of spans plus an
+optional metrics snapshot:
+
+* **JSONL** — line-delimited JSON, one record per line, each tagged
+  with a ``type``: a ``meta`` header, one ``span`` record per finished
+  span (the :meth:`repro.obs.trace.Span.as_dict` shape), and a final
+  ``metrics`` record holding a
+  :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` snapshot.  Easy to
+  grep, stream and diff.
+* **Chrome** — the Chrome ``trace_event`` JSON-object format (complete
+  ``"ph": "X"`` events, microsecond ``ts``/``dur``), loadable directly
+  in ``chrome://tracing`` or https://ui.perfetto.dev.  Spans from pool
+  workers keep their originating pid, so workers render as separate
+  process lanes.  The metrics snapshot rides in ``otherData``.
+
+:func:`load_trace` sniffs the format back, so ``repro trace summarize``
+accepts either file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .trace import Span
+
+__all__ = ["load_trace", "write_chrome", "write_jsonl", "write_trace"]
+
+#: Bumped when the record shapes change incompatibly.
+TRACE_SCHEMA = 1
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+
+def _span_dicts(spans: Sequence[SpanLike]) -> List[Dict[str, Any]]:
+    return [s.as_dict() if isinstance(s, Span) else dict(s)
+            for s in spans]
+
+
+def write_jsonl(path: str, spans: Sequence[SpanLike],
+                metrics: Optional[Dict[str, Any]] = None) -> None:
+    """Write spans (+ optional metrics snapshot) as JSONL."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "meta",
+                                 "schema": TRACE_SCHEMA,
+                                 "format": "repro-trace"}) + "\n")
+        for doc in _span_dicts(spans):
+            doc["type"] = "span"
+            handle.write(json.dumps(doc, sort_keys=True) + "\n")
+        if metrics is not None:
+            handle.write(json.dumps({"type": "metrics",
+                                     "data": metrics},
+                                    sort_keys=True) + "\n")
+
+
+def write_chrome(path: str, spans: Sequence[SpanLike],
+                 metrics: Optional[Dict[str, Any]] = None) -> None:
+    """Write spans in Chrome ``trace_event`` format.
+
+    Timestamps are microseconds relative to the earliest span, so the
+    trace opens at t=0 regardless of wall-clock epoch; span ids and
+    parent links are preserved under ``args`` for tooling that wants
+    the tree rather than the timeline.
+    """
+    docs = _span_dicts(spans)
+    base = min((d["start"] for d in docs), default=0.0)
+    events = []
+    for d in docs:
+        args = {"id": d["id"], "parent": d.get("parent")}
+        args.update(d.get("attrs", {}))
+        events.append({
+            "name": d["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": (d["start"] - base) * 1e6,
+            "dur": d["duration"] * 1e6,
+            "pid": d.get("pid", 0),
+            "tid": d.get("pid", 0),
+            "args": args,
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": "repro-trace", "schema": TRACE_SCHEMA,
+                      "metrics": metrics or {}},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, sort_keys=True)
+
+
+def write_trace(path: str, spans: Sequence[SpanLike],
+                metrics: Optional[Dict[str, Any]] = None,
+                format: str = "jsonl") -> None:
+    """Dispatch on ``format`` (``"jsonl"`` or ``"chrome"``)."""
+    if format == "chrome":
+        write_chrome(path, spans, metrics)
+    elif format == "jsonl":
+        write_jsonl(path, spans, metrics)
+    else:
+        raise ValueError(f"unknown trace format {format!r}; "
+                         f"expected 'jsonl' or 'chrome'")
+
+
+def load_trace(path: str) -> Tuple[List[Dict[str, Any]],
+                                   Dict[str, Any]]:
+    """Load either trace format back to ``(span dicts, metrics)``.
+
+    Chrome traces are converted back to the span-dict shape (seconds,
+    ids and parents recovered from ``args``), so downstream tooling —
+    the summarizer, the tests — sees one representation.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return [], {}
+    first = json.loads(stripped.splitlines()[0])
+    if isinstance(first, dict) and "traceEvents" in first:
+        doc = json.loads(stripped)
+        spans = []
+        for event in doc.get("traceEvents", []):
+            args = dict(event.get("args", {}))
+            span_id = args.pop("id", None)
+            parent = args.pop("parent", None)
+            spans.append({
+                "name": event.get("name", ""),
+                "id": span_id,
+                "parent": parent,
+                "start": event.get("ts", 0.0) / 1e6,
+                "duration": event.get("dur", 0.0) / 1e6,
+                "pid": event.get("pid", 0),
+                "attrs": args,
+            })
+        metrics = doc.get("otherData", {}).get("metrics", {})
+        return spans, metrics
+    spans = []
+    metrics: Dict[str, Any] = {}
+    for line in stripped.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.pop("type", "span")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "metrics":
+            metrics = record.get("data", {})
+    return spans, metrics

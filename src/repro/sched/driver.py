@@ -36,6 +36,7 @@ from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
                             SeqRegion)
 from ..errors import ScheduleError
 from ..hw import Allocation, Library
+from ..obs.trace import NULL_TRACER, AnyTracer
 from ..stg.markov import average_schedule_length, expected_visits, throughput
 from ..stg.model import Stg
 from .branching import ScheduleContext, block_fragment
@@ -98,19 +99,28 @@ class Scheduler:
             evaluation context (see ``RegionScheduleCache.context_fp``);
             pass a ``max_entries=0`` cache for the non-incremental
             baseline that still shares the identical code path.
+        tracer: optional :class:`~repro.obs.trace.Tracer`.  The run is
+            wrapped in a ``schedule`` span (with a ``markov_fallback``
+            attribute when the spliced-visit assembly falls back to a
+            full-chain solve).  Tracing reads clocks only — it never
+            changes scheduling decisions, so traced and untraced runs
+            produce identical STGs.
     """
 
     def __init__(self, behavior: Behavior, library: Library,
                  allocation: Allocation,
                  config: Optional[SchedConfig] = None,
                  branch_probs: Optional[BranchProbs] = None,
-                 region_cache: Optional[RegionScheduleCache] = None) -> None:
+                 region_cache: Optional[RegionScheduleCache] = None,
+                 tracer: Optional[AnyTracer] = None) -> None:
         self.behavior = behavior
         self.library = library
         self.allocation = allocation
         self.config = config or SchedConfig()
         self.branch_probs = branch_probs
         self.region_cache = region_cache
+        self.tracer: AnyTracer = tracer if tracer is not None \
+            else NULL_TRACER
         self._main_stg: Optional[Stg] = None
         # (CachedFragment, fragment-local -> main-STG id map) per
         # top-level spliced unit, in splice order.
@@ -123,6 +133,14 @@ class Scheduler:
             ScheduleError: if the allocation cannot implement some
                 operation at all.
         """
+        with self.tracer.span("schedule",
+                              behavior=self.behavior.name) as span:
+            result = self._schedule(span)
+            span.set(states=len(result.stg.states),
+                     incremental=self.region_cache is not None)
+            return result
+
+    def _schedule(self, span) -> ScheduleResult:
         behavior = self.behavior
         stg = Stg(behavior.name)
         self._main_stg = stg
@@ -154,7 +172,7 @@ class Scheduler:
         result = ScheduleResult(stg, behavior, self.library, self.allocation,
                                 self.config, self.branch_probs)
         if self.region_cache is not None:
-            result.visits = self._spliced_visits(stg, once)
+            result.visits = self._spliced_visits(stg, once, span)
         return result
 
     # ------------------------------------------------------------------
@@ -428,8 +446,8 @@ class Scheduler:
         finally:
             cache.solver_time += time.perf_counter() - t0
 
-    def _spliced_visits(self, stg: Stg,
-                        once: List[int]) -> Dict[int, float]:
+    def _spliced_visits(self, stg: Stg, once: List[int],
+                        span=None) -> Dict[int, float]:
         """Assemble expected visits from memoized per-fragment solves.
 
         Sequential composition hands the full unit of probability mass
@@ -463,6 +481,11 @@ class Scheduler:
                            if sid != stg.exit}
                 ordered[stg.exit] = visits[stg.exit]
                 return ordered
+        if span is not None:
+            # Singular sub-chain or non-tiling fragments: the whole
+            # chain is re-solved (see docs/observability.md on why a
+            # high fallback count hurts incremental evaluation).
+            span.set(markov_fallback=True)
         t0 = time.perf_counter()
         try:
             full = expected_visits(stg)

@@ -32,6 +32,13 @@ scheduler config, branch probabilities): the creator stamps
 ``context_fp`` (see :func:`repro.core.engine.context_fingerprint`) and
 every unit key is namespaced by it.  Never share one cache across
 contexts.
+
+Observability: the counters here are *process-local*.  The engine
+diffs :meth:`RegionScheduleCache.snapshot` around every candidate and
+aggregates the deltas (see
+:class:`~repro.core.telemetry.EvalStats`), which is the backend-
+independent view the unified metrics registry and ``--stats`` report
+from.
 """
 
 from __future__ import annotations
@@ -275,9 +282,22 @@ class RegionScheduleCache:
         return cached.visits
 
     # -- bookkeeping ----------------------------------------------------
-    def snapshot(self) -> Tuple[int, int, int, int, int, float, int, int]:
-        """Counter snapshot for per-candidate deltas."""
+    def snapshot(self) -> Tuple[int, int, int, int, int, float, int, int,
+                                int]:
+        """Counter snapshot for per-candidate deltas.
+
+        The engine diffs two snapshots around each candidate and ships
+        the delta home as an :class:`~repro.core.telemetry.EvalStats` —
+        under the process-pool backend this is the *only* aggregation
+        path that sees every worker's counters (each worker owns a
+        private cache, so reading any single cache object's totals
+        under-reports; see :mod:`repro.obs.metrics`).
+
+        Order: ``(hits, misses, markov_local, markov_reused,
+        markov_full, solver_time, states_built, states_reused,
+        evictions)``.
+        """
         s = self.stats
         return (s.hits, s.misses, self.markov_local, self.markov_reused,
                 self.markov_full, self.solver_time, self.states_built,
-                self.states_reused)
+                self.states_reused, s.evictions)

@@ -16,6 +16,12 @@ reference [10]) used throughout Section 2.2:
   the entry mass flowing into it, so an unchanged region's totals can
   be spliced into a candidate's analysis without re-solving the whole
   system.
+
+Observability: every linear solve can be wrapped in a ``markov.solve``
+span.  Because the solvers are called from deep inside the scheduler
+(and from pool workers), the tracer is installed per process with
+:func:`set_tracer` rather than threaded through every call; the default
+is the no-op :data:`~repro.obs.trace.NULL_TRACER`.
 """
 
 from __future__ import annotations
@@ -25,7 +31,22 @@ from typing import Dict, List, Mapping
 import numpy as np
 
 from ..errors import MarkovError
+from ..obs.trace import NULL_TRACER, AnyTracer
 from .model import Stg, Transition
+
+#: Process-local tracer for markov.solve spans (see :func:`set_tracer`).
+_TRACER: AnyTracer = NULL_TRACER
+
+
+def set_tracer(tracer: AnyTracer) -> None:
+    """Install the process-local tracer for ``markov.solve`` spans.
+
+    Called by the evaluation engine (and by each traced pool worker's
+    initializer) when tracing is enabled; pass
+    :data:`~repro.obs.trace.NULL_TRACER` to disable again.
+    """
+    global _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
 
 #: Use a sparse linear solve above this many states.
 SPARSE_THRESHOLD = 600
@@ -62,26 +83,30 @@ def _solve_visits(name: str, transitions: List[Transition],
     indexed; everything else (the exit state, or mass leaving a
     fragment) simply drains.
     """
-    try:
-        if n > SPARSE_THRESHOLD:
-            v = _sparse_solve(transitions, index, n, e)
-        else:
-            q = np.zeros((n, n))
-            for t in transitions:
-                si = index.get(t.src)
-                di = index.get(t.dst)
-                if si is None or di is None:
-                    continue
-                q[si, di] += t.prob
-            v = np.linalg.solve(np.eye(n) - q.T, e)
-    except Exception as exc:
-        raise MarkovError(
-            f"{name}: absorbing-chain solve failed ({exc}); the STG "
-            f"may loop forever with probability 1") from None
-    if np.any(v < -1e-6):
-        raise MarkovError(f"{name}: negative expected visits; "
-                          f"inconsistent probabilities")
-    return v
+    with _TRACER.span("markov.solve", states=n,
+                      method="sparse" if n > SPARSE_THRESHOLD
+                      else "dense") as span:
+        try:
+            if n > SPARSE_THRESHOLD:
+                v = _sparse_solve(transitions, index, n, e)
+            else:
+                q = np.zeros((n, n))
+                for t in transitions:
+                    si = index.get(t.src)
+                    di = index.get(t.dst)
+                    if si is None or di is None:
+                        continue
+                    q[si, di] += t.prob
+                v = np.linalg.solve(np.eye(n) - q.T, e)
+        except Exception as exc:
+            span.set(singular=True)
+            raise MarkovError(
+                f"{name}: absorbing-chain solve failed ({exc}); the STG "
+                f"may loop forever with probability 1") from None
+        if np.any(v < -1e-6):
+            raise MarkovError(f"{name}: negative expected visits; "
+                              f"inconsistent probabilities")
+        return v
 
 
 def expected_visits(stg: Stg) -> Dict[int, float]:

@@ -1,0 +1,120 @@
+"""Trace export/load: JSONL and Chrome round trips, schema validity."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (TRACE_SCHEMA, load_trace, write_chrome,
+                              write_jsonl, write_trace)
+from repro.obs.trace import Tracer
+
+
+def _sample_tracer():
+    tr = Tracer()
+    with tr.span("optimize", objective="throughput"):
+        with tr.span("schedule") as sp:
+            sp.set(states=4)
+        with tr.span("evaluate", cache="miss", score=None) as sp:
+            sp.set(unschedulable=True)
+    return tr
+
+
+METRICS = {"counters": {"engine.evaluations": 3},
+           "gauges": {"region_cache.hit_rate": 0.25},
+           "histograms": {}}
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tr = _sample_tracer()
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(path, tr.spans, METRICS)
+        spans, metrics = load_trace(path)
+        assert metrics == METRICS
+        assert spans == [s.as_dict() for s in tr.spans]
+
+    def test_line_structure(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(path, _sample_tracer().spans, METRICS)
+        lines = [json.loads(line) for line in
+                 open(path, encoding="utf-8")]
+        assert lines[0] == {"type": "meta", "schema": TRACE_SCHEMA,
+                            "format": "repro-trace"}
+        assert [rec["type"] for rec in lines[1:-1]] == ["span"] * 3
+        assert lines[-1]["type"] == "metrics"
+
+    def test_no_metrics_record_when_none(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        write_jsonl(path, _sample_tracer().spans)
+        spans, metrics = load_trace(path)
+        assert len(spans) == 3 and metrics == {}
+
+
+class TestChrome:
+    def test_schema_validity(self, tmp_path):
+        tr = _sample_tracer()
+        path = str(tmp_path / "t.json")
+        write_chrome(path, tr.spans, METRICS)
+        doc = json.load(open(path, encoding="utf-8"))  # strict JSON
+        assert set(doc) >= {"traceEvents", "otherData"}
+        events = doc["traceEvents"]
+        assert len(events) == len(tr.spans)
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["ts"] >= 0.0  # relative to earliest span
+            assert event["pid"] == event["tid"]
+            assert "id" in event["args"]
+            assert "parent" in event["args"]
+        assert doc["otherData"]["metrics"] == METRICS
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+
+    def test_round_trip_recovers_tree(self, tmp_path):
+        tr = _sample_tracer()
+        path = str(tmp_path / "t.json")
+        write_chrome(path, tr.spans, METRICS)
+        spans, metrics = load_trace(path)
+        assert metrics == METRICS
+        by_name = {d["name"]: d for d in spans}
+        assert by_name["schedule"]["parent"] == by_name["optimize"]["id"]
+        assert by_name["schedule"]["attrs"]["states"] == 4
+        assert by_name["evaluate"]["attrs"]["cache"] == "miss"
+        # durations survive the s -> us -> s round trip
+        for span, original in zip(spans, tr.spans):
+            assert span["duration"] == pytest.approx(
+                original.duration, abs=1e-9)
+
+    def test_timestamps_relative_and_ordered(self, tmp_path):
+        tr = _sample_tracer()
+        path = str(tmp_path / "t.json")
+        write_chrome(path, tr.spans)
+        events = json.load(open(path))["traceEvents"]
+        assert min(e["ts"] for e in events) == 0.0
+
+
+class TestDispatch:
+    def test_write_trace_formats(self, tmp_path):
+        tr = _sample_tracer()
+        for fmt in ("jsonl", "chrome"):
+            path = str(tmp_path / f"t.{fmt}")
+            write_trace(path, tr.spans, METRICS, format=fmt)
+            spans, metrics = load_trace(path)
+            assert len(spans) == 3 and metrics == METRICS
+
+    def test_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(str(tmp_path / "t"), [], format="xml")
+
+    def test_load_empty_file(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_text("")
+        assert load_trace(str(path)) == ([], {})
+
+    def test_accepts_span_dicts(self, tmp_path):
+        docs = [s.as_dict() for s in _sample_tracer().spans]
+        path = str(tmp_path / "t.jsonl")
+        write_trace(path, docs)
+        spans, _ = load_trace(path)
+        assert spans == docs

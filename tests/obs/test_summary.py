@@ -1,0 +1,90 @@
+"""summarize_trace / format_summary on synthetic span trees."""
+
+import pytest
+
+from repro.obs.summary import format_summary, summarize_trace
+
+
+def _span(name, id, parent, duration, pid=1, **attrs):
+    return {"name": name, "id": id, "parent": parent, "start": 0.0,
+            "duration": duration, "pid": pid, "attrs": attrs}
+
+
+class TestSummarize:
+    def test_self_time_subtracts_direct_children(self):
+        spans = [
+            _span("search", 1, None, 10.0),
+            _span("evaluate", 2, 1, 6.0),
+            _span("schedule", 3, 2, 4.0),
+        ]
+        report = summarize_trace(spans)
+        stages = report["stages"]
+        assert stages["search"]["self"] == pytest.approx(4.0)
+        assert stages["evaluate"]["self"] == pytest.approx(2.0)
+        assert stages["schedule"]["self"] == pytest.approx(4.0)
+        assert report["wall"] == pytest.approx(10.0)
+        assert stages["search"]["share"] == pytest.approx(0.4)
+
+    def test_same_name_spans_aggregate(self):
+        spans = [
+            _span("batch", 1, None, 9.0),
+            _span("evaluate", 2, 1, 3.0),
+            _span("evaluate", 3, 1, 5.0),
+        ]
+        stages = summarize_trace(spans)["stages"]
+        assert stages["evaluate"]["count"] == 2
+        assert stages["evaluate"]["total"] == pytest.approx(8.0)
+        assert stages["batch"]["self"] == pytest.approx(1.0)
+
+    def test_clock_skew_clamped_to_zero(self):
+        # adopted worker spans can nominally exceed the parent span
+        spans = [
+            _span("batch", 1, None, 1.0),
+            _span("evaluate", 2, 1, 1.5, pid=7),
+        ]
+        report = summarize_trace(spans)
+        assert report["stages"]["batch"]["self"] == 0.0
+        assert report["processes"] == 2
+
+    def test_empty(self):
+        report = summarize_trace([])
+        assert report == {"stages": {}, "wall": 0.0, "span_count": 0,
+                          "processes": 0, "metrics": {}}
+
+    def test_metrics_echoed(self):
+        metrics = {"counters": {"x": 1}}
+        assert summarize_trace([], metrics)["metrics"] == metrics
+
+
+class TestFormat:
+    def test_table_and_metric_lines(self):
+        spans = [
+            _span("schedule", 1, None, 2.0),
+            _span("apply", 2, None, 1.0),
+        ]
+        metrics = {
+            "counters": {"region_cache.requests": 185,
+                         "region_cache.hits": 11},
+            "gauges": {"region_cache.hit_rate": 0.059,
+                       "engine.reschedule_fraction": 0.944},
+            "histograms": {},
+        }
+        text = format_summary(summarize_trace(spans, metrics))
+        lines = text.splitlines()
+        assert lines[0].startswith("spans: 2")
+        # sorted by self time: schedule first
+        schedule_at = next(i for i, l in enumerate(lines)
+                           if l.startswith("schedule"))
+        apply_at = next(i for i, l in enumerate(lines)
+                        if l.startswith("apply"))
+        assert schedule_at < apply_at
+        assert any("region_cache.hit_rate" in l and "5.9%" in l
+                   for l in lines)
+        assert any("engine.reschedule_fraction" in l and "94.4%" in l
+                   for l in lines)
+        assert any("region_cache.requests" in l for l in lines)
+
+    def test_no_metrics_section_when_empty(self):
+        text = format_summary(summarize_trace(
+            [_span("s", 1, None, 1.0)]))
+        assert "metrics:" not in text

@@ -1,0 +1,171 @@
+"""Tracer unit tests: nesting, attributes, cross-process adoption."""
+
+import pickle
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpanNesting:
+    def test_children_close_before_parents(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        assert [s.name for s in tr.spans] == ["inner", "outer"]
+
+    def test_parent_links(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+            with tr.span("d"):
+                pass
+        by_name = {s.name: s for s in tr.spans}
+        assert by_name["a"].parent is None
+        assert by_name["b"].parent == by_name["a"].id
+        assert by_name["c"].parent == by_name["b"].id
+        assert by_name["d"].parent == by_name["a"].id
+
+    def test_sibling_roots(self):
+        tr = Tracer()
+        with tr.span("first"):
+            pass
+        with tr.span("second"):
+            pass
+        assert all(s.parent is None for s in tr.spans)
+        assert len({s.id for s in tr.spans}) == 2
+
+    def test_attrs_at_open_and_set(self):
+        tr = Tracer()
+        with tr.span("s", mode="x") as sp:
+            sp.set(states=7, mode="y")
+        assert tr.spans[0].attrs == {"mode": "y", "states": 7}
+
+    def test_exception_recorded_and_propagated(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("no")
+        assert tr.spans[0].attrs["error"] == "ValueError"
+        # the stack unwound: a new span is a root again
+        with tr.span("after"):
+            pass
+        assert tr.spans[-1].parent is None
+
+    def test_current_id(self):
+        tr = Tracer()
+        assert tr.current_id is None
+        with tr.span("s"):
+            inner = tr.current_id
+            assert inner is not None
+        assert tr.current_id is None
+        assert tr.spans[0].id == inner
+
+    def test_durations_and_timestamps(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        inner, outer = tr.spans
+        assert 0.0 <= inner.duration <= outer.duration
+        assert inner.start >= outer.start
+
+
+class TestSpanSerialization:
+    def test_round_trip(self):
+        span = Span(name="s", id=3, parent=1, start=12.5, duration=0.25,
+                    pid=42, attrs={"k": "v"})
+        assert Span.from_dict(span.as_dict()) == span
+
+    def test_payload_is_picklable(self):
+        tr = Tracer()
+        with tr.span("evaluate", cache="miss"):
+            pass
+        payload = tr.drain_payload()
+        assert pickle.loads(pickle.dumps(payload)) == payload
+        assert tr.spans == []  # drained
+
+
+class TestAdopt:
+    def _worker_payload(self):
+        worker = Tracer()
+        with worker.span("schedule"):
+            with worker.span("markov.solve"):
+                pass
+        with worker.span("evaluate"):  # second root
+            pass
+        return worker.drain_payload()
+
+    def test_reparents_roots_under_open_span(self):
+        parent = Tracer()
+        with parent.span("evaluate.batch"):
+            roots = parent.adopt(self._worker_payload())
+        by_name = {s.name: s for s in parent.spans}
+        batch = by_name["evaluate.batch"]
+        assert by_name["schedule"].parent == batch.id
+        assert by_name["evaluate"].parent == batch.id
+        assert by_name["markov.solve"].parent == by_name["schedule"].id
+        assert sorted(roots) == sorted(
+            [by_name["schedule"].id, by_name["evaluate"].id])
+
+    def test_fresh_ids_no_collisions(self):
+        parent = Tracer()
+        with parent.span("own"):  # consumes id 1, like the worker did
+            pass
+        parent.adopt(self._worker_payload())
+        ids = [s.id for s in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_root_attrs_only_on_roots(self):
+        parent = Tracer()
+        parent.adopt(self._worker_payload(),
+                     root_attrs={"candidate": "ab12"})
+        by_name = {s.name: s for s in parent.spans}
+        assert by_name["schedule"].attrs["candidate"] == "ab12"
+        assert by_name["evaluate"].attrs["candidate"] == "ab12"
+        assert "candidate" not in by_name["markov.solve"].attrs
+
+    def test_explicit_parent_id(self):
+        parent = Tracer()
+        with parent.span("anchor"):
+            pass
+        anchor = parent.spans[0].id
+        parent.adopt(self._worker_payload(), parent_id=anchor)
+        assert all(s.parent == anchor for s in parent.spans
+                   if s.name in ("schedule", "evaluate"))
+
+    def test_pid_preserved(self):
+        payload = self._worker_payload()
+        doctored = [dict(d, pid=99999) for d in payload]
+        parent = Tracer()
+        parent.adopt(doctored)
+        assert {s.pid for s in parent.spans} == {99999}
+
+    def test_empty_payload(self):
+        parent = Tracer()
+        assert parent.adopt(()) == []
+        assert parent.spans == []
+
+
+class TestNullTracer:
+    def test_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("anything", k=1) as sp:
+            sp.set(more=2)
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.current_id is None
+        assert NULL_TRACER.drain_payload() == ()
+        assert NULL_TRACER.adopt(({"id": 1},)) == []
+
+    def test_shared_handle(self):
+        # one module-level handle: span() allocates nothing
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("s"):
+                raise RuntimeError
