@@ -17,35 +17,35 @@ from repro.cdfg import OpKind, execute
 from repro.core import Fact, FactConfig, SearchConfig, THROUGHPUT
 from repro.hw import Allocation, dac98_library
 from repro.lang import compile_source
-from repro.transforms import (Candidate, Transformation,
-                              default_library)
+from repro.rewrite import LOCAL, Match
+from repro.transforms import Transformation, default_library
 from repro.transforms.cleanup import fresh_const, place_like
 
 
 class DoubleToShift(Transformation):
-    """Rewrite ``x + x`` into ``x << 1`` (wiring, in hardware)."""
+    """Rewrite ``x + x`` into ``x << 1`` (wiring, in hardware).
+
+    Written against the pattern API: a LOCAL scope plus ``match_at``
+    lets the rewrite driver re-scan only nodes a previous rewrite
+    touched, and the picklable :class:`Match` (footprint + params)
+    replaces the old closure-based candidate.
+    """
 
     name = "double2shift"
+    scope = LOCAL
 
-    def find(self, behavior):
+    def match_at(self, behavior, analyses, nid):
         g = behavior.graph
-        out = []
-        for nid in g.node_ids():
-            node = g.nodes[nid]
-            if node.kind is not OpKind.ADD:
-                continue
-            a, b = g.data_inputs(nid)
-            if a != b:
-                continue
-            out.append(Candidate(
-                self.name, f"add#{nid} x+x -> x<<1",
-                mutate=lambda beh, nid=nid, src=a: self._rewrite(
-                    beh, nid, src),
-                sites=(nid,)))
-        return out
+        if g.nodes[nid].kind is not OpKind.ADD:
+            return []
+        ins = g.data_inputs(nid)
+        if len(ins) != 2 or ins[0] != ins[1]:
+            return []
+        return [Match(self.name, f"add#{nid} x+x -> x<<1",
+                      (nid,), (nid, ins[0]))]
 
-    @staticmethod
-    def _rewrite(behavior, nid, src):
+    def apply(self, behavior, match):
+        nid, src = match.params
         g = behavior.graph
         shl = g.add_node(OpKind.SHL)
         g.set_data_edge(src, shl, 0)
@@ -54,6 +54,10 @@ class DoubleToShift(Transformation):
             g.add_control_edge(cond, shl, pol)
         place_like(behavior, shl, nid)
         g.replace_uses(nid, shl)
+
+    def dependencies(self, behavior, match):
+        nid, src = match.params
+        return frozenset((nid, src))
 
 
 SOURCE = """

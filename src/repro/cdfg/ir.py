@@ -89,6 +89,48 @@ class Graph:
         # order edges: dst -> {src}; src -> {dst}
         self._oin: Dict[int, Set[int]] = {}
         self._oout: Dict[int, Set[int]] = {}
+        # mutation journal: node ids touched by each mutating call, in
+        # order.  copy() starts the copy with an empty journal, so the
+        # journal of a freshly copied graph records exactly the nodes a
+        # rewrite touched (the "dirty set" the incremental enumeration
+        # driver keys invalidation on).
+        self._journal: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Mutation journal
+    # ------------------------------------------------------------------
+    def _touch(self, *nids: int) -> None:
+        self._journal.extend(nids)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumps on every mutating call).
+
+        Cheap way to detect "has this graph changed since I computed X"
+        without hashing: the fingerprint helpers in
+        :mod:`repro.core.evalcache` cache per-object keyed on this.
+        """
+        return len(self._journal)
+
+    def journal_mark(self) -> int:
+        """Opaque position in the journal; pair with
+        :meth:`touched_since`."""
+        return len(self._journal)
+
+    def touched_since(self, mark: int) -> Set[int]:
+        """Node ids touched by mutations after ``mark`` (including ids
+        of nodes created or removed since)."""
+        return set(self._journal[mark:])
+
+    def touch(self, *nids: int) -> None:
+        """Record an out-of-band semantic change to ``nids``.
+
+        Rewrites that change a node's meaning without going through a
+        graph mutator — e.g. moving it to a different region, or fusing
+        the loop that owns it — must call this so version-keyed caches
+        and incremental dirty sets see the change.
+        """
+        self._touch(*nids)
 
     # ------------------------------------------------------------------
     # Node management
@@ -107,7 +149,17 @@ class Graph:
         self._cout[nid] = []
         self._oin[nid] = set()
         self._oout[nid] = set()
+        self._touch(nid)
         return nid
+
+    def set_kind(self, nid: int, kind: OpKind) -> None:
+        """Retag a node in place (e.g. flipping a comparison).
+
+        Rewrites must use this (not ``node.kind = ...``) so the change
+        lands in the mutation journal.
+        """
+        self.node(nid).kind = kind
+        self._touch(nid)
 
     def node(self, nid: int) -> Node:
         """Return the node with id ``nid``."""
@@ -135,6 +187,7 @@ class Graph:
                       self._oin, self._oout):
             del table[nid]
         del self.nodes[nid]
+        self._touch(nid)
 
     def __contains__(self, nid: int) -> bool:
         return nid in self.nodes
@@ -162,14 +215,17 @@ class Graph:
         old = self._din[dst].get(port)
         if old is not None:
             self._dout[old].discard((dst, port))
+            self._touch(old)
         self._din[dst][port] = src
         self._dout[src].add((dst, port))
+        self._touch(src, dst)
 
     def remove_data_edge(self, dst: int, port: int) -> None:
         """Disconnect ``dst``'s input ``port``."""
         src = self._din[dst].pop(port, None)
         if src is not None:
             self._dout[src].discard((dst, port))
+            self._touch(src, dst)
 
     def data_inputs(self, nid: int) -> List[int]:
         """Source node ids feeding ``nid``, ordered by port.
@@ -222,12 +278,14 @@ class Graph:
         if (src, polarity) not in self._cin[dst]:
             self._cin[dst].append((src, polarity))
             self._cout[src].append((dst, polarity))
+            self._touch(src, dst)
 
     def remove_control_edge(self, src: int, dst: int, polarity: bool) -> None:
         """Remove a control edge if present."""
         if (src, polarity) in self._cin.get(dst, []):
             self._cin[dst].remove((src, polarity))
             self._cout[src].remove((dst, polarity))
+            self._touch(src, dst)
 
     def control_inputs(self, nid: int) -> List[Tuple[int, bool]]:
         """``(cond_node, polarity)`` guards of ``nid`` (a copy)."""
@@ -249,13 +307,17 @@ class Graph:
         """Require ``src`` to complete before ``dst`` starts."""
         self.node(src)
         self.node(dst)
-        self._oout[src].add(dst)
-        self._oin[dst].add(src)
+        if dst not in self._oout[src]:
+            self._oout[src].add(dst)
+            self._oin[dst].add(src)
+            self._touch(src, dst)
 
     def remove_order_edge(self, src: int, dst: int) -> None:
         """Remove an order edge if present."""
-        self._oout.get(src, set()).discard(dst)
-        self._oin.get(dst, set()).discard(src)
+        if dst in self._oout.get(src, set()):
+            self._oout[src].discard(dst)
+            self._oin[dst].discard(src)
+            self._touch(src, dst)
 
     def order_preds(self, nid: int) -> Set[int]:
         """Nodes that must complete before ``nid``."""

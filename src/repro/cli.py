@@ -187,7 +187,9 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         sched=SchedConfig(clock=args.clock),
         search=SearchConfig(max_outer_iters=args.iterations,
                             seed=args.seed,
-                            incremental=not args.no_incremental),
+                            incremental=not args.no_incremental,
+                            incremental_enumeration=(
+                                not args.no_incremental_enum)),
         workers=args.workers)
     result = api.optimize(
         behavior, objective=args.objective, config=config,
@@ -221,7 +223,9 @@ def cmd_explore(args: argparse.Namespace) -> int:
     from .explore import ExploreConfig
     search = _SearchConfig(max_outer_iters=args.iterations,
                            seed=args.seed, workers=args.workers,
-                           incremental=not args.no_incremental)
+                           incremental=not args.no_incremental,
+                           incremental_enumeration=(
+                               not args.no_incremental_enum))
     config = ExploreConfig(
         generations=args.generations,
         population_size=args.population,
@@ -229,7 +233,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         seed=args.seed, workers=args.workers,
         warm_start=not args.no_warm_start,
         sched=SchedConfig(clock=args.clock), search=search,
-        incremental=not args.no_incremental)
+        incremental=not args.no_incremental,
+        incremental_enumeration=not args.no_incremental_enum)
     result = api.explore(
         behavior, config=config, alloc=args.alloc,
         profile_traces=args.profile_traces, store=args.store,
@@ -351,6 +356,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="disable region-level schedule "
                                 "memoization (identical results, "
                                 "slower; the benchmark baseline)")
+            p.add_argument("--no-incremental-enum", action="store_true",
+                           help="disable incremental candidate "
+                                "enumeration (identical results, "
+                                "slower; the benchmark baseline)")
         _add_trace_args(p)
         p.set_defaults(func=func)
 
@@ -394,6 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "hypervolume proxy, store hit rate)")
     p.add_argument("--no-incremental", action="store_true",
                    help="disable region-level schedule memoization "
+                        "(identical results, slower)")
+    p.add_argument("--no-incremental-enum", action="store_true",
+                   help="disable incremental candidate enumeration "
                         "(identical results, slower)")
     _add_trace_args(p)
     p.set_defaults(func=cmd_explore)

@@ -44,7 +44,7 @@ from ..stg import markov as _markov
 from ..sched.driver import ScheduleResult, Scheduler
 from ..sched.regioncache import RegionScheduleCache
 from ..sched.types import BranchProbs, ResourceModel, SchedConfig
-from .evalcache import CacheStats, EvalCache, behavior_fingerprint
+from .evalcache import CacheStats, EvalCache, cached_fingerprint
 from .objectives import Objective
 from .telemetry import EvalStats
 
@@ -288,6 +288,11 @@ class EvaluationEngine:
                                  traced=bool(self.tracer.enabled))
         self.workers = resolve_workers(workers)
         self.cache = EvalCache(max_entries=cache_size)
+        #: (parent raw fingerprint × match fingerprint) -> behavior
+        #: cache key.  Applying one match to one parent is
+        #: deterministic, so the pair resolves a child's key without
+        #: re-fingerprinting its graph (see _key_with_provenance).
+        self._pair_keys = EvalCache(max_entries=cache_size)
         if region_cache is not None and incremental:
             # Externally shared cache (e.g. the Fact driver's per-context
             # registry): unit schedules survive across engines — and
@@ -329,8 +334,31 @@ class EvaluationEngine:
     def key_for(self, behavior: Behavior) -> str:
         """Cache key of ``behavior`` under this engine's fixed context."""
         return _digest((self._context_fp + ":"
-                        + behavior_fingerprint(behavior)).encode()
+                        + cached_fingerprint(behavior)).encode()
                        ).hexdigest()
+
+    def _key_with_provenance(self, behavior: Behavior) -> str:
+        """Behavior cache key, through the rewrite pair index if it
+        applies.
+
+        Children produced by :meth:`repro.rewrite.driver.RewriteDriver
+        .apply` carry ``_rw_pair`` — the parent's raw fingerprint and
+        the applied match's fingerprint.  The same match applied to the
+        same parent always yields the same child, so a remembered pair
+        resolves the key without hashing the child's whole graph (the
+        dominant fingerprinting cost once seeds persist across
+        generations).
+        """
+        pair = getattr(behavior, "_rw_pair", None)
+        if pair is None:
+            return self.key_for(behavior)
+        pkey = pair[0] + ":" + pair[1]
+        known = self._pair_keys.get(pkey)
+        if known is not None:
+            return known
+        key = self.key_for(behavior)
+        self._pair_keys.put(pkey, key)
+        return key
 
     # -- statistics -----------------------------------------------------
     @property
@@ -351,6 +379,7 @@ class EvaluationEngine:
         reg.set("engine.workers", self.workers)
         reg.inc("engine.requests", self.requests)
         reg.absorb_cache_stats("engine.cache", self.cache.stats)
+        reg.absorb_cache_stats("engine.pair_keys", self._pair_keys.stats)
         reg.absorb_eval_stats(self.eval_stats)
         return reg
 
@@ -399,7 +428,7 @@ class EvaluationEngine:
         order: List[str] = []
         traced = self.tracer.enabled
         for i, (behavior, lineage) in enumerate(pairs):
-            key = self.key_for(behavior)
+            key = self._key_with_provenance(behavior)
             if key in pending:
                 # Duplicate within this batch: merged, counts as a hit.
                 self.cache.stats.hits += 1

@@ -74,6 +74,84 @@ def behavior_fingerprint(behavior: Behavior) -> str:
     return _digest("|".join(parts).encode()).hexdigest()
 
 
+def _region_raw_repr(region: Region) -> str:
+    """Like :func:`_region_repr` but over raw node ids (no WL hashing)."""
+    if isinstance(region, BlockRegion):
+        return f"B({sorted(region.nodes)})"
+    if isinstance(region, SeqRegion):
+        return "S(" + ",".join(_region_raw_repr(c)
+                               for c in region.children) + ")"
+    if isinstance(region, LoopRegion):
+        lvs = sorted((lv.name, lv.join) for lv in region.loop_vars)
+        return (f"L(vars={lvs},cond_nodes={sorted(region.cond_nodes)},"
+                f"cond={region.cond},trip={region.trip_count},"
+                f"body={_region_raw_repr(region.body)})")
+    raise CdfgError(f"unknown region type {type(region).__name__}")
+
+
+def behavior_raw_fingerprint(behavior: Behavior) -> str:
+    """Content hash of a behavior, *sensitive* to node numbering.
+
+    The rewrite driver's match cache and the engine's (parent × match)
+    memoization key on this: a :class:`~repro.rewrite.pattern.Match`
+    names concrete node ids, so it may only be reused on a behavior that
+    is byte-identical *including* numbering — the canonical fingerprint
+    would wrongly merge renumbered twins whose ids mean different
+    things.  A single pass (no WL refinement), so it is roughly an
+    order of magnitude cheaper than :func:`behavior_fingerprint`.
+    """
+    g = behavior.graph
+    h = _digest()
+    for nid in sorted(g.nodes):
+        n = g.nodes[nid]
+        h.update(f"n{nid}|{n.kind.value}|{n.value!r}|{n.var!r}|"
+                 f"{n.array!r};".encode())
+        h.update(f"d{sorted(g.input_ports(nid).items())!r};"
+                 f"c{sorted(g.control_inputs(nid))!r};"
+                 f"o{sorted(g.order_preds(nid))!r};".encode())
+    h.update("|".join([
+        _region_raw_repr(behavior.region),
+        repr(behavior.inputs),
+        repr(behavior.outputs),
+        repr(sorted((a.name, a.size, a.ports)
+                    for a in behavior.arrays.values())),
+        repr(sorted(behavior.cond_weights.items())),
+        repr(sorted(behavior.cond_aliases.items())),
+    ]).encode())
+    return h.hexdigest()
+
+
+def cached_fingerprint(behavior: Behavior) -> str:
+    """:func:`behavior_fingerprint`, memoized on the behavior object.
+
+    Keyed on ``graph.version`` (the mutation journal), so the cached
+    value survives exactly as long as the graph is untouched.  Callers
+    rely on the search-pipeline contract that behaviors are immutable
+    once their producing rewrite (including hygiene) has run; rewrites
+    that only reorganize the region tree must :meth:`~repro.cdfg.ir
+    .Graph.touch` the nodes they move so the version advances.
+    """
+    version = behavior.graph.version
+    cached = getattr(behavior, "_fp_canonical", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    fp = behavior_fingerprint(behavior)
+    behavior._fp_canonical = (version, fp)  # type: ignore[attr-defined]
+    return fp
+
+
+def cached_raw_fingerprint(behavior: Behavior) -> str:
+    """:func:`behavior_raw_fingerprint`, memoized like
+    :func:`cached_fingerprint`."""
+    version = behavior.graph.version
+    cached = getattr(behavior, "_fp_raw", None)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    fp = behavior_raw_fingerprint(behavior)
+    behavior._fp_raw = (version, fp)  # type: ignore[attr-defined]
+    return fp
+
+
 @dataclass
 class CacheStats:
     """Counters exposed by :class:`EvalCache`."""

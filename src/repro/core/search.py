@@ -36,6 +36,7 @@ from ..cdfg.regions import Behavior
 from ..errors import ReproError, SearchError
 from ..hw import Allocation, Library
 from ..obs.trace import NULL_TRACER, AnyTracer
+from ..rewrite.driver import RewriteDriver, RewriteStats
 from ..sched.types import BranchProbs, SchedConfig
 from ..transforms.base import TransformLibrary
 from .engine import Evaluated, EvaluationEngine
@@ -52,6 +53,7 @@ def expand_candidates(transforms: TransformLibrary,
                       max_per_seed: int,
                       hot_nodes: Optional[Set[int]] = None,
                       fresh_from: int = 0,
+                      driver: Optional[RewriteDriver] = None,
                       tracer: AnyTracer = NULL_TRACER
                       ) -> List[Tuple[Behavior, Tuple[str, ...]]]:
     """Apply candidate transformations to every seed behavior.
@@ -64,13 +66,24 @@ def expand_candidates(transforms: TransformLibrary,
     ``Behavior_set`` as (behavior, lineage) pairs in deterministic
     enumeration order, ready for batch evaluation.
 
+    With a ``driver``, enumeration goes through the memoizing
+    :class:`~repro.rewrite.driver.RewriteDriver` (incremental
+    re-enumeration for children it applied) and children carry rewrite
+    provenance for the engine's pair memoization.  Both paths present
+    candidates in the canonical (transform, footprint, fingerprint)
+    order, so trajectories are identical driver or not.
+
     With a ``tracer``, every applied transformation instance is recorded
     as an ``apply`` span (the sampling and filtering decisions are pure
     functions of the seeded RNG, so tracing never changes the output).
     """
     out: List[Tuple[Behavior, Tuple[str, ...]]] = []
     for behavior, lineage in seeds:
-        candidates = transforms.candidates(behavior)
+        if driver is not None:
+            candidates = driver.candidates(behavior)
+        else:
+            candidates = sorted(transforms.candidates(behavior),
+                                key=lambda c: c.sort_key)
         if hot_nodes is not None:
             candidates = [
                 c for c in candidates
@@ -81,7 +94,10 @@ def expand_candidates(transforms: TransformLibrary,
         for cand in candidates:
             with tracer.span("apply", transform=cand.transform) as span:
                 try:
-                    transformed = cand.apply(behavior)
+                    if driver is not None:
+                        transformed = driver.apply(behavior, cand)
+                    else:
+                        transformed = cand.apply(behavior)
                 except ReproError as err:
                     span.set(inapplicable=type(err).__name__)
                     continue
@@ -105,6 +121,11 @@ class SearchConfig:
     modes produce identical results (``--no-incremental`` on the CLI is
     the escape hatch / benchmark baseline); ``region_cache_size``
     bounds the per-process region schedule cache.
+    ``incremental_enumeration`` toggles the rewrite driver's
+    footprint-based incremental candidate enumeration (again with
+    identical results either way — ``--no-incremental-enum`` is the
+    benchmark baseline); ``enum_cache_size`` bounds its per-behavior
+    enumeration memo.
     """
 
     max_outer_iters: int = 6
@@ -118,6 +139,8 @@ class SearchConfig:
     cache_size: int = 4096
     incremental: bool = True
     region_cache_size: int = 4096
+    incremental_enumeration: bool = True
+    enum_cache_size: int = 512
 
 
 @dataclass
@@ -171,6 +194,14 @@ class TransformSearch:
         #: keeps its own tracer (see :meth:`run`).
         self.tracer: AnyTracer = tracer if tracer is not None \
             else NULL_TRACER
+        #: rewrite driver owning candidate enumeration: memoized per
+        #: behavior (raw fingerprint) and incremental for children it
+        #: applied.  Shared across runs of this search.
+        self.driver = RewriteDriver(
+            transforms,
+            incremental=self.config.incremental_enumeration,
+            cache_size=self.config.enum_cache_size,
+            tracer=self.tracer)
         self._rng = random.Random(self.config.seed)
         self._shared_engine: Optional[EvaluationEngine] = None
         self._fresh_from: Optional[int] = None
@@ -213,6 +244,7 @@ class TransformSearch:
                                     workers=max(engine.workers, 1))
         telemetry.start()
         run_start_stats = engine.eval_stats.minus(EvalStats())
+        run_start_rewrite = self.driver.stats.copy()
         try:
             initial = engine.evaluate(behavior)
             if initial.result is None:
@@ -273,6 +305,8 @@ class TransformSearch:
             telemetry.finish()
             telemetry.cache = engine.stats
             telemetry.eval = engine.eval_stats.minus(run_start_stats)
+            telemetry.rewrite = self.driver.stats.minus(
+                run_start_rewrite)
             telemetry.backend = engine.backend
             if owns_engine:
                 engine.close()
@@ -297,6 +331,7 @@ class TransformSearch:
             hot_nodes=self.hot_nodes,
             fresh_from=self._fresh_from
             if self._fresh_from is not None else 0,
+            driver=self.driver,
             tracer=tracer)
 
     def _select(self, ranked: List[Evaluated], k: float

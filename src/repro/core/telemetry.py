@@ -34,6 +34,7 @@ import time
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List
 
+from ..rewrite.driver import RewriteStats
 from .evalcache import CacheStats
 
 
@@ -138,6 +139,7 @@ class SearchTelemetry:
     evaluations: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
     eval: EvalStats = field(default_factory=EvalStats)
+    rewrite: RewriteStats = field(default_factory=RewriteStats)
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -186,6 +188,8 @@ class SearchTelemetry:
         reg.inc("search.wall_seconds", self.total_wall_time)
         reg.absorb_cache_stats("engine.cache", self.cache)
         reg.absorb_eval_stats(self.eval)
+        for name, value in self.rewrite.as_dict().items():
+            reg.inc(f"rewrite.{name}", value)
         for g in self.generations:
             reg.observe("search.generation.seconds", g.wall_time)
         return reg
@@ -200,6 +204,7 @@ class SearchTelemetry:
             "generations": [asdict(g) for g in self.generations],
             "cache": self.cache.as_dict(),
             "eval": self.eval.as_dict(),
+            "rewrite": self.rewrite.as_dict(),
             "best_trajectory": self.best_trajectory,
             "metrics": self.metrics().as_dict(),
         }
@@ -222,6 +227,13 @@ class SearchTelemetry:
             f"({self.eval.markov_local} local / "
             f"{self.eval.markov_reused} reused / "
             f"{self.eval.markov_full} full)",
+            f"  enumeration: {self.rewrite.requests} requests "
+            f"({self.rewrite.memo_hits} memoized, "
+            f"{self.rewrite.incremental_scans} incremental / "
+            f"{self.rewrite.full_scans} full scans; "
+            f"{self.rewrite.carried_matches} matches carried, "
+            f"{self.rewrite.rescanned_matches} rescanned), "
+            f"{self.rewrite.enum_seconds * 1000:.1f} ms",
         ]
         reg = self.metrics()
         lines.append(
@@ -282,6 +294,7 @@ class ExploreTelemetry:
     store: CacheStats = field(default_factory=CacheStats)
     cache: CacheStats = field(default_factory=CacheStats)
     eval: EvalStats = field(default_factory=EvalStats)
+    rewrite: RewriteStats = field(default_factory=RewriteStats)
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -326,6 +339,8 @@ class ExploreTelemetry:
         reg.absorb_cache_stats("store", self.store)
         reg.absorb_cache_stats("engine.cache", self.cache)
         reg.absorb_eval_stats(self.eval)
+        for name, value in self.rewrite.as_dict().items():
+            reg.inc(f"rewrite.{name}", value)
         for g in self.generations:
             reg.observe("explore.generation.seconds", g.wall_time)
         if self.generations:
@@ -344,6 +359,7 @@ class ExploreTelemetry:
             "store": self.store.as_dict(),
             "cache": self.cache.as_dict(),
             "eval": self.eval.as_dict(),
+            "rewrite": self.rewrite.as_dict(),
             "front_trajectory": self.front_trajectory,
             "metrics": self.metrics().as_dict(),
         }
@@ -362,6 +378,11 @@ class ExploreTelemetry:
             f"{100 * self.eval.region_hit_rate:.1f}%, reschedule "
             f"fraction {100 * self.eval.reschedule_fraction:.1f}%, "
             f"solver {self.eval.solver_time * 1000:.1f} ms",
+            f"  enumeration: {self.rewrite.requests} requests "
+            f"({self.rewrite.memo_hits} memoized, "
+            f"{self.rewrite.incremental_scans} incremental / "
+            f"{self.rewrite.full_scans} full scans), "
+            f"{self.rewrite.enum_seconds * 1000:.1f} ms",
         ]
         reg = self.metrics()
         lines.append(

@@ -62,6 +62,7 @@ from ..core.fact import Fact, FactConfig
 from ..core.objectives import POWER, THROUGHPUT, Objective
 from ..core.search import SearchConfig, expand_candidates
 from ..core.telemetry import EvalStats, ExploreTelemetry
+from ..rewrite.driver import RewriteDriver
 from .pareto import (DesignMetrics, DesignPoint, ParetoFront,
                      nsga2_select, objectives_from_metrics)
 from .store import RunStore, StoredEval, default_store_root
@@ -95,28 +96,33 @@ class ExploreConfig:
     vt: float = 1.0
     cycle_time: float = 1.0
     incremental: bool = True
+    incremental_enumeration: bool = True
 
     def warm_start_search(self) -> SearchConfig:
         """The warm-start budget (explicit, or derived from the knobs)."""
         if self.search is not None:
             return self.search
-        return SearchConfig(seed=self.seed, workers=self.workers,
-                            cache_size=self.cache_size,
-                            incremental=self.incremental)
+        return SearchConfig(
+            seed=self.seed, workers=self.workers,
+            cache_size=self.cache_size,
+            incremental=self.incremental,
+            incremental_enumeration=self.incremental_enumeration)
 
     def identity(self) -> Tuple:
         """Everything that shapes the search trajectory (for the run
         fingerprint; ``generations`` is deliberately excluded so a
         finished run can be extended by resuming with a higher cap).
-        ``incremental`` and the region-cache size are normalized out:
-        both evaluation modes produce identical trajectories by
-        construction, so a run checkpointed in one mode can resume in
-        the other."""
+        ``incremental`` / ``incremental_enumeration`` and the cache
+        sizes are normalized out: all evaluation and enumeration modes
+        produce identical trajectories by construction, so a run
+        checkpointed in one mode can resume in the other."""
         return (self.population_size, self.max_candidates_per_seed,
                 self.seed, self.warm_start,
                 astuple(replace(self.warm_start_search(),
                                 incremental=True,
-                                region_cache_size=4096)),
+                                region_cache_size=4096,
+                                incremental_enumeration=True,
+                                enum_cache_size=512)),
                 self.vdd, self.vt, self.cycle_time)
 
 
@@ -175,6 +181,14 @@ class ExploreRunner:
         # searches and every generation of the main loop share one, so
         # a unit scheduled during warm start is never rebuilt later.
         self._region_caches: Dict[str, RegionScheduleCache] = {}
+        #: rewrite driver owning candidate enumeration for the main
+        #: loop (memoized per behavior, incremental for its children);
+        #: shared across generations and across resume.
+        self.driver = RewriteDriver(
+            self.transforms,
+            incremental=self.config.incremental_enumeration,
+            cache_size=self.config.warm_start_search().enum_cache_size,
+            tracer=self.tracer)
         self.run_fingerprint = _digest(
             (self._context_fp + "|"
              + repr(self.config.identity())).encode()).hexdigest()
@@ -224,6 +238,7 @@ class ExploreRunner:
         front: Optional[ParetoFront] = None
         generation = 0
         previous_handler = self._install_sigint()
+        run_start_rewrite = self.driver.stats.copy()
         telemetry.start()
         try:
             with engine, self.tracer.span("explore",
@@ -262,6 +277,7 @@ class ExploreRunner:
                         pairs = expand_candidates(
                             self.transforms, seeds, rng,
                             max_per_seed=cfg.max_candidates_per_seed,
+                            driver=self.driver,
                             tracer=self.tracer)
                         points, scheduled = self._evaluate_pairs(
                             pairs, engine, baseline_length)
@@ -301,6 +317,8 @@ class ExploreRunner:
         finally:
             self._restore_sigint(previous_handler)
             telemetry.eval = engine.eval_stats
+            telemetry.rewrite = self.driver.stats.minus(
+                run_start_rewrite)
             telemetry.finish()
         if front is None:
             raise ExploreError(

@@ -1,0 +1,31 @@
+"""Declarative rewrite-pattern infrastructure for the transform layer.
+
+This package splits every behavioral transformation into
+
+* a **match** phase (:class:`~repro.rewrite.pattern.RewritePattern`
+  returning picklable :class:`~repro.rewrite.pattern.Match` records with
+  a declared node footprint and a stable fingerprint),
+* shared, cached **analyses**
+  (:class:`~repro.rewrite.analyses.AnalysisManager`), and
+* an incremental enumeration **driver**
+  (:class:`~repro.rewrite.driver.RewriteDriver`) that re-runs only the
+  patterns whose matches could intersect the nodes a rewrite touched.
+
+See ``docs/transformations.md`` for the authoring guide.
+"""
+
+from .pattern import (GLOBAL, LOCAL, Match, RewritePattern,
+                      supports_pattern_api)
+from .analyses import AnalysisManager
+from .driver import RewriteDriver, RewriteStats
+
+__all__ = [
+    "GLOBAL",
+    "LOCAL",
+    "Match",
+    "RewritePattern",
+    "supports_pattern_api",
+    "AnalysisManager",
+    "RewriteDriver",
+    "RewriteStats",
+]

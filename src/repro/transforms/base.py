@@ -1,23 +1,31 @@
 """Transformation framework.
 
-A :class:`Transformation` enumerates *candidates* — concrete applicable
-sites — on a behavior.  Applying a candidate never mutates the input:
-it deep-copies the behavior (node ids are stable across copies), mutates
-the copy, runs dead-code elimination, and re-validates.  This is the
+A :class:`Transformation` is a :class:`~repro.rewrite.pattern
+.RewritePattern`: it enumerates picklable :class:`~repro.rewrite.pattern
+.Match` records on a behavior, and ``apply`` replays a match on a fresh
+copy.  Applying never mutates the input: the behavior is deep-copied
+(node ids are stable across copies), mutated, run through dead-code
+elimination and duplicate merging, and re-validated.  This is the
 contract the FACT search loop (paper Figure 6) relies on: candidates
 from one generation can be applied independently to produce the next
 ``Behavior_set``.
+
+:class:`Candidate` survives as a thin adapter over a pattern/match pair
+for backward compatibility (and for legacy user transformations that
+still override ``find()`` with closure-based mutators).
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import (Callable, FrozenSet, Iterable, List, Optional, Sequence,
+                    Tuple)
 
+from ..cdfg.ir import _digest
 from ..cdfg.regions import Behavior, BlockRegion, LoopRegion
 from ..cdfg.validate import validate_behavior
 from ..errors import TransformError
+from ..rewrite.pattern import Match, RewritePattern
 from .cleanup import dead_code_elimination
 
 
@@ -25,25 +33,75 @@ from .cleanup import dead_code_elimination
 class Candidate:
     """One applicable transformation instance.
 
+    Pattern-produced candidates carry ``pattern``/``match`` and no
+    closure; legacy candidates carry a ``mutate`` closure.  Exactly one
+    of the two must be set.
+
     Attributes:
         transform: name of the transformation that produced it.
         description: human-readable site description ("fold add #12").
-        mutate: function mutating a *copy* of the behavior in place.
+        mutate: legacy closure mutating a *copy* of the behavior.
         sites: CDFG node ids the rewrite touches; the FACT driver uses
             them to focus the search on hot STG blocks (Section 4.1).
+            Mandatory for pattern candidates (it is the match
+            footprint); a candidate with no sites never matches a hot
+            set.
+        pattern: the producing :class:`RewritePattern`, when match-based.
+        match: the :class:`Match` this candidate adapts, when match-based.
     """
 
     transform: str
     description: str
-    mutate: Callable[[Behavior], None]
+    mutate: Optional[Callable[[Behavior], None]] = None
     sites: Tuple[int, ...] = ()
+    pattern: Optional[RewritePattern] = None
+    match: Optional[Match] = None
+
+    @classmethod
+    def from_match(cls, pattern: RewritePattern,
+                   match: Match) -> "Candidate":
+        return cls(transform=match.pattern, description=match.description,
+                   mutate=None, sites=match.footprint, pattern=pattern,
+                   match=match)
 
     def touches(self, hot: Iterable[int]) -> bool:
-        """True if any site lies in ``hot`` (or sites are unknown)."""
+        """True if any declared site lies in ``hot``.
+
+        A candidate with an empty ``sites`` tuple matches *no* hot set:
+        the old permissive default ("unknown sites match anything")
+        silently defeated hot-block focusing for any transform that
+        forgot to report sites.
+        """
         if not self.sites:
-            return True
-        hot_set = set(hot)
+            return False
+        hot_set = hot if isinstance(hot, (set, frozenset)) else set(hot)
         return any(s in hot_set for s in self.sites)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash (match fingerprint when available)."""
+        if self.match is not None:
+            return self.match.fingerprint
+        payload = repr((self.transform, self.description,
+                        tuple(sorted(self.sites))))
+        return _digest(payload.encode()).hexdigest()
+
+    @property
+    def sort_key(self) -> Tuple[str, Tuple[int, ...], str]:
+        """Canonical enumeration order: (transform, sorted sites,
+        fingerprint)."""
+        return (self.transform, tuple(sorted(self.sites)), self.fingerprint)
+
+    def _mutate_into(self, out: Behavior) -> None:
+        if self.match is not None:
+            assert self.pattern is not None
+            self.pattern.apply(out, self.match)
+        elif self.mutate is not None:
+            self.mutate(out)
+        else:
+            raise TransformError(
+                f"candidate {self.description!r} has neither a match nor "
+                f"a mutate closure")
 
     def apply(self, behavior: Behavior, validate: bool = True,
               hygiene: bool = True) -> Behavior:
@@ -55,30 +113,58 @@ class Candidate:
         lets repeated tree balancing converge to parallel-prefix-style
         networks instead of exploding the operation count.
         """
-        out = behavior.copy()
-        self.mutate(out)
-        dead_code_elimination(out)
-        if hygiene:
-            from .cse import merge_duplicates_inplace
-            merge_duplicates_inplace(out)
-            dead_code_elimination(out)
-        if validate:
-            validate_behavior(out)
+        out, _ = apply_candidate(self, behavior, validate=validate,
+                                 hygiene=hygiene)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Candidate({self.transform}: {self.description})"
 
 
-class Transformation(ABC):
-    """A family of behavior-preserving rewrites."""
+def apply_candidate(candidate: Candidate, behavior: Behavior, *,
+                    validate: bool = True, hygiene: bool = True
+                    ) -> Tuple[Behavior, FrozenSet[int]]:
+    """Apply ``candidate`` to a copy of ``behavior``.
+
+    Returns ``(child, dirty)`` where ``dirty`` is the exact set of node
+    ids the rewrite *and* the hygiene passes touched, read off the
+    graph's mutation journal (a copy starts with an empty journal).  The
+    incremental driver uses ``dirty`` to decide which cached matches
+    survive into the child.
+    """
+    out = behavior.copy()
+    mark = out.graph.journal_mark()
+    candidate._mutate_into(out)
+    dead_code_elimination(out)
+    if hygiene:
+        from .cse import merge_duplicates_inplace
+        merge_duplicates_inplace(out)
+        dead_code_elimination(out)
+    if validate:
+        validate_behavior(out)
+    return out, frozenset(out.graph.touched_since(mark))
+
+
+class Transformation(RewritePattern):
+    """A family of behavior-preserving rewrites.
+
+    New-style subclasses implement the :class:`RewritePattern` API
+    (``match``/``match_at`` + ``apply``); the inherited :meth:`find`
+    adapts matches into :class:`Candidate` objects.  Legacy subclasses
+    may instead override :meth:`find` directly and keep producing
+    closure-based candidates — the driver detects the difference and
+    falls back to a (memoized) full ``find`` scan for them.
+    """
 
     #: Short identifier used in reports and search logs.
     name: str = "base"
 
-    @abstractmethod
     def find(self, behavior: Behavior) -> List[Candidate]:
         """Enumerate applicable candidates on ``behavior``."""
+        from ..rewrite.analyses import AnalysisManager
+        analyses = AnalysisManager(behavior)
+        return [Candidate.from_match(self, m)
+                for m in self.match(behavior, analyses)]
 
 
 @dataclass

@@ -16,7 +16,9 @@ from ..cdfg.ir import Graph
 from ..cdfg.ops import OP_INFO, OpKind, evaluate
 from ..cdfg.regions import Behavior
 from ..errors import TransformError
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import LOCAL, Match
+from .base import Transformation
 from .cleanup import discard_from_regions
 
 
@@ -41,27 +43,41 @@ class BranchElimination(Transformation):
     """Resolve branches whose condition is a compile-time constant."""
 
     name = "branch_elim"
+    scope = LOCAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
+    def match_at(self, behavior: Behavior, analyses: AnalysisManager,
+                 nid: int) -> List[Match]:
         g = behavior.graph
-        loop_conds = {lp.cond for lp in behavior.loops()}
-        out: List[Candidate] = []
-        for nid in g.node_ids():
-            if not g.control_users(nid) or nid in loop_conds:
-                continue
-            value = _constant_condition(g, nid)
-            if value is None:
-                continue
-            out.append(self._candidate(nid, bool(value)))
-        return out
+        if not g.control_users(nid) or nid in analyses.loop_conds:
+            return []
+        value = _constant_condition(g, nid)
+        if value is None:
+            return []
+        return [Match(self.name, f"resolve cond#{nid} = {bool(value)}",
+                      (nid,), (nid, bool(value)))]
 
-    def _candidate(self, cond: int, value: bool) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            eliminate_branch(b, cond, value)
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        cond, value = match.params
+        eliminate_branch(behavior, cond, value)
 
-        return Candidate(self.name,
-                         f"resolve cond#{cond} = {value}", mutate,
-                         sites=(cond,))
+    # The predicate reads the condition node, its control users (the
+    # node itself is touched when guard edges change) and its operands'
+    # kinds/values.
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        cond = match.params[0]
+        g = behavior.graph
+        deps = set(match.footprint)
+        if cond in g.nodes:
+            deps.update(g.input_ports(cond).values())
+        return frozenset(deps)
+
+    def rescan_roots(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty: Set[int]) -> Set[int]:
+        g = behavior.graph
+        roots = {n for n in dirty if n in g.nodes}
+        for n in list(roots):
+            roots.update(dst for dst, _ in g.data_users(n))
+        return roots
 
 
 def eliminate_branch(behavior: Behavior, cond: int, value: bool) -> None:

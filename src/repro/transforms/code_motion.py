@@ -17,14 +17,16 @@ moved; stores are side effects and never speculated.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import FrozenSet, List, Optional, Set
 
 from ..cdfg.ir import Graph
 from ..cdfg.ops import FREE_KINDS, OpKind
 from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
                             SeqRegion)
 from ..errors import TransformError
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import GLOBAL, LOCAL, Match
+from .base import Transformation
 from .cleanup import discard_from_regions, owner_region
 
 #: Kinds that must never be executed speculatively or hoisted.
@@ -43,31 +45,55 @@ class Speculation(Transformation):
     """
 
     name = "speculation"
+    scope = LOCAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
+    def match_at(self, behavior: Behavior, analyses: AnalysisManager,
+                 nid: int) -> List[Match]:
         g = behavior.graph
-        out: List[Candidate] = []
-        for nid in g.node_ids():
-            node = g.nodes[nid]
-            if node.kind in _IMMOBILE:
-                continue
-            if not g.control_inputs(nid):
-                continue
-            cone = _guarded_cone(g, nid)
-            if cone is None:
-                continue
-            out.append(self._candidate(nid, sorted(cone), node.kind))
-        return out
-
-    def _candidate(self, nid: int, cone: List[int],
-                   kind: OpKind) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            speculate(b, nid)
-
+        node = g.nodes[nid]
+        if node.kind in _IMMOBILE:
+            return []
+        if not g.control_inputs(nid):
+            return []
+        cone = _guarded_cone(g, nid)
+        if cone is None:
+            return []
         extra = f" (+{len(cone) - 1} producers)" if len(cone) > 1 else ""
-        return Candidate(self.name,
-                         f"speculate {kind.value}#{nid}{extra}", mutate,
-                         sites=tuple(cone))
+        return [Match(self.name, f"speculate {node.kind.value}#{nid}{extra}",
+                      tuple(sorted(cone)), (nid,))]
+
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        speculate(behavior, match.params[0])
+
+    # The cone walk reads each member's guards plus the guard status of
+    # every member's producers (to decide where the cone stops).
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        g = behavior.graph
+        deps = set(match.footprint)
+        for member in match.footprint:
+            if member in g.nodes:
+                deps.update(g.input_ports(member).values())
+        return frozenset(deps)
+
+    def rescan_roots(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty: Set[int]) -> Set[int]:
+        """Dirty nodes plus the upward closure through *guarded* data
+        users: a new/changed cone member surfaces as a match only at
+        guarded consumers reachable through guarded nodes."""
+        g = behavior.graph
+        roots = {n for n in dirty if n in g.nodes}
+        frontier = list(roots)
+        visited = set(frontier)
+        while frontier:
+            cur = frontier.pop()
+            for dst, _ in g.data_users(cur):
+                if dst in visited:
+                    continue
+                if g.control_inputs(dst):
+                    visited.add(dst)
+                    roots.add(dst)
+                    frontier.append(dst)
+        return roots
 
 
 def _guarded_cone(g: Graph, nid: int) -> Optional[Set[int]]:
@@ -124,39 +150,66 @@ class LoopInvariantMotion(Transformation):
     """Hoist pure loop-invariant operations out of loop bodies."""
 
     name = "hoist"
+    scope = GLOBAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
-        g = behavior.graph
-        out: List[Candidate] = []
-        for loop in behavior.loops():
-            loop_ids = loop.node_ids()
-            parent = _parent_seq(behavior.region, loop)
-            if parent is None:
-                continue
-            for nid in sorted(loop_ids):
-                node = g.nodes[nid]
-                if node.kind in _IMMOBILE:
-                    continue
-                if nid in loop.cond_nodes and nid == loop.cond:
-                    continue
-                if any(lv.join == nid for lv in loop.loop_vars):
-                    continue
-                if g.control_inputs(nid):
-                    continue  # speculate first, then hoist
-                if any(src in loop_ids
-                       for src in g.input_ports(nid).values()):
-                    continue
-                out.append(self._candidate(nid, node.kind, loop.name))
+    def match(self, behavior: Behavior,
+              analyses: AnalysisManager) -> List[Match]:
+        out: List[Match] = []
+        for loop in analyses.loops:
+            out.extend(self._loop_matches(behavior, loop))
         return out
 
-    def _candidate(self, nid: int, kind: OpKind,
-                   loop_name: str) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            hoist_out_of_loop(b, nid, loop_name)
+    def _loop_matches(self, behavior: Behavior,
+                      loop: LoopRegion) -> List[Match]:
+        g = behavior.graph
+        loop_ids = loop.node_ids()
+        if _parent_seq(behavior.region, loop) is None:
+            return []
+        out: List[Match] = []
+        for nid in sorted(loop_ids):
+            node = g.nodes[nid]
+            if node.kind in _IMMOBILE:
+                continue
+            if nid in loop.cond_nodes and nid == loop.cond:
+                continue
+            if any(lv.join == nid for lv in loop.loop_vars):
+                continue
+            if g.control_inputs(nid):
+                continue  # speculate first, then hoist
+            if any(src in loop_ids
+                   for src in g.input_ports(nid).values()):
+                continue
+            out.append(Match(
+                self.name,
+                f"hoist {node.kind.value}#{nid} out of {loop.name}",
+                (nid,), (nid, loop.name)))
+        return out
 
-        return Candidate(self.name,
-                         f"hoist {kind.value}#{nid} out of {loop_name}",
-                         mutate, sites=(nid,))
+    def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty) -> List[Match]:
+        out: List[Match] = []
+        for loop in analyses.loops:
+            if loop.node_ids() & dirty:
+                out.extend(self._loop_matches(behavior, loop))
+        return out
+
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        # Invariance of the hoisted node depends on the whole loop's
+        # membership, not just the node: any mutation inside the loop
+        # can create or destroy the match.
+        _nid, loop_name = match.params
+        return frozenset(behavior.loop(loop_name).node_ids())
+
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        nid, loop_name = match.params
+        hoist_out_of_loop(behavior, nid, loop_name)
+
+    def domain(self, behavior: Behavior,
+               analyses: AnalysisManager) -> Optional[FrozenSet[int]]:
+        # The matcher reads loop-member kinds and their edge endpoints
+        # (both dirtied by any mutation of them) plus region shape,
+        # which the structure-key gate already covers.
+        return analyses.loop_nodes
 
 
 def hoist_out_of_loop(behavior: Behavior, nid: int,
@@ -173,6 +226,9 @@ def hoist_out_of_loop(behavior: Behavior, nid: int,
     else:
         block = BlockRegion([nid])
         parent.children.insert(index, block)
+    # A region move changes no graph tables; record it in the journal so
+    # version-keyed fingerprints and incremental dirty sets see it.
+    behavior.graph.touch(nid)
 
 
 def _parent_seq(region: Region, target: LoopRegion) -> Optional[SeqRegion]:

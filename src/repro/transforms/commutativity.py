@@ -12,49 +12,52 @@ Two families:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
-from ..cdfg.ops import OpKind, SWAPPED_COMPARISON, is_commutative
+from ..cdfg.ops import SWAPPED_COMPARISON, is_commutative
 from ..cdfg.regions import Behavior
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import LOCAL, Match
+from .base import Transformation
 
 
 class Commutativity(Transformation):
     """Swap the operands of binary operations."""
 
     name = "commutativity"
+    scope = LOCAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
+    def match_at(self, behavior: Behavior, analyses: AnalysisManager,
+                 nid: int) -> List[Match]:
         g = behavior.graph
-        out: List[Candidate] = []
-        for nid in g.node_ids():
-            node = g.nodes[nid]
-            if len(g.input_ports(nid)) != 2:
-                continue
-            if is_commutative(node.kind):
-                out.append(self._swap_candidate(nid, node.kind.value))
-            elif node.kind in SWAPPED_COMPARISON \
-                    and SWAPPED_COMPARISON[node.kind] is not node.kind:
-                out.append(self._flip_candidate(nid, node.kind))
-        return out
+        node = g.nodes[nid]
+        if len(g.input_ports(nid)) != 2:
+            return []
+        if is_commutative(node.kind):
+            return [Match(self.name, f"swap {node.kind.value}#{nid}",
+                          (nid,), ("swap", nid))]
+        if node.kind in SWAPPED_COMPARISON \
+                and SWAPPED_COMPARISON[node.kind] is not node.kind:
+            flipped = SWAPPED_COMPARISON[node.kind]
+            return [Match(self.name,
+                          f"flip {node.kind.value}#{nid} -> {flipped.value}",
+                          (nid,), ("flip", nid))]
+        return []
 
-    def _swap_candidate(self, nid: int, label: str) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            _swap_operands(b, nid)
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        op, nid = match.params
+        _swap_operands(behavior, nid)
+        if op == "flip":
+            g = behavior.graph
+            g.set_kind(nid, SWAPPED_COMPARISON[g.nodes[nid].kind])
 
-        return Candidate(self.name, f"swap {label}#{nid}", mutate,
-                         sites=(nid,))
+    # The predicate reads only the node's own kind and port count.
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        return frozenset(match.footprint)
 
-    def _flip_candidate(self, nid: int, kind: OpKind) -> Candidate:
-        flipped = SWAPPED_COMPARISON[kind]
-
-        def mutate(b: Behavior) -> None:
-            _swap_operands(b, nid)
-            b.graph.nodes[nid].kind = flipped
-
-        return Candidate(self.name,
-                         f"flip {kind.value}#{nid} -> {flipped.value}",
-                         mutate, sites=(nid,))
+    def rescan_roots(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty: Set[int]) -> Set[int]:
+        return set(dirty)
 
 
 def _swap_operands(behavior: Behavior, nid: int) -> None:

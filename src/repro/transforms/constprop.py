@@ -15,13 +15,14 @@ dataflow rewrite's.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
-from ..cdfg.ir import Graph
 from ..cdfg.ops import OP_INFO, OpKind, evaluate
 from ..cdfg.regions import Behavior
-from .base import Candidate, Transformation
-from .cleanup import discard_from_regions, fresh_const
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import LOCAL, Match
+from .base import Transformation
+from .cleanup import fresh_const
 
 _FOLDABLE = {k for k, info in OP_INFO.items() if info.evaluator is not None}
 
@@ -51,45 +52,32 @@ class ConstantPropagation(Transformation):
     """Fold constant subexpressions and algebraic identities."""
 
     name = "constprop"
+    scope = LOCAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
+    def match_at(self, behavior: Behavior, analyses: AnalysisManager,
+                 nid: int) -> List[Match]:
         g = behavior.graph
-        out: List[Candidate] = []
-        for nid in g.node_ids():
-            node = g.nodes[nid]
-            if node.kind not in _FOLDABLE:
-                continue
-            if _is_control_source(behavior, nid):
-                continue
-            if not g.data_users(nid):
-                continue
-            inputs = g.data_inputs(nid)
-            values = [g.nodes[s].value if g.nodes[s].kind is OpKind.CONST
-                      else None for s in inputs]
-            if all(v is not None for v in values):
-                out.append(self._fold_candidate(nid, node.kind, values))
-                continue
-            ident = self._match_identity(nid, node.kind, inputs, values)
-            if ident is not None:
-                out.append(ident)
-        return out
-
-    def _fold_candidate(self, nid: int, kind: OpKind,
-                        values: List[Optional[int]]) -> Candidate:
-        vals = [v for v in values if v is not None]
-        result = evaluate(kind, *vals)
-
-        def mutate(b: Behavior) -> None:
-            const = fresh_const(b, result)
-            b.graph.replace_uses(nid, const)
-
-        return Candidate(self.name,
-                         f"fold {kind.value}#{nid} -> {result}", mutate,
-                         sites=(nid,))
+        node = g.nodes[nid]
+        if node.kind not in _FOLDABLE:
+            return []
+        if g.control_users(nid) or nid in analyses.loop_conds:
+            return []
+        if not g.data_users(nid):
+            return []
+        inputs = g.data_inputs(nid)
+        values = [analyses.direct_const(s) for s in inputs]
+        if values and all(v is not None for v in values):
+            result = evaluate(node.kind, *values)
+            return [Match(self.name,
+                          f"fold {node.kind.value}#{nid} -> {result}",
+                          (nid,), ("fold", nid, result))]
+        ident = self._match_identity(nid, node.kind, inputs, values)
+        if ident is not None:
+            return [ident]
+        return []
 
     def _match_identity(self, nid: int, kind: OpKind, inputs: List[int],
-                        values: List[Optional[int]]
-                        ) -> Optional[Candidate]:
+                        values: List[Optional[int]]) -> Optional[Match]:
         for ikind, port, const_val, result in _IDENTITIES:
             if kind is not ikind or len(inputs) != 2:
                 continue
@@ -97,23 +85,43 @@ class ConstantPropagation(Transformation):
             for p in ports:
                 if values[p] == const_val:
                     other = inputs[1 - p]
-                    return self._identity_candidate(nid, kind, other,
-                                                    result)
+                    label = "x" if result == "x" else "0"
+                    return Match(
+                        self.name,
+                        f"identity {kind.value}#{nid} -> {label}",
+                        (nid,), ("identity", nid, other, result))
         return None
 
-    def _identity_candidate(self, nid: int, kind: OpKind, other: int,
-                            result: str) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            g = b.graph
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        g = behavior.graph
+        if match.params[0] == "fold":
+            _, nid, result = match.params
+            g.replace_uses(nid, fresh_const(behavior, result))
+        else:
+            _, nid, other, result = match.params
             if result == "x":
                 g.replace_uses(nid, other)
             else:
-                g.replace_uses(nid, fresh_const(b, 0))
+                g.replace_uses(nid, fresh_const(behavior, 0))
 
-        label = "x" if result == "x" else "0"
-        return Candidate(self.name,
-                         f"identity {kind.value}#{nid} -> {label}", mutate,
-                         sites=(nid,))
+    # The predicate reads the node, its operands' kinds/values, its
+    # data users (non-empty check), and its control users / loop-cond
+    # status — the latter two are properties of the node itself.
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        nid = match.params[1]
+        g = behavior.graph
+        deps = set(match.footprint)
+        if nid in g.nodes:
+            deps.update(g.input_ports(nid).values())
+        return frozenset(deps)
+
+    def rescan_roots(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty: Set[int]) -> Set[int]:
+        g = behavior.graph
+        roots = {n for n in dirty if n in g.nodes}
+        for n in list(roots):
+            roots.update(dst for dst, _ in g.data_users(n))
+        return roots
 
 
 def fold_all_constants(behavior: Behavior) -> Behavior:

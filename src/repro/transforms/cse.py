@@ -18,7 +18,9 @@ from typing import Dict, List, Tuple
 from ..cdfg.ir import Graph
 from ..cdfg.ops import FREE_KINDS, OpKind, is_commutative
 from ..cdfg.regions import Behavior
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import GLOBAL, Match
+from .base import Transformation
 from .cleanup import owner_region
 
 _EXCLUDED = FREE_KINDS | {OpKind.LOAD, OpKind.STORE, OpKind.SELECT}
@@ -37,9 +39,12 @@ class CommonSubexpression(Transformation):
     """Merge duplicate pure operations."""
 
     name = "cse"
+    scope = GLOBAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
+    def match(self, behavior: Behavior,
+              analyses: AnalysisManager) -> List[Match]:
         g = behavior.graph
+        owners = analyses.region_map
         groups: Dict[Tuple, List[int]] = {}
         for nid in g.node_ids():
             node = g.nodes[nid]
@@ -48,7 +53,7 @@ class CommonSubexpression(Transformation):
             if not g.data_users(nid) and not g.control_users(nid):
                 continue
             groups.setdefault(_signature(g, nid), []).append(nid)
-        out: List[Candidate] = []
+        out: List[Match] = []
         for sig, members in sorted(groups.items(),
                                    key=lambda kv: kv[1][0]):
             if len(members) < 2:
@@ -56,31 +61,27 @@ class CommonSubexpression(Transformation):
             # Partition by owning region; merge within each region only.
             by_region: Dict[int, List[int]] = {}
             for nid in members:
-                region = owner_region(behavior, nid)
-                by_region.setdefault(id(region), []).append(nid)
+                by_region.setdefault(id(owners.get(nid)), []).append(nid)
             for group in by_region.values():
                 if len(group) >= 2:
-                    out.append(self._merge_candidate(sig[0], group))
+                    keep, rest = group[0], group[1:]
+                    out.append(Match(
+                        self.name,
+                        f"merge {len(group)}x {sig[0].value} -> #{keep}",
+                        tuple(group), (keep, tuple(rest))))
         return out
 
-    def _merge_candidate(self, kind: OpKind,
-                         group: List[int]) -> Candidate:
-        keep, rest = group[0], group[1:]
-
-        def mutate(b: Behavior) -> None:
-            g = b.graph
-            if keep not in g:
-                return
-            for nid in rest:
-                if nid in g:
-                    g.replace_uses(nid, keep)
-                    for dst, pol in g.control_users(nid):
-                        g.remove_control_edge(nid, dst, pol)
-                        g.add_control_edge(keep, dst, pol)
-
-        return Candidate(self.name,
-                         f"merge {len(group)}x {kind.value} -> #{keep}",
-                         mutate, sites=tuple(group))
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        keep, rest = match.params
+        g = behavior.graph
+        if keep not in g:
+            return
+        for nid in rest:
+            if nid in g:
+                g.replace_uses(nid, keep)
+                for dst, pol in g.control_users(nid):
+                    g.remove_control_edge(nid, dst, pol)
+                    g.add_control_edge(keep, dst, pol)
 
 
 def merge_duplicates_inplace(behavior: Behavior,

@@ -30,7 +30,9 @@ from ..cdfg.analysis import conflicts
 from ..cdfg.ir import Graph
 from ..cdfg.ops import DISTRIBUTIVE_PAIRS, OpKind
 from ..cdfg.regions import Behavior
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import LOCAL, Match
+from .base import Transformation
 from .cleanup import place_like
 
 _Literals = FrozenSet[Tuple[int, bool]]
@@ -88,6 +90,39 @@ def resolve_threads(behavior: Behavior, src: int) -> List[Thread]:
     return [Thread(value=src, op=base, literals=lits)]
 
 
+def _peel_visited(g: Graph, nid: int, deps: Set[int]) -> int:
+    """Follow a COPY chain like :func:`_peel_copies`, recording every
+    visited node in ``deps``."""
+    seen = set()
+    while g.nodes[nid].kind is OpKind.COPY and nid not in seen:
+        seen.add(nid)
+        deps.add(nid)
+        nid = g.data_input(nid, 0)
+    deps.add(nid)
+    return nid
+
+
+def _thread_dep_nodes(behavior: Behavior, src: int) -> Set[int]:
+    """Every node :func:`resolve_threads` inspects for one operand, plus
+    the operand pairs of mul-kind thread ops (read by the shared-operand
+    test)."""
+    g = behavior.graph
+    deps: Set[int] = {src}
+    base = _peel_visited(g, src, deps)
+    ops: List[int] = []
+    if g.nodes[base].kind is OpKind.JOIN \
+            and base not in _header_joins(behavior):
+        for _port, inp in sorted(g.input_ports(base).items()):
+            deps.add(inp)
+            ops.append(_peel_visited(g, inp, deps))
+    else:
+        ops.append(base)
+    for op in ops:
+        if g.nodes[op].kind in _MUL_KINDS:
+            deps.update(g.input_ports(op).values())
+    return deps
+
+
 @dataclass(frozen=True)
 class _Match:
     """A factoring site: root ± with a shared-operand multiply thread."""
@@ -105,29 +140,29 @@ class Distributivity(Transformation):
     """Factor ``a·b ± a·c`` (across joins) and expand ``a·(b ± c)``."""
 
     name = "distributivity"
+    scope = LOCAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
-        out: List[Candidate] = []
+    def match_at(self, behavior: Behavior, analyses: AnalysisManager,
+                 nid: int) -> List[Match]:
+        out: List[Match] = []
         g = behavior.graph
-        for nid in g.node_ids():
-            node = g.nodes[nid]
-            if node.kind in _ADD_KINDS and len(g.input_ports(nid)) == 2:
-                if g.control_users(nid):
-                    continue  # keep control sources untouched
-                out.extend(self._factor_candidates(behavior, nid))
-            if node.kind in _MUL_KINDS and len(g.input_ports(nid)) == 2:
-                out.extend(self._expand_candidates(behavior, nid))
+        node = g.nodes[nid]
+        if node.kind in _ADD_KINDS and len(g.input_ports(nid)) == 2 \
+                and not g.control_users(nid):
+            out.extend(self._factor_matches(behavior, nid))
+        if node.kind in _MUL_KINDS and len(g.input_ports(nid)) == 2:
+            out.extend(self._expand_matches(behavior, nid))
         return out
 
     # -- factoring ------------------------------------------------------
-    def _factor_candidates(self, behavior: Behavior,
-                           root: int) -> List[Candidate]:
+    def _factor_matches(self, behavior: Behavior,
+                        root: int) -> List[Match]:
         g = behavior.graph
         root_kind = g.nodes[root].kind
         left = resolve_threads(behavior, g.data_input(root, 0))
         right = resolve_threads(behavior, g.data_input(root, 1))
         root_lits = frozenset(g.control_inputs(root))
-        out: List[Candidate] = []
+        out: List[Match] = []
         for i, lt in enumerate(left):
             for j, rt in enumerate(right):
                 if conflicts(lt.literals, rt.literals):
@@ -138,9 +173,17 @@ class Distributivity(Transformation):
                     continue
                 if conflicts(lt.literals | rt.literals, root_lits):
                     continue
-                out.append(self._factor_candidate(behavior, match,
-                                                  len(left) > 1
-                                                  or len(right) > 1))
+                scope = ("across joins" if len(left) > 1 or len(right) > 1
+                         else "local")
+                out.append(Match(
+                    self.name,
+                    f"factor {root_kind.value}#{match.root} -> "
+                    f"{match.mul_kind.value}(shared#{match.shared}, ...) "
+                    f"[{scope}]",
+                    (match.root, match.shared),
+                    ("factor", match.root, match.left_thread,
+                     match.right_thread, match.shared, match.b_operand,
+                     match.c_operand, match.mul_kind)))
         return out
 
     @staticmethod
@@ -162,28 +205,11 @@ class Distributivity(Transformation):
                                   lnode.kind)
         return None
 
-    def _factor_candidate(self, behavior: Behavior, match: _Match,
-                          cross_block: bool) -> Candidate:
-        g = behavior.graph
-        root_kind = g.nodes[match.root].kind
-
-        def mutate(b: Behavior) -> None:
-            _apply_factoring(b, match)
-
-        scope = "across joins" if cross_block else "local"
-        return Candidate(
-            self.name,
-            f"factor {root_kind.value}#{match.root} -> "
-            f"{match.mul_kind.value}(shared#{match.shared}, ...) "
-            f"[{scope}]",
-            mutate, sites=(match.root, match.shared))
-
     # -- expansion ------------------------------------------------------
-    def _expand_candidates(self, behavior: Behavior,
-                           mul: int) -> List[Candidate]:
+    def _expand_matches(self, behavior: Behavior, mul: int) -> List[Match]:
         g = behavior.graph
         mul_kind = g.nodes[mul].kind
-        out: List[Candidate] = []
+        out: List[Match] = []
         for port in (0, 1):
             inner = g.data_input(mul, port)
             inner_node = g.nodes[inner]
@@ -194,35 +220,79 @@ class Distributivity(Transformation):
                 continue
             if g.control_users(inner):
                 continue
-            out.append(self._expand_candidate(mul, port, mul_kind,
-                                              inner_node.kind))
+            out.append(Match(
+                self.name,
+                f"expand {mul_kind.value}#{mul} over "
+                f"{inner_node.kind.value}",
+                (mul,), ("expand", mul, port)))
         return out
 
-    def _expand_candidate(self, mul: int, port: int, mul_kind: OpKind,
-                          add_kind: OpKind) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            g = b.graph
-            inner = g.data_input(mul, port)
-            a = g.data_input(mul, 1 - port)
-            x, y = g.data_inputs(inner)
-            guards = list(g.control_inputs(mul))
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        g = behavior.graph
+        if match.params[0] == "factor":
+            (_, root, i, j, shared, b_op, c_op, mul_kind) = match.params
+            _apply_factoring(behavior,
+                             _Match(root, i, j, shared, b_op, c_op,
+                                    mul_kind))
+            return
+        _, mul, port = match.params
+        inner = g.data_input(mul, port)
+        a = g.data_input(mul, 1 - port)
+        x, y = g.data_inputs(inner)
+        mul_kind = g.nodes[mul].kind
+        add_kind = g.nodes[inner].kind
+        guards = list(g.control_inputs(mul))
 
-            def new_op(kind: OpKind, l: int, r: int) -> int:
-                nid = g.add_node(kind)
-                g.set_data_edge(l, nid, 0)
-                g.set_data_edge(r, nid, 1)
-                for cond, pol in guards:
-                    g.add_control_edge(cond, nid, pol)
-                place_like(b, nid, mul)
-                return nid
+        def new_op(kind: OpKind, l: int, r: int) -> int:
+            nid = g.add_node(kind)
+            g.set_data_edge(l, nid, 0)
+            g.set_data_edge(r, nid, 1)
+            for cond, pol in guards:
+                g.add_control_edge(cond, nid, pol)
+            place_like(behavior, nid, mul)
+            return nid
 
-            left = new_op(mul_kind, a, x)
-            right = new_op(mul_kind, a, y)
-            g.replace_uses(mul, new_op(add_kind, left, right))
+        left = new_op(mul_kind, a, x)
+        right = new_op(mul_kind, a, y)
+        g.replace_uses(mul, new_op(add_kind, left, right))
 
-        return Candidate(self.name,
-                         f"expand {mul_kind.value}#{mul} over "
-                         f"{add_kind.value}", mutate, sites=(mul,))
+    # Factoring reads the root plus every node the thread resolution
+    # visits (copies, joins, join inputs, peeled ops) and the operand
+    # pairs of mul-kind thread ops; expansion reads the mul and the
+    # inner add.
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        g = behavior.graph
+        deps = set(match.footprint)
+        if match.params[0] == "expand":
+            _, mul, port = match.params
+            if mul in g.nodes:
+                deps.update(g.input_ports(mul).values())
+            return frozenset(deps)
+        root = match.params[1]
+        if root not in g.nodes:
+            return frozenset(deps)
+        for port in (0, 1):
+            deps |= _thread_dep_nodes(behavior, g.data_input(root, port))
+        return frozenset(deps)
+
+    def rescan_roots(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty: Set[int]) -> Set[int]:
+        """Dirty nodes plus every data user reachable by climbing
+        through COPY/JOIN/mul-kind nodes (the thread resolution can see
+        a touched node from that far up)."""
+        g = behavior.graph
+        climb = {OpKind.COPY, OpKind.JOIN} | _MUL_KINDS
+        roots = {n for n in dirty if n in g.nodes}
+        frontier = list(roots)
+        visited = set(frontier)
+        while frontier:
+            cur = frontier.pop()
+            for dst, _ in g.data_users(cur):
+                roots.add(dst)
+                if dst not in visited and g.nodes[dst].kind in climb:
+                    visited.add(dst)
+                    frontier.append(dst)
+        return roots
 
 
 def _apply_factoring(behavior: Behavior, match: _Match) -> None:

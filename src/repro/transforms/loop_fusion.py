@@ -13,13 +13,15 @@ condition logic becomes dead and is cleaned up by DCE.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from ..cdfg.ops import OpKind
 from ..cdfg.regions import (Behavior, BlockRegion, LoopRegion, Region,
                             SeqRegion)
 from ..errors import TransformError
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import GLOBAL, Match
+from .base import Transformation
 
 
 def _flat_blocks(loop: LoopRegion) -> Optional[List[BlockRegion]]:
@@ -61,7 +63,9 @@ def loops_independent(behavior: Behavior, a: LoopRegion,
     return not (writes_a & all_b) and not (writes_b & all_a)
 
 
-def _fusable_pairs(behavior: Behavior
+def _fusable_pairs(behavior: Behavior,
+                   analyses: Optional[AnalysisManager] = None,
+                   dirty: Optional[Set[int]] = None
                    ) -> List[Tuple[SeqRegion, int, LoopRegion,
                                    LoopRegion]]:
     out = []
@@ -73,13 +77,19 @@ def _fusable_pairs(behavior: Behavior
             if not (isinstance(first, LoopRegion)
                     and isinstance(second, LoopRegion)):
                 continue
+            if dirty is not None and not (
+                    (first.node_ids() | second.node_ids()) & dirty):
+                continue  # scoped re-scan: neither loop was touched
             if first.trip_count is None \
                     or first.trip_count != second.trip_count:
                 continue
             if _flat_blocks(first) is None \
                     or _flat_blocks(second) is None:
                 continue
-            if not loops_independent(behavior, first, second):
+            independent = (analyses.loops_independent(first, second)
+                           if analyses is not None
+                           else loops_independent(behavior, first, second))
+            if not independent:
                 continue
             out.append((region, i, first, second))
     return out
@@ -89,20 +99,36 @@ class LoopFusion(Transformation):
     """Fuse adjacent independent counted loops."""
 
     name = "fusion"
+    scope = GLOBAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
-        out: List[Candidate] = []
-        for _seq, _index, first, second in _fusable_pairs(behavior):
+    def match(self, behavior: Behavior,
+              analyses: AnalysisManager) -> List[Match]:
+        return self._matches(behavior, analyses, None)
+
+    def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty) -> List[Match]:
+        return self._matches(behavior, analyses, set(dirty))
+
+    def _matches(self, behavior: Behavior, analyses: AnalysisManager,
+                 dirty: Optional[Set[int]]) -> List[Match]:
+        out: List[Match] = []
+        for _seq, _index, first, second in _fusable_pairs(behavior,
+                                                          analyses, dirty):
             sites = tuple(sorted(first.node_ids() | second.node_ids()))
-            out.append(self._candidate(first.name, second.name, sites))
+            out.append(Match(self.name, f"fuse {first.name} + {second.name}",
+                             sites, (first.name, second.name)))
         return out
 
-    def _candidate(self, first: str, second: str, sites) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            fuse_loops(b, first, second)
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        first_name, second_name = match.params
+        fuse_loops(behavior, first_name, second_name)
 
-        return Candidate(self.name, f"fuse {first} + {second}", mutate,
-                         sites=sites)
+    def domain(self, behavior: Behavior,
+               analyses: AnalysisManager) -> Optional[FrozenSet[int]]:
+        # Adjacency and trip counts live in the structure key;
+        # independence reads only loop-member edges and kinds, and every
+        # edge mutation dirties both endpoints.
+        return analyses.loop_nodes
 
 
 def fuse_loops(behavior: Behavior, first_name: str,
@@ -135,6 +161,9 @@ def fuse_loops(behavior: Behavior, first_name: str,
         first.body.children.append(BlockRegion(list(second.cond_nodes)))
     first.body.children.append(second.body)
     parent.children.remove(second)
+    # Pure region restructuring: journal the absorbed loop's nodes so
+    # version-keyed fingerprints and incremental dirty sets see it.
+    behavior.graph.touch(*sorted(second.node_ids()))
 
 
 def _parent_of(region: Region, target: LoopRegion) -> Optional[SeqRegion]:

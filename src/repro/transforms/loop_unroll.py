@@ -15,13 +15,15 @@ header joins (which now advance ``factor`` steps per pass).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from ..cdfg.ir import Graph
 from ..cdfg.ops import OpKind
 from ..cdfg.regions import Behavior, BlockRegion, LoopRegion, SeqRegion
 from ..errors import TransformError
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import GLOBAL, Match
+from .base import Transformation
 
 #: Unroll factors offered per eligible loop.
 DEFAULT_FACTORS = (2, 4)
@@ -35,34 +37,54 @@ class LoopUnrolling(Transformation):
     """Unroll counted loops by small factors."""
 
     name = "unroll"
+    scope = GLOBAL
 
     def __init__(self, factors=DEFAULT_FACTORS) -> None:
         self.factors = tuple(factors)
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
-        out: List[Candidate] = []
-        for loop in behavior.loops():
-            if loop.trip_count is None or loop.trip_count <= 1:
-                continue
-            if not _body_is_flat(loop):
-                continue
-            sites = tuple(sorted(loop.node_ids()))
-            body_size = len(loop.body.node_ids())
-            for factor in self.factors:
-                if factor < 2 or loop.trip_count % factor != 0:
-                    continue
-                if factor * body_size > MAX_UNROLLED_OPS:
-                    continue
-                out.append(self._candidate(loop.name, factor, sites))
+    def match(self, behavior: Behavior,
+              analyses: AnalysisManager) -> List[Match]:
+        out: List[Match] = []
+        for loop in analyses.loops:
+            out.extend(self._loop_matches(loop))
         return out
 
-    def _candidate(self, loop_name: str, factor: int,
-                   sites) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            unroll_loop(b, loop_name, factor)
+    def _loop_matches(self, loop: LoopRegion) -> List[Match]:
+        if loop.trip_count is None or loop.trip_count <= 1:
+            return []
+        if not _body_is_flat(loop):
+            return []
+        out: List[Match] = []
+        sites = tuple(sorted(loop.node_ids()))
+        body_size = len(loop.body.node_ids())
+        for factor in self.factors:
+            if factor < 2 or loop.trip_count % factor != 0:
+                continue
+            if factor * body_size > MAX_UNROLLED_OPS:
+                continue
+            out.append(Match(self.name,
+                             f"unroll {loop.name} x{factor}",
+                             sites, (loop.name, factor)))
+        return out
 
-        return Candidate(self.name, f"unroll {loop_name} x{factor}",
-                         mutate, sites=sites)
+    def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty) -> List[Match]:
+        out: List[Match] = []
+        for loop in analyses.loops:
+            if loop.node_ids() & dirty:
+                out.extend(self._loop_matches(loop))
+        return out
+
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        loop_name, factor = match.params
+        unroll_loop(behavior, loop_name, factor)
+
+    def domain(self, behavior: Behavior,
+               analyses: AnalysisManager) -> Optional[FrozenSet[int]]:
+        # Eligibility depends only on loop membership, trip counts and
+        # body nesting — all covered by the structure key plus the loop
+        # node set.
+        return analyses.loop_nodes
 
 
 def _body_is_flat(loop: LoopRegion) -> bool:

@@ -29,13 +29,15 @@ condition's profile (the iteration process is memoryless).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, FrozenSet, List, Optional
 
 from ..cdfg.ir import Graph
 from ..cdfg.ops import FREE_KINDS, OpKind
 from ..cdfg.regions import Behavior, BlockRegion, LoopRegion, SeqRegion
 from ..errors import TransformError
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import GLOBAL, Match
+from .base import Transformation
 
 #: Kinds that may not be executed speculatively in the cloned copy.
 _GUARDED_KINDS = {OpKind.LOAD, OpKind.STORE}
@@ -84,22 +86,40 @@ class SpeculativeUnrolling(Transformation):
     """Unroll data-dependent loops by 2, speculating the second copy."""
 
     name = "spec_unroll"
+    scope = GLOBAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
-        out: List[Candidate] = []
-        for loop in behavior.loops():
-            if not _eligible(behavior, loop):
-                continue
-            sites = tuple(sorted(loop.node_ids()))
-            out.append(self._candidate(loop.name, sites))
+    def match(self, behavior: Behavior,
+              analyses: AnalysisManager) -> List[Match]:
+        out: List[Match] = []
+        for loop in analyses.loops:
+            out.extend(self._loop_matches(behavior, loop))
         return out
 
-    def _candidate(self, loop_name: str, sites) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            speculative_unroll(b, loop_name)
+    def _loop_matches(self, behavior: Behavior,
+                      loop: LoopRegion) -> List[Match]:
+        if not _eligible(behavior, loop):
+            return []
+        sites = tuple(sorted(loop.node_ids()))
+        return [Match(self.name, f"speculatively unroll {loop.name}",
+                      sites, (loop.name,))]
 
-        return Candidate(self.name, f"speculatively unroll {loop_name}",
-                         mutate, sites=sites)
+    def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty) -> List[Match]:
+        out: List[Match] = []
+        for loop in analyses.loops:
+            if loop.node_ids() & dirty:
+                out.extend(self._loop_matches(behavior, loop))
+        return out
+
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        speculative_unroll(behavior, match.params[0])
+
+    def domain(self, behavior: Behavior,
+               analyses: AnalysisManager) -> Optional[FrozenSet[int]]:
+        # Eligibility reads only loop-member kinds, cond sections and
+        # header-join wiring; rewrites outside the loops cannot change
+        # the match set while the structure key holds.
+        return analyses.loop_nodes
 
 
 def speculative_unroll(behavior: Behavior, loop_name: str) -> None:

@@ -15,12 +15,14 @@ bloat the search.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from ..cdfg.ir import Graph
 from ..cdfg.ops import OpKind
 from ..cdfg.regions import Behavior
-from .base import Candidate, Transformation
+from ..rewrite.analyses import AnalysisManager
+from ..rewrite.pattern import LOCAL, Match
+from .base import Transformation
 from .cleanup import fresh_const, place_like
 
 #: Maximum signed digits in an offered decomposition.
@@ -54,22 +56,22 @@ class StrengthReduction(Transformation):
     """Replace multiplications by constants with shift/add networks."""
 
     name = "strength"
+    scope = LOCAL
 
-    def find(self, behavior: Behavior) -> List[Candidate]:
+    def match_at(self, behavior: Behavior, analyses: AnalysisManager,
+                 nid: int) -> List[Match]:
         g = behavior.graph
-        out: List[Candidate] = []
-        for nid in g.node_ids():
-            if g.nodes[nid].kind is not OpKind.MUL:
-                continue
-            site = self._constant_operand(g, nid)
-            if site is None:
-                continue
-            value, var_src = site
-            digits = csd_digits(abs(value))
-            if value == 0 or not 1 <= len(digits) <= MAX_TERMS:
-                continue
-            out.append(self._candidate(nid, value, var_src))
-        return out
+        if g.nodes[nid].kind is not OpKind.MUL:
+            return []
+        site = self._constant_operand(g, nid)
+        if site is None:
+            return []
+        value, var_src = site
+        digits = csd_digits(abs(value))
+        if value == 0 or not 1 <= len(digits) <= MAX_TERMS:
+            return []
+        return [Match(self.name, f"mul#{nid} by {value} -> shift/add",
+                      (nid,), (nid, value, var_src))]
 
     @staticmethod
     def _constant_operand(g: Graph, nid: int
@@ -81,16 +83,29 @@ class StrengthReduction(Transformation):
             return (g.nodes[b].value or 0, a)
         return None
 
-    def _candidate(self, nid: int, value: int, var_src: int) -> Candidate:
-        def mutate(b: Behavior) -> None:
-            g = b.graph
-            guards = list(g.control_inputs(nid))
-            result = _shift_add_network(b, nid, var_src, value, guards)
-            g.replace_uses(nid, result)
+    def apply(self, behavior: Behavior, match: Match) -> None:
+        nid, value, var_src = match.params
+        g = behavior.graph
+        guards = list(g.control_inputs(nid))
+        result = _shift_add_network(behavior, nid, var_src, value, guards)
+        g.replace_uses(nid, result)
 
-        return Candidate(self.name,
-                         f"mul#{nid} by {value} -> shift/add", mutate,
-                         sites=(nid,))
+    # The predicate reads the node plus its two operand kinds/values.
+    def dependencies(self, behavior: Behavior, match: Match) -> frozenset:
+        nid = match.params[0]
+        g = behavior.graph
+        deps = set(match.footprint)
+        if nid in g.nodes:
+            deps.update(g.input_ports(nid).values())
+        return frozenset(deps)
+
+    def rescan_roots(self, behavior: Behavior, analyses: AnalysisManager,
+                     dirty: Set[int]) -> Set[int]:
+        g = behavior.graph
+        roots = {n for n in dirty if n in g.nodes}
+        for n in list(roots):
+            roots.update(dst for dst, _ in g.data_users(n))
+        return roots
 
 
 def _shift_add_network(b: Behavior, site: int, x: int, value: int,

@@ -1,0 +1,95 @@
+"""Match records and the RewritePattern contract."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TransformError
+from repro.rewrite import (GLOBAL, LOCAL, Match, RewritePattern,
+                           supports_pattern_api)
+from repro.transforms import default_library
+from repro.transforms.base import Transformation
+
+
+class TestMatch:
+    def test_empty_footprint_rejected(self):
+        with pytest.raises(TransformError):
+            Match("p", "bad", ())
+
+    def test_footprint_canonicalized(self):
+        m = Match("p", "d", (5, 3, 5, 1))
+        assert m.footprint == (1, 3, 5)
+
+    def test_fingerprint_stable_across_pickle(self):
+        m = Match("p", "swap #3", (3,), (3, "L1"))
+        clone = pickle.loads(pickle.dumps(m))
+        assert clone == m
+        assert clone.fingerprint == m.fingerprint
+
+    def test_fingerprint_distinguishes_params(self):
+        a = Match("unroll", "unroll L1 x2", (1, 2), ("L1", 2))
+        b = Match("unroll", "unroll L1 x4", (1, 2), ("L1", 4))
+        assert a.fingerprint != b.fingerprint
+
+    def test_sort_key_orders_by_pattern_then_footprint(self):
+        ms = [Match("b", "x", (9,)), Match("a", "y", (1, 2)),
+              Match("a", "z", (1,))]
+        ordered = sorted(ms, key=lambda m: m.sort_key)
+        assert [m.pattern for m in ordered] == ["a", "a", "b"]
+        assert ordered[0].footprint == (1,)
+
+    def test_touches(self):
+        m = Match("p", "d", (4, 7))
+        assert m.touches({7, 100})
+        assert not m.touches([1, 2, 3])
+
+
+class _LegacyOnly(Transformation):
+    name = "legacy_only"
+
+    def find(self, behavior):
+        return []
+
+
+class _LocalToy(RewritePattern):
+    name = "toy"
+    scope = LOCAL
+
+    def match_at(self, behavior, analyses, nid):
+        return [Match(self.name, f"site {nid}", (nid,))]
+
+
+class TestRewritePatternDefaults:
+    def test_supports_pattern_api_for_whole_library(self):
+        for t in default_library().transformations:
+            assert supports_pattern_api(t), t.name
+
+    def test_legacy_find_overrider_not_pattern_api(self):
+        assert not supports_pattern_api(_LegacyOnly())
+
+    def test_local_default_match_aggregates_match_at(self):
+        from repro.lang import compile_source
+        from repro.rewrite import AnalysisManager
+        beh = compile_source("proc p(in a, out r) { r = a + 1; }")
+        toy = _LocalToy()
+        matches = toy.match(beh, AnalysisManager(beh))
+        assert [m.footprint for m in matches] \
+            == [(n,) for n in sorted(beh.graph.nodes)]
+
+    def test_default_incremental_hooks(self):
+        toy = _LocalToy()
+        m = Match("toy", "d", (2, 5))
+        assert toy.dependencies(None, m) == frozenset((2, 5))
+        assert toy.rescan_roots(None, None, {3}) == {3}
+        assert toy.domain(None, None) is None
+        assert toy.match_scoped(None, None, {3}) is None
+
+    def test_global_without_match_raises(self):
+        class Bare(RewritePattern):
+            scope = GLOBAL
+        with pytest.raises(NotImplementedError):
+            Bare().match(None, None)
+        with pytest.raises(NotImplementedError):
+            Bare().match_at(None, None, 0)
+        with pytest.raises(NotImplementedError):
+            Bare().apply(None, Match("x", "d", (1,)))

@@ -129,5 +129,6 @@ class TestLibraryApi:
         c = Candidate("t", "d", lambda b: None, sites=(3, 7))
         assert c.touches({7, 9})
         assert not c.touches({1, 2})
-        # Unknown sites conservatively match everything.
-        assert Candidate("t", "d", lambda b: None).touches({1})
+        # A footprint-less candidate matches *no* hot set: the old
+        # permissive default silently defeated hot-block focusing.
+        assert not Candidate("t", "d", lambda b: None).touches({1})

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Transformation-library lint for CI: every transformation must be a
+well-formed rewrite pattern.
+
+Checks, over :func:`repro.transforms.default_library` and every bench
+circuit:
+
+1. **Pattern API** — each in-library transformation implements
+   ``match``/``match_at`` + ``apply`` (no legacy closure-based ``find``
+   overriders; those are still *supported* for user code, but the
+   shipped library must be fully migrated so the incremental driver
+   never falls back).
+2. **Footprints** — every enumerated match names at least one concrete
+   node, and every named node exists in the graph (a match whose
+   footprint has leaked out of the behavior can never be invalidated
+   correctly).
+3. **Dependencies** — LOCAL patterns must declare a non-empty
+   dependency set covering the footprint, the contract the driver's
+   carry-forward logic relies on.
+4. **Picklability** — matches must survive a pickle round trip (they
+   cross process boundaries with checkpointed populations).
+
+Run:  PYTHONPATH=src python tools/check_transforms.py
+Exit status is the number of failing checks (0 = everything passes).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.bench.circuits import CIRCUITS, circuit            # noqa: E402
+from repro.rewrite import (LOCAL, AnalysisManager,            # noqa: E402
+                           RewriteDriver, supports_pattern_api)
+from repro.transforms import default_library                  # noqa: E402
+
+
+def check_library() -> int:
+    errors = 0
+    library = default_library()
+    for t in library.transformations:
+        if not supports_pattern_api(t):
+            print(f"FAIL: {t.name}: overrides find() instead of the "
+                  f"pattern API (match/match_at + apply)",
+                  file=sys.stderr)
+            errors += 1
+    for name in sorted(CIRCUITS):
+        behavior = circuit(name).behavior()
+        nodes = set(behavior.graph.nodes)
+        analyses = AnalysisManager(behavior)
+        count = 0
+        for t in library.transformations:
+            if not supports_pattern_api(t):
+                continue
+            for match in t.match(behavior, analyses):
+                count += 1
+                where = f"{name}: {t.name}: {match.description!r}"
+                if not match.footprint:
+                    print(f"FAIL: {where}: empty footprint",
+                          file=sys.stderr)
+                    errors += 1
+                stray = set(match.footprint) - nodes
+                if stray:
+                    print(f"FAIL: {where}: footprint names absent "
+                          f"nodes {sorted(stray)}", file=sys.stderr)
+                    errors += 1
+                if t.scope == LOCAL:
+                    deps = frozenset(t.dependencies(behavior, match))
+                    if not deps:
+                        print(f"FAIL: {where}: LOCAL pattern with "
+                              f"empty dependency set", file=sys.stderr)
+                        errors += 1
+                    elif not set(match.footprint) <= deps:
+                        print(f"FAIL: {where}: dependencies "
+                              f"{sorted(deps)} do not cover footprint "
+                              f"{list(match.footprint)}",
+                              file=sys.stderr)
+                        errors += 1
+                clone = pickle.loads(pickle.dumps(match))
+                if clone.fingerprint != match.fingerprint:
+                    print(f"FAIL: {where}: fingerprint not stable "
+                          f"across pickling", file=sys.stderr)
+                    errors += 1
+        # The driver must agree with direct enumeration (same library).
+        driver = RewriteDriver(library)
+        if len(driver.candidates(behavior)) != count:
+            print(f"FAIL: {name}: driver enumerates a different "
+                  f"candidate count than the patterns", file=sys.stderr)
+            errors += 1
+        print(f"  {name}: {count} matches OK")
+    return errors
+
+
+def main() -> int:
+    errors = check_library()
+    if not errors:
+        print("transform library OK")
+    return min(errors, 99)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
