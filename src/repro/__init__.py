@@ -28,6 +28,9 @@ Subsystems (all importable directly, as before):
   :class:`~repro.core.fact.Fact` driver.
 * :mod:`repro.explore` — Pareto design-space exploration (joint
   throughput / power / area) with a persistent, resumable run store.
+* :mod:`repro.service` — optimization-as-a-service: job queue,
+  sharded multi-process campaign orchestrator (``repro serve``), and
+  run-store federation (``docs/service.md``).
 * :mod:`repro.obs` — structured tracing + unified metrics registry
   (``docs/observability.md``).
 * :mod:`repro.baselines` — M1 (no transformations) and Flamel
@@ -36,9 +39,11 @@ Subsystems (all importable directly, as before):
 """
 
 from .api import (AllocLike, CacheStats, ExploreConfig, ExploreResult,
+                  JobQueue, JobRecord, JobResult, JobSpec, JobState,
                   NULL_TRACER, ParetoFront, ReproConfig, RunStore,
-                  Tracer, coerce_allocation, compile, explore, optimize,
-                  schedule)
+                  Tracer, coerce_allocation, compile,
+                  default_branch_probs, explore, optimize, result,
+                  schedule, status, submit)
 from .core.fact import Fact, FactConfig, FactResult
 from .obs.metrics import MetricsRegistry
 from .core.objectives import POWER, THROUGHPUT
@@ -51,10 +56,12 @@ __version__ = "0.3.0"
 
 __all__ = [
     "Allocation", "AllocLike", "CacheStats", "ExploreConfig",
-    "ExploreResult", "Fact", "FactConfig", "FactResult", "Library",
+    "ExploreResult", "Fact", "FactConfig", "FactResult", "JobQueue",
+    "JobRecord", "JobResult", "JobSpec", "JobState", "Library",
     "MetricsRegistry", "NULL_TRACER", "POWER", "ParetoFront",
     "ReproConfig", "ReproError", "RunStore", "SearchConfig",
     "SearchResult", "SchedConfig", "THROUGHPUT", "Tracer",
-    "coerce_allocation", "compile", "dac98_library", "explore",
-    "optimize", "schedule", "__version__",
+    "coerce_allocation", "compile", "dac98_library",
+    "default_branch_probs", "explore", "optimize", "result",
+    "schedule", "status", "submit", "__version__",
 ]

@@ -12,6 +12,10 @@ pipeline behind three verbs and one configuration object:
 * :func:`explore` — behavior → Pareto front over throughput, power and
   area (checkpointed, resumable, store-backed design-space
   exploration);
+* :func:`submit` / :func:`status` / :func:`result` — the job-oriented
+  face of the same exploration: enqueue work for a ``repro serve``
+  process (possibly on another machine) and fetch the merged front
+  later (see :mod:`repro.service` and ``docs/service.md``);
 * :class:`ReproConfig` — one dataclass nesting ``FactConfig`` (which
   itself nests ``SearchConfig`` and ``SchedConfig``) plus the engine
   knobs (``workers``, ``cache_size``).
@@ -46,6 +50,8 @@ from .lang import compile_source
 from .obs.trace import NULL_TRACER, AnyTracer, Tracer
 from .profiling import uniform_traces
 from .profiling.traces import TraceSet
+from .service.jobs import (JobQueue, JobRecord, JobResult, JobSpec,
+                           JobState, PARETO, default_queue_root)
 from .sched.driver import ScheduleResult, Scheduler
 from .sched.types import BranchProbs, SchedConfig
 
@@ -236,6 +242,27 @@ def optimize(behavior_or_source: Union[Behavior, str], *,
                          objective=objective, branch_probs=branch_probs)
 
 
+def default_branch_probs(behavior: Behavior,
+                         profile_traces: int = 12,
+                         seed: int = 0) -> Optional[BranchProbs]:
+    """The facade's default profiling policy, as data.
+
+    Generates ``profile_traces`` uniform random traces (bytes in
+    [1, 255], deterministic in ``seed``) and profiles them into branch
+    probabilities — exactly what :func:`optimize` and :func:`explore`
+    do when given neither ``traces`` nor ``branch_probs``.  The service
+    workers call this with the job's knobs so a sharded run evaluates
+    under the same context (and store keys) as a local one.  Returns
+    ``None`` when ``profile_traces <= 0`` (scheduler defaults apply).
+    """
+    if profile_traces <= 0:
+        return None
+    from .profiling.profiler import profile
+    traces = uniform_traces(behavior, profile_traces, lo=1, hi=255,
+                            seed=seed)
+    return dict(profile(behavior, traces).branch_probs)
+
+
 def explore(behavior_or_source: Union[Behavior, str], *,
             config: Optional[ExploreConfig] = None,
             alloc: AllocLike = None,
@@ -250,14 +277,15 @@ def explore(behavior_or_source: Union[Behavior, str], *,
             workers: Optional[int] = None,
             seed: Optional[int] = None,
             generations: Optional[int] = None,
-            trace: Optional[AnyTracer] = None) -> ExploreResult:
+            trace: Optional[AnyTracer] = None) -> JobResult:
     """Map the throughput / power / area trade-off surface.
 
     Runs the checkpointed Pareto exploration
     (:class:`repro.explore.ExploreRunner`) over the FACT transformation
-    space and returns an :class:`~repro.explore.ExploreResult` whose
-    ``front`` is the :class:`~repro.explore.ParetoFront` of every
-    non-dominated design evaluated, with canonical JSON/CSV export.
+    space and returns a :class:`~repro.service.jobs.JobResult` (the
+    same shape ``repro.result(job_id)`` yields) whose ``front`` is the
+    :class:`~repro.explore.ParetoFront` of every non-dominated design
+    evaluated, with canonical JSON/CSV export.
 
     Args:
         behavior_or_source: a :class:`Behavior`, BDL text, or a path.
@@ -296,22 +324,106 @@ def explore(behavior_or_source: Union[Behavior, str], *,
         updates["generations"] = generations
     if updates:
         cfg = replace(cfg, **updates)
-    if branch_probs is None and traces is None and profile_traces > 0:
-        traces = uniform_traces(beh, profile_traces, lo=1, hi=255,
-                                seed=cfg.warm_start_search().seed)
-    if branch_probs is None and traces is not None:
+    if branch_probs is None and traces is None:
+        branch_probs = default_branch_probs(
+            beh, profile_traces=profile_traces,
+            seed=cfg.warm_start_search().seed)
+    elif branch_probs is None:
         from .profiling.profiler import profile
         branch_probs = dict(profile(beh, traces).branch_probs)
     runner = ExploreRunner(beh, coerce_allocation(alloc),
                            library=library or dac98_library(),
                            config=cfg, branch_probs=branch_probs,
-                           store=store, checkpoint_path=checkpoint,
+                           store=store, checkpoint=checkpoint,
                            trace=trace)
     return runner.run(resume=resume)
 
 
+def _job_queue(queue: Union[JobQueue, str, "os.PathLike[str]", None],
+               store: Union[str, "os.PathLike[str]", None]
+               ) -> JobQueue:
+    if isinstance(queue, JobQueue):
+        return queue
+    return JobQueue(queue if queue is not None
+                    else default_queue_root(store))
+
+
+def submit(source: Union[str, "os.PathLike[str]"], *,
+           alloc: AllocLike = None,
+           objective: str = PARETO,
+           queue: Union[JobQueue, str, "os.PathLike[str]",
+                        None] = None,
+           store: Union[str, "os.PathLike[str]", None] = None,
+           seed: int = 0,
+           num_seeds: int = 1,
+           generations: int = 4,
+           population: int = 8,
+           candidates_per_seed: int = 24,
+           iterations: int = 6,
+           warm_start: bool = True,
+           profile_traces: int = 12,
+           clock: float = 25.0) -> str:
+    """Enqueue an optimization job; returns its (content-derived) id.
+
+    ``source`` is BDL text or a ``.bdl`` path (the *text* is embedded
+    in the job document, so any ``repro serve`` process sharing the
+    queue — even on another machine — can run it).  Submission is
+    idempotent: the same request yields the same id.  Poll with
+    :func:`status`, fetch the merged front with :func:`result`, or run
+    a server with ``repro serve``.
+    """
+    if isinstance(source, Behavior):
+        raise ConfigError(
+            "submit() needs BDL source text or a path, not a compiled "
+            "Behavior: the job document must be executable on a "
+            "machine that only shares the queue")
+    if isinstance(source, os.PathLike):
+        source = os.fspath(source)
+    if "{" not in source and os.path.exists(source):
+        with open(source) as handle:
+            source = handle.read()
+    alloc_spec = None
+    if alloc is not None:
+        alloc_obj = coerce_allocation(alloc)
+        alloc_spec = ",".join(f"{name}={count}" for name, count
+                              in sorted(alloc_obj.counts.items()))
+    spec = JobSpec(source=source, alloc=alloc_spec,
+                   objective=objective, seed=seed,
+                   num_seeds=num_seeds, generations=generations,
+                   population=population,
+                   candidates_per_seed=candidates_per_seed,
+                   iterations=iterations, warm_start=warm_start,
+                   profile_traces=profile_traces, clock=clock)
+    return _job_queue(queue, store).submit(spec).job_id
+
+
+def status(job_id: str, *,
+           queue: Union[JobQueue, str, "os.PathLike[str]",
+                        None] = None,
+           store: Union[str, "os.PathLike[str]", None] = None
+           ) -> JobRecord:
+    """The queue record of a submitted job (state, timestamps,
+    attempts, error)."""
+    return _job_queue(queue, store).get(job_id)
+
+
+def result(job_id: str, *,
+           queue: Union[JobQueue, str, "os.PathLike[str]",
+                        None] = None,
+           store: Union[str, "os.PathLike[str]", None] = None
+           ) -> JobResult:
+    """The merged-front :class:`JobResult` of a finished job.
+
+    Raises :class:`~repro.errors.ServiceError` while the job is still
+    pending/running, or if it failed.
+    """
+    return _job_queue(queue, store).result(job_id)
+
+
 __all__ = [
     "AllocLike", "CacheStats", "ExploreConfig", "ExploreResult",
+    "JobQueue", "JobRecord", "JobResult", "JobSpec", "JobState",
     "NULL_TRACER", "ParetoFront", "ReproConfig", "RunStore", "Tracer",
-    "coerce_allocation", "compile", "explore", "optimize", "schedule",
+    "coerce_allocation", "compile", "default_branch_probs", "explore",
+    "optimize", "result", "schedule", "status", "submit",
 ]

@@ -15,9 +15,22 @@ Commands:
   throughput, power and area (``--store`` persists every evaluation;
   SIGINT checkpoints cleanly and ``--resume`` continues bit-for-bit;
   ``--export front.json`` / ``--csv front.csv`` write the front).
+* ``serve``               — run an optimization server draining the
+  job queue with a sharded worker pool (``--workers N``; SIGTERM
+  drains gracefully; see ``docs/service.md``).
+* ``submit FILE``         — enqueue an exploration job; prints its
+  content-derived id (idempotent).
+* ``job list|status|result`` — inspect queued jobs / fetch merged
+  fronts.
+* ``store sync SRC DST``  — federate two run stores (conflict-free
+  union; ``--both`` merges in both directions).
 * ``table2 [CIRCUIT...]`` — regenerate the paper's Table-2 rows.
 * ``trace summarize FILE`` — aggregate a recorded trace file into a
   per-stage self-time table plus the run's metric counters.
+
+Shared option groups are defined once as ``argparse`` parent parsers
+(`--store`/`--workers`/`--trace` are the same flags with the same
+semantics on ``explore`` and ``serve``).
 
 Every pipeline command additionally accepts ``--trace FILE`` (record
 nested spans — compile / schedule / evaluate / search.generation / ...
@@ -193,7 +206,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         workers=args.workers)
     result = api.optimize(
         behavior, objective=args.objective, config=config,
-        alloc=args.alloc, profile_traces=args.profile_traces or 12,
+        alloc=args.alloc, profile_traces=args.profile_traces,
         trace=tracer)
     metrics = (result.telemetry.metrics().as_dict()
                if result.telemetry is not None else None)
@@ -241,30 +254,133 @@ def cmd_explore(args: argparse.Namespace) -> int:
         checkpoint=args.checkpoint, resume=args.resume, trace=tracer)
     _export_trace(args, tracer,
                   result.telemetry.metrics().as_dict())
+    from .service.jobs import JobState
     front = result.front
-    state = "interrupted" if result.interrupted else "complete"
+    interrupted = result.state is JobState.CANCELLED
+    state = "interrupted" if interrupted else "complete"
     print(f"{behavior.name}: front of {len(front)} designs after "
           f"{result.generations} generations ({state}; "
           f"{result.evaluations} evaluations, store hit rate "
           f"{100 * result.store_hit_rate:.1f}%)")
+    _print_front(front)
+    if interrupted:
+        print(f"checkpoint: {result.checkpoint} "
+              f"(rerun with --resume to continue)")
+    _write_front(front, args)
+    if args.stats:
+        print(result.telemetry.summary())
+    return 130 if interrupted else 0
+
+
+def _print_front(front) -> None:
     for p in front:
         t, pw, a = p.objectives
         last = p.lineage[-1] if p.lineage else "(input)"
         print(f"  len {t:8.2f}  power {pw:8.2f}  area {a:7.2f}  {last}")
-    if result.interrupted:
-        print(f"checkpoint: {result.checkpoint_path} "
-              f"(rerun with --resume to continue)")
-    if args.export:
+
+
+def _write_front(front, args: argparse.Namespace) -> None:
+    if getattr(args, "export", None):
         with open(args.export, "w", encoding="utf-8") as handle:
             handle.write(front.to_json())
         print(f"front JSON written to {args.export}")
-    if args.csv:
+    if getattr(args, "csv", None):
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(front.to_csv())
         print(f"front CSV written to {args.csv}")
-    if args.stats:
-        print(result.telemetry.summary())
-    return 130 if result.interrupted else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .obs.metrics import MetricsRegistry
+    from .service.orchestrator import serve
+    tracer = _tracer_for(args)
+    metrics = MetricsRegistry()
+    workers = args.workers if args.workers is not None else 2
+    processed = serve(queue=args.queue, store=args.store,
+                      workers=workers, once=args.once, poll=args.poll,
+                      isolate_stores=args.isolate_stores,
+                      tracer=tracer, metrics=metrics)
+    _export_trace(args, tracer, metrics.as_dict())
+    print(f"served {processed} job(s) "
+          f"({int(metrics.value('service.shards_completed', 0))} "
+          f"shards, {int(metrics.value('service.steals', 0))} steals)")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    if not os.path.isfile(args.file):
+        raise SystemExit(f"cannot read {args.file}: no such file")
+    job_id = api.submit(
+        args.file, alloc=args.alloc, objective=args.objective,
+        queue=args.queue, store=args.store, seed=args.seed,
+        num_seeds=args.num_seeds, generations=args.generations,
+        population=args.population,
+        candidates_per_seed=args.candidates_per_seed,
+        iterations=args.iterations,
+        warm_start=not args.no_warm_start,
+        profile_traces=args.profile_traces, clock=args.clock)
+    record = api.status(job_id, queue=args.queue, store=args.store)
+    print(job_id)
+    print(f"state: {record.state.value} "
+          f"(run `repro serve` to process the queue)", file=sys.stderr)
+    return 0
+
+
+def cmd_job_list(args: argparse.Namespace) -> int:
+    records = api._job_queue(args.queue, args.store).jobs()
+    if not records:
+        print("no jobs")
+        return 0
+    for record in records:
+        line = (f"{record.job_id}  {record.state.value:<9}  "
+                f"{record.spec.objective}")
+        if record.error:
+            line += f"  ({record.error})"
+        print(line)
+    return 0
+
+
+def cmd_job_status(args: argparse.Namespace) -> int:
+    record = api.status(args.job_id, queue=args.queue,
+                        store=args.store)
+    print(f"job:       {record.job_id}")
+    print(f"state:     {record.state.value}")
+    print(f"objective: {record.spec.objective}")
+    print(f"seeds:     {record.spec.num_seeds} "
+          f"(from {record.spec.seed})")
+    print(f"attempts:  {record.attempts}")
+    if record.worker:
+        print(f"worker:    {record.worker}")
+    if record.error:
+        print(f"error:     {record.error}")
+    return 0
+
+
+def cmd_job_result(args: argparse.Namespace) -> int:
+    result = api.result(args.job_id, queue=args.queue,
+                        store=args.store)
+    print(f"{result.job_id}: merged front of {len(result.front)} "
+          f"designs from {result.shards} shard(s)")
+    _print_front(result.front)
+    _write_front(result.front, args)
+    return 0
+
+
+def cmd_store_sync(args: argparse.Namespace) -> int:
+    from .service.sync import merge_store, sync_stores
+    if args.both:
+        ab, ba = sync_stores(args.src, args.dst)
+        print(f"{args.src} -> {args.dst}: copied {ab.copied}, "
+              f"skipped {ab.skipped}, disagreements "
+              f"{ab.disagreements}")
+        print(f"{args.dst} -> {args.src}: copied {ba.copied}, "
+              f"skipped {ba.skipped}, disagreements "
+              f"{ba.disagreements}")
+    else:
+        stats = merge_store(args.src, args.dst)
+        print(f"copied {stats.copied}, skipped {stats.skipped}, "
+              f"disagreements {stats.disagreements}")
+    return 0
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -309,68 +425,54 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
                         "chrome://tracing / Perfetto (default: jsonl)")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="FACT (DAC 1998) reproduction: throughput- and "
-                    "power-optimizing transformations for CFI behaviors")
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("compile", help="parse and lower a BDL file")
-    p.add_argument("file")
-    p.add_argument("--dot", action="store_true",
-                   help="emit the CDFG as Graphviz DOT")
-    _add_trace_args(p)
-    p.set_defaults(func=cmd_compile)
-
-    p = sub.add_parser("run", help="execute a behavior")
-    p.add_argument("file")
-    p.add_argument("inputs", nargs="*", metavar="name=value")
-    _add_trace_args(p)
-    p.set_defaults(func=cmd_run)
-
-    for name, func in (("schedule", cmd_schedule),
-                       ("optimize", cmd_optimize)):
-        p = sub.add_parser(name)
-        p.add_argument("file")
-        p.add_argument("--alloc", help="e.g. a1=2,sb1=1,cp1=1")
-        p.add_argument("--clock", type=float, default=25.0)
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--profile-traces", type=int, default=12)
-        if name == "schedule":
-            p.add_argument("--dot", action="store_true",
-                           help="emit the STG as Graphviz DOT")
-        else:
-            p.add_argument("--objective",
-                           choices=("throughput", "power"),
-                           default="throughput")
-            p.add_argument("--iterations", type=int, default=6,
-                           help="search outer iterations")
-            p.add_argument("--workers", type=int, default=None,
-                           help="evaluation worker processes "
-                                "(default: REPRO_WORKERS or serial)")
-            p.add_argument("--stats", action="store_true",
-                           help="print engine telemetry (per-generation "
-                                "wall time, cache hit rate)")
-            p.add_argument("--no-incremental", action="store_true",
-                           help="disable region-level schedule "
-                                "memoization (identical results, "
-                                "slower; the benchmark baseline)")
-            p.add_argument("--no-incremental-enum", action="store_true",
-                           help="disable incremental candidate "
-                                "enumeration (identical results, "
-                                "slower; the benchmark baseline)")
-        _add_trace_args(p)
-        p.set_defaults(func=func)
-
-    p = sub.add_parser(
-        "explore",
-        help="Pareto design-space exploration (throughput/power/area)")
+def _add_input_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("file")
     p.add_argument("--alloc", help="e.g. a1=2,sb1=1,cp1=1")
     p.add_argument("--clock", type=float, default=25.0)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--profile-traces", type=int, default=12)
+    p.add_argument("--profile-traces", type=int, default=12,
+                   help="uniform random traces profiled for branch "
+                        "probabilities (0 = scheduler defaults)")
+
+
+def _add_store_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--store", default=None,
+                   help="run-store directory (default: REPRO_STORE or "
+                        ".repro-store); evaluations persist and are "
+                        "shared across runs, processes and servers")
+
+
+def _add_workers_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (explore: evaluation "
+                        "fan-out, default REPRO_WORKERS or serial; "
+                        "serve: shard workers, default 2)")
+
+
+def _add_queue_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--queue", default=None,
+                   help="job-queue directory (default: "
+                        "<store>/queue)")
+
+
+def _add_stats_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--stats", action="store_true",
+                   help="print engine telemetry (per-generation wall "
+                        "time, cache hit rate)")
+
+
+def _add_incremental_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable region-level schedule memoization "
+                        "(identical results, slower; the benchmark "
+                        "baseline)")
+    p.add_argument("--no-incremental-enum", action="store_true",
+                   help="disable incremental candidate enumeration "
+                        "(identical results, slower; the benchmark "
+                        "baseline)")
+
+
+def _add_explore_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--generations", type=int, default=4,
                    help="exploration generations")
     p.add_argument("--population", type=int, default=8,
@@ -381,13 +483,70 @@ def build_parser() -> argparse.ArgumentParser:
                    help="warm-start search outer iterations")
     p.add_argument("--no-warm-start", action="store_true",
                    help="skip the single-objective warm-start searches")
-    p.add_argument("--workers", type=int, default=None,
-                   help="evaluation worker processes "
-                        "(default: REPRO_WORKERS or serial)")
-    p.add_argument("--store", default=None,
-                   help="run-store directory (default: REPRO_STORE or "
-                        ".repro-store); evaluations persist and are "
-                        "shared across runs")
+
+
+def _make_parent(*adders) -> argparse.ArgumentParser:
+    """One shared option group as an ``argparse`` parent parser, so a
+    flag is defined once and means the same thing on every command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    for adder in adders:
+        adder(parent)
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FACT (DAC 1998) reproduction: throughput- and "
+                    "power-optimizing transformations for CFI behaviors")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace_parent = _make_parent(_add_trace_args)
+    input_parent = _make_parent(_add_input_args)
+    #: The one `--store/--workers/--trace` group `explore` and `serve`
+    #: share: same flags, same semantics, defined once.
+    service_parent = _make_parent(_add_store_arg, _add_workers_arg,
+                                  _add_trace_args)
+    queue_parent = _make_parent(_add_store_arg, _add_queue_arg)
+    explore_parent = _make_parent(_add_explore_args)
+    tuning_parent = _make_parent(_add_stats_arg,
+                                 _add_incremental_args)
+
+    p = sub.add_parser("compile", help="parse and lower a BDL file",
+                       parents=[trace_parent])
+    p.add_argument("file")
+    p.add_argument("--dot", action="store_true",
+                   help="emit the CDFG as Graphviz DOT")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("run", help="execute a behavior",
+                       parents=[trace_parent])
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", metavar="name=value")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("schedule",
+                       help="schedule and print STG statistics",
+                       parents=[input_parent, trace_parent])
+    p.add_argument("--dot", action="store_true",
+                   help="emit the STG as Graphviz DOT")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("optimize", help="run the full FACT flow",
+                       parents=[input_parent, tuning_parent,
+                                trace_parent])
+    p.add_argument("--objective", choices=("throughput", "power"),
+                   default="throughput")
+    p.add_argument("--iterations", type=int, default=6,
+                   help="search outer iterations")
+    _add_workers_arg(p)
+    p.set_defaults(func=cmd_optimize)
+
+    p = sub.add_parser(
+        "explore",
+        help="Pareto design-space exploration (throughput/power/area)",
+        parents=[input_parent, explore_parent, service_parent,
+                 tuning_parent])
     p.add_argument("--checkpoint", default=None,
                    help="checkpoint file (default: derived from the "
                         "store dir and the run fingerprint)")
@@ -398,17 +557,62 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the front as canonical JSON")
     p.add_argument("--csv", metavar="FILE",
                    help="write the front as CSV")
-    p.add_argument("--stats", action="store_true",
-                   help="print per-generation telemetry (front size, "
-                        "hypervolume proxy, store hit rate)")
-    p.add_argument("--no-incremental", action="store_true",
-                   help="disable region-level schedule memoization "
-                        "(identical results, slower)")
-    p.add_argument("--no-incremental-enum", action="store_true",
-                   help="disable incremental candidate enumeration "
-                        "(identical results, slower)")
-    _add_trace_args(p)
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "serve",
+        help="drain the job queue with a sharded worker pool",
+        parents=[service_parent])
+    _add_queue_arg(p)
+    p.add_argument("--once", action="store_true",
+                   help="exit when the queue is empty instead of "
+                        "polling forever")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="idle queue polling interval, seconds")
+    p.add_argument("--isolate-stores", action="store_true",
+                   help="give each job a private sub-store, merged "
+                        "into the main store on completion")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="enqueue an exploration job (prints its id)",
+        parents=[input_parent, explore_parent, queue_parent])
+    p.add_argument("--objective",
+                   choices=("pareto", "throughput", "power"),
+                   default="pareto")
+    p.add_argument("--num-seeds", type=int, default=1,
+                   help="independent exploration seeds (sharded "
+                        "across workers)")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("job", help="inspect queued jobs")
+    jsub = p.add_subparsers(dest="job_command", required=True)
+    pj = jsub.add_parser("list", help="all jobs, oldest first",
+                         parents=[queue_parent])
+    pj.set_defaults(func=cmd_job_list)
+    pj = jsub.add_parser("status", help="one job's record",
+                         parents=[queue_parent])
+    pj.add_argument("job_id")
+    pj.set_defaults(func=cmd_job_status)
+    pj = jsub.add_parser("result",
+                         help="the merged front of a finished job",
+                         parents=[queue_parent])
+    pj.add_argument("job_id")
+    pj.add_argument("--export", metavar="FILE",
+                    help="write the front as canonical JSON")
+    pj.add_argument("--csv", metavar="FILE",
+                    help="write the front as CSV")
+    pj.set_defaults(func=cmd_job_result)
+
+    p = sub.add_parser("store", help="run-store maintenance")
+    ssub = p.add_subparsers(dest="store_command", required=True)
+    ps = ssub.add_parser(
+        "sync", help="conflict-free union of two run stores")
+    ps.add_argument("src", help="source store directory")
+    ps.add_argument("dst", help="destination store directory")
+    ps.add_argument("--both", action="store_true",
+                    help="merge in both directions")
+    ps.set_defaults(func=cmd_store_sync)
 
     p = sub.add_parser("trace", help="inspect recorded trace files")
     tsub = p.add_subparsers(dest="trace_command", required=True)

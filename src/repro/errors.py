@@ -96,3 +96,8 @@ class BenchError(ReproError):
 
 class ExploreError(ReproError):
     """Design-space exploration failure (bad config, checkpoint, store)."""
+
+
+class ServiceError(ReproError):
+    """Optimization-service failure (bad job spec, unknown job id,
+    queue/board corruption, campaign abort)."""

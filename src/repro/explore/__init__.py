@@ -22,12 +22,14 @@ from .pareto import (DesignMetrics, DesignPoint, ParetoFront,
 from .runner import (CHECKPOINT_SCHEMA, ExploreConfig, ExploreResult,
                      ExploreRunner)
 from .store import (STORE_SCHEMA, RunStore, RunStoreWarning, StoredEval,
+                    atomic_write_bytes, atomic_write_text,
                     default_store_root)
 
 __all__ = [
     "CHECKPOINT_SCHEMA", "DesignMetrics", "DesignPoint",
     "ExploreConfig", "ExploreResult", "ExploreRunner", "ParetoFront",
     "RunStore", "RunStoreWarning", "STORE_SCHEMA", "StoredEval",
-    "crowding_distance", "default_store_root", "dominates",
-    "non_dominated_sort", "nsga2_select", "objectives_from_metrics",
+    "atomic_write_bytes", "atomic_write_text", "crowding_distance",
+    "default_store_root", "dominates", "non_dominated_sort",
+    "nsga2_select", "objectives_from_metrics",
 ]

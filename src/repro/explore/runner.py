@@ -38,9 +38,9 @@ import os
 import pickle
 import random
 import signal
-import tempfile
 import threading
 import time
+import warnings
 from dataclasses import astuple, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -63,9 +63,11 @@ from ..core.objectives import POWER, THROUGHPUT, Objective
 from ..core.search import SearchConfig, expand_candidates
 from ..core.telemetry import EvalStats, ExploreTelemetry
 from ..rewrite.driver import RewriteDriver
+from ..service.jobs import JobResult, JobState
 from .pareto import (DesignMetrics, DesignPoint, ParetoFront,
                      nsga2_select, objectives_from_metrics)
-from .store import RunStore, StoredEval, default_store_root
+from .store import (RunStore, StoredEval, atomic_write_bytes,
+                    default_store_root)
 
 #: Version stamp of the pickled checkpoint documents.  Bumped to 2 when
 #: the telemetry records grew incremental-evaluation fields (old
@@ -90,6 +92,10 @@ class ExploreConfig:
     workers: Optional[int] = None
     cache_size: int = 4096
     warm_start: bool = True
+    #: Which single-objective searches seed the front.  The service
+    #: layer runs each as its own shard (``warm_start_objectives=
+    #: (THROUGHPUT,)`` with ``generations=0`` is a pure endpoint run).
+    warm_start_objectives: Tuple[str, ...] = (THROUGHPUT, POWER)
     sched: SchedConfig = field(default_factory=SchedConfig)
     search: Optional[SearchConfig] = None
     vdd: float = 5.0
@@ -123,27 +129,38 @@ class ExploreConfig:
                                 region_cache_size=4096,
                                 incremental_enumeration=True,
                                 enum_cache_size=512)),
-                self.vdd, self.vt, self.cycle_time)
+                self.vdd, self.vt, self.cycle_time,
+                tuple(self.warm_start_objectives))
 
 
-@dataclass
-class ExploreResult:
-    """Outcome of one (possibly interrupted) exploration run."""
+class ExploreResult(JobResult):
+    """Deprecated alias of :class:`repro.service.jobs.JobResult`.
 
-    front: ParetoFront
-    generations: int
-    interrupted: bool
-    telemetry: ExploreTelemetry
-    store_stats: CacheStats
-    checkpoint_path: str
+    Exploration runs now report through the service layer's one public
+    result shape.  This subclass keeps the pre-service constructor
+    signature (``interrupted`` flag, ``checkpoint_path``) working, with
+    a :class:`DeprecationWarning`; isinstance checks against
+    ``ExploreResult`` keep passing for results built through it, and
+    results returned by :meth:`ExploreRunner.run` are plain
+    :class:`JobResult` objects.
+    """
 
-    @property
-    def evaluations(self) -> int:
-        return self.telemetry.evaluations
-
-    @property
-    def store_hit_rate(self) -> float:
-        return self.store_stats.hit_rate
+    def __init__(self, front: ParetoFront, generations: int = 0,
+                 interrupted: bool = False,
+                 telemetry: Optional[ExploreTelemetry] = None,
+                 store_stats: Optional[CacheStats] = None,
+                 checkpoint_path: Union[str, "os.PathLike[str]"] = "",
+                 **kwargs) -> None:
+        warnings.warn(
+            "ExploreResult is deprecated; exploration returns "
+            "repro.JobResult (state instead of interrupted, "
+            "checkpoint instead of checkpoint_path)",
+            DeprecationWarning, stacklevel=2)
+        state = (JobState.CANCELLED if interrupted else JobState.DONE)
+        super().__init__(front=front, state=state,
+                         generations=generations, telemetry=telemetry,
+                         store_stats=store_stats,
+                         checkpoint=str(checkpoint_path), **kwargs)
 
 
 class ExploreRunner:
@@ -156,9 +173,18 @@ class ExploreRunner:
                  branch_probs: Optional[BranchProbs] = None,
                  store: Union[RunStore, str, "os.PathLike[str]",
                               None] = None,
+                 checkpoint: Union[str, "os.PathLike[str]",
+                                   None] = None,
                  checkpoint_path: Union[str, "os.PathLike[str]",
                                         None] = None,
                  trace: Optional[AnyTracer] = None) -> None:
+        if checkpoint_path is not None:
+            warnings.warn(
+                "ExploreRunner(checkpoint_path=...) is deprecated; "
+                "pass checkpoint=... instead",
+                DeprecationWarning, stacklevel=2)
+            if checkpoint is None:
+                checkpoint = checkpoint_path
         self.behavior = behavior
         self.allocation = allocation
         self.library = library or dac98_library()
@@ -192,12 +218,21 @@ class ExploreRunner:
         self.run_fingerprint = _digest(
             (self._context_fp + "|"
              + repr(self.config.identity())).encode()).hexdigest()
-        if checkpoint_path is not None:
-            self.checkpoint_path = Path(checkpoint_path)
+        if checkpoint is not None:
+            self.checkpoint = Path(checkpoint)
         else:
-            self.checkpoint_path = (self.store.root / "runs"
-                                    / f"{self.run_fingerprint}.ckpt")
+            self.checkpoint = (self.store.root / "runs"
+                               / f"{self.run_fingerprint}.ckpt")
         self._stop_requested = False
+
+    @property
+    def checkpoint_path(self) -> Path:
+        """Deprecated: use :attr:`checkpoint`."""
+        warnings.warn(
+            "ExploreRunner.checkpoint_path is deprecated; use "
+            "runner.checkpoint instead", DeprecationWarning,
+            stacklevel=2)
+        return self.checkpoint
 
     # ------------------------------------------------------------------
     def _region_cache(self) -> RegionScheduleCache:
@@ -216,11 +251,14 @@ class ExploreRunner:
         generation (what the SIGINT handler calls)."""
         self._stop_requested = True
 
-    def run(self, resume: bool = False) -> ExploreResult:
+    def run(self, resume: bool = False) -> JobResult:
         """Explore; returns the front found within the generation cap.
 
         With ``resume=True`` and an existing checkpoint, continues the
-        interrupted run; without a checkpoint it starts fresh.
+        interrupted run; without a checkpoint it starts fresh.  The
+        result is a :class:`~repro.service.jobs.JobResult` whose
+        ``state`` is ``DONE``, or ``CANCELLED`` for an interrupted run
+        (resumable from the checkpoint).
         """
         cfg = self.config
         region_cache = self._region_cache() if cfg.incremental else None
@@ -324,11 +362,12 @@ class ExploreRunner:
             raise ExploreError(
                 "interrupted before the first evaluation completed; "
                 "nothing to checkpoint")
-        return ExploreResult(front=front, generations=generation,
-                             interrupted=interrupted,
-                             telemetry=telemetry,
-                             store_stats=self.store.stats,
-                             checkpoint_path=str(self.checkpoint_path))
+        return JobResult(front=front,
+                         state=(JobState.CANCELLED if interrupted
+                                else JobState.DONE),
+                         generations=generation, telemetry=telemetry,
+                         store_stats=self.store.stats,
+                         checkpoint=str(self.checkpoint))
 
     # -- bootstrap ------------------------------------------------------
     def _bootstrap(self, engine: EvaluationEngine
@@ -351,7 +390,7 @@ class ExploreRunner:
                 vdd=cfg.vdd, vt=cfg.vt),
                 region_caches=self._region_caches,
                 trace=self.tracer)
-            for objective in (THROUGHPUT, POWER):
+            for objective in cfg.warm_start_objectives:
                 result = fact.optimize(self.behavior, self.allocation,
                                        objective=objective,
                                        branch_probs=self.branch_probs)
@@ -474,27 +513,17 @@ class ExploreRunner:
             "baseline_length": baseline_length,
             "records": list(telemetry.generations),
         }
-        path = self.checkpoint_path
+        path = self.checkpoint
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(doc, handle,
-                                protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_bytes(
+                path, pickle.dumps(doc,
+                                   protocol=pickle.HIGHEST_PROTOCOL))
         except OSError as exc:
             raise ExploreError(
                 f"cannot write checkpoint {path}: {exc}") from exc
 
     def _load_checkpoint(self) -> Optional[dict]:
-        path = self.checkpoint_path
+        path = self.checkpoint
         if not path.exists():
             return None
         try:

@@ -18,13 +18,26 @@ Layout, durability, and failure model:
 * ``<root>/v1/<key[:2]>/<key>.json`` — one JSON record per design, in a
   fan-out of 256 subdirectories; the ``v1`` segment is the layout
   version, and each record carries a ``schema`` field besides;
-* writes go to a temp file in the destination directory and are
-  published with ``os.replace``, so readers (including other processes)
-  never observe a half-written record;
+* writes go to a temp file in the destination directory, are
+  fsynced, and are published with ``os.replace``, so readers
+  (including other processes) never observe a half-written record and a
+  machine crash never publishes a torn one — a writer killed mid-write
+  leaves at most a stray ``*.tmp`` file that every reader ignores;
+* concurrent writers are harmless: records are content-addressed, so
+  two processes racing on one key publish byte-identical documents and
+  whichever ``os.replace`` lands last wins.  A writer that loses the
+  race in an environment where replacement itself fails (e.g. a
+  same-key destination held open on an exotic filesystem) treats the
+  other writer's published record as its own success;
 * loading is corruption-tolerant: a truncated, unparsable, wrong-schema
   or wrong-shape record is *skipped with a warning* (a
   :class:`RunStoreWarning`) and treated as a miss — the next evaluation
   simply rewrites it.
+
+The same durability discipline is exported as :func:`atomic_write_text`
+/ :func:`atomic_write_bytes` for the exploration checkpoints and the
+service layer's job queue and shard board
+(:mod:`repro.service`), which share this store's crash model.
 
 Hit/miss statistics reuse :class:`repro.core.evalcache.CacheStats`, the
 same object the in-memory evaluation cache reports through
@@ -60,6 +73,43 @@ def default_store_root() -> str:
     """The store directory when none is specified: ``$REPRO_STORE`` or
     ``.repro-store`` under the current directory."""
     return os.environ.get(STORE_ENV, "").strip() or ".repro-store"
+
+
+def atomic_write_bytes(path: Union[str, "os.PathLike[str]"],
+                       data: bytes, *, durable: bool = True) -> None:
+    """Atomically (and, by default, durably) publish ``data`` at
+    ``path``.
+
+    Writes to a same-directory temp file, flushes and fsyncs it
+    (rename-only atomicity protects concurrent readers, but *not*
+    against a machine crash losing the data blocks of an
+    already-renamed file), then publishes with ``os.replace``.  Readers
+    never observe a partial file; a crashed writer leaves only an
+    ignorable ``*.tmp`` sibling.  Used by the run store, the explore
+    checkpoints, and the service layer's job queue and shard board.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, "os.PathLike[str]"], data: str,
+                      *, durable: bool = True) -> None:
+    """Text convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, data.encode("utf-8"), durable=durable)
 
 
 class RunStoreWarning(UserWarning):
@@ -160,20 +210,14 @@ class RunStore:
             doc.update(metrics.as_dict())
         path = self._path(key)
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(doc, handle, sort_keys=True)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_text(path, json.dumps(doc, sort_keys=True))
         except OSError as exc:
-            # A read-only or full disk degrades to in-memory behavior.
+            # Records are content-addressed: if a concurrent writer got
+            # the (byte-identical) record down first, its success is
+            # ours.  Otherwise a read-only or full disk degrades to
+            # in-memory behavior.
+            if self._read_record(key) is not None:
+                return
             warnings.warn(f"run store: cannot persist {path.name}: "
                           f"{exc}", RunStoreWarning, stacklevel=2)
 

@@ -1,0 +1,97 @@
+"""Store federation: conflict-free union of content-addressed stores.
+
+A :class:`~repro.explore.store.RunStore` key is derived from the
+evaluation context and the behavior's WL fingerprint, never from the
+machine or process that wrote the record — so two stores populated
+independently (two worker pools, two machines, a laptop and a CI run)
+can always be merged: a key either exists in one store or holds the
+same evaluation in both.  :func:`merge_store` copies absent records
+atomically (crash-safe, and safe against a live explorer reading the
+destination); :func:`sync_stores` runs the merge both ways, leaving
+the two stores with the identical union.
+
+A key present in *both* stores with *different* bytes can only mean
+corruption or a record written under a different schema revision; the
+merge keeps the destination's copy, counts a ``disagreement``, and
+warns — it never destroys data.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Tuple, Union
+
+from ..explore.store import (LAYOUT_DIR, RunStoreWarning,
+                             atomic_write_bytes)
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+@dataclass
+class SyncStats:
+    """Outcome of one directed :func:`merge_store` pass."""
+
+    copied: int = 0         #: records new to the destination
+    skipped: int = 0        #: records already present (byte-identical)
+    disagreements: int = 0  #: same key, different bytes (kept dst)
+
+    @property
+    def examined(self) -> int:
+        return self.copied + self.skipped + self.disagreements
+
+    def as_dict(self) -> dict:
+        return {"copied": self.copied, "skipped": self.skipped,
+                "disagreements": self.disagreements}
+
+
+def merge_store(src: PathLike, dst: PathLike) -> SyncStats:
+    """Copy every record of ``src`` absent from ``dst`` into ``dst``.
+
+    Purely additive: nothing in ``src`` is modified and nothing in
+    ``dst`` is overwritten.  Stray ``*.tmp`` files from crashed writers
+    are ignored, copies are atomic and fsynced, and the pass is
+    idempotent — re-running it skips everything it copied.
+    """
+    stats = SyncStats()
+    src_layout = Path(src) / LAYOUT_DIR
+    dst_layout = Path(dst) / LAYOUT_DIR
+    if not src_layout.is_dir():
+        return stats
+    for path in sorted(src_layout.glob("*/*.json")):
+        target = dst_layout / path.parent.name / path.name
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            warnings.warn(
+                f"store sync: skipping unreadable source record "
+                f"{path.name}: {exc}", RunStoreWarning, stacklevel=2)
+            continue
+        if target.exists():
+            try:
+                same = target.read_bytes() == data
+            except OSError:
+                same = False
+            if same:
+                stats.skipped += 1
+            else:
+                stats.disagreements += 1
+                warnings.warn(
+                    f"store sync: key {path.stem} differs between "
+                    f"stores; keeping the destination's record",
+                    RunStoreWarning, stacklevel=2)
+            continue
+        atomic_write_bytes(target, data)
+        stats.copied += 1
+    return stats
+
+
+def sync_stores(a: PathLike, b: PathLike) -> Tuple[SyncStats, SyncStats]:
+    """Bidirectional merge: afterwards ``a`` and ``b`` hold the same
+    union of records.  Returns the (a→b, b→a) pass statistics."""
+    return merge_store(a, b), merge_store(b, a)
+
+
+__all__ = ["SyncStats", "merge_store", "sync_stores"]

@@ -3,6 +3,7 @@
 import pytest
 
 import repro
+from repro import JobState
 from repro.core.search import SearchConfig
 from repro.errors import ExploreError
 from repro.explore import (ExploreConfig, ExploreRunner, ParetoFront,
@@ -49,7 +50,7 @@ class TestRun:
     def test_front_is_non_dominated_and_nonempty(self, gcd_setup,
                                                  tmp_path):
         result = make_runner(gcd_setup, tmp_path).run()
-        assert not result.interrupted
+        assert result.state is JobState.DONE
         assert result.generations == 2
         members = result.front.sorted_points()
         assert members
@@ -70,7 +71,7 @@ class TestRun:
         store = RunStore(tmp_path / "store")
         second = ExploreRunner(beh, alloc, branch_probs=probs,
                                config=small_config(), store=store,
-                               checkpoint_path=tmp_path / "again.ckpt")
+                               checkpoint=tmp_path / "again.ckpt")
         result = second.run()
         # Every evaluation of the rerun is served from the first run's
         # disk store: nothing is scheduled anew.
@@ -108,11 +109,11 @@ class TestCheckpointResume:
             partial = runner.run()
         finally:
             ExploreRunner._save_checkpoint = original
-        assert partial.interrupted
+        assert partial.state is JobState.CANCELLED
         assert partial.generations == 1
         resumed = make_runner(gcd_setup, tmp_path / "cut",
                               config=small_config(3)).run(resume=True)
-        assert not resumed.interrupted
+        assert resumed.state is JobState.DONE
         assert resumed.generations == 3
         assert resumed.front.to_json() == reference.front.to_json()
         assert resumed.front.to_csv() == reference.front.to_csv()
@@ -120,7 +121,7 @@ class TestCheckpointResume:
     def test_resume_without_checkpoint_starts_fresh(self, gcd_setup,
                                                     tmp_path):
         result = make_runner(gcd_setup, tmp_path).run(resume=True)
-        assert not result.interrupted
+        assert result.state is JobState.DONE
         assert result.generations == 2
 
     def test_resume_of_finished_run_is_stable(self, gcd_setup,
@@ -134,14 +135,14 @@ class TestCheckpointResume:
         runner.run()
         other = make_runner(gcd_setup, tmp_path,
                             config=small_config(seed=9),
-                            checkpoint_path=runner.checkpoint_path)
+                            checkpoint=runner.checkpoint)
         with pytest.raises(ExploreError):
             other.run(resume=True)
 
     def test_corrupt_checkpoint_reported(self, gcd_setup, tmp_path):
         runner = make_runner(gcd_setup, tmp_path)
         runner.run()
-        with open(runner.checkpoint_path, "wb") as handle:
+        with open(runner.checkpoint, "wb") as handle:
             handle.write(b"\x80garbage")
         with pytest.raises(ExploreError):
             make_runner(gcd_setup, tmp_path).run(resume=True)
@@ -173,3 +174,59 @@ class TestFacade:
         result = repro.explore(GCD, alloc=ALLOC, config=cfg,
                                store=tmp_path / "store")
         assert len(result.front) >= 1
+
+    def test_explore_returns_job_result(self, tmp_path):
+        result = repro.explore(GCD, alloc=ALLOC,
+                               config=small_config(),
+                               store=tmp_path / "store")
+        assert isinstance(result, repro.JobResult)
+        assert result.ok
+
+
+class TestDeprecationShims:
+    """The pre-service API keeps working, with DeprecationWarnings."""
+
+    def test_result_interrupted_property_warns(self, gcd_setup,
+                                               tmp_path):
+        result = make_runner(gcd_setup, tmp_path).run()
+        with pytest.warns(DeprecationWarning,
+                          match="interrupted is deprecated"):
+            assert result.interrupted is False
+
+    def test_result_checkpoint_path_property_warns(self, gcd_setup,
+                                                   tmp_path):
+        result = make_runner(gcd_setup, tmp_path).run()
+        with pytest.warns(DeprecationWarning,
+                          match="checkpoint_path is deprecated"):
+            assert result.checkpoint_path == result.checkpoint
+
+    def test_runner_checkpoint_path_kwarg_warns(self, gcd_setup,
+                                                tmp_path):
+        beh, alloc, probs = gcd_setup
+        with pytest.warns(DeprecationWarning,
+                          match="checkpoint_path=.*deprecated"):
+            runner = ExploreRunner(
+                beh, alloc, branch_probs=probs,
+                config=small_config(), store=tmp_path / "s",
+                checkpoint_path=tmp_path / "old.ckpt")
+        assert runner.checkpoint == tmp_path / "old.ckpt"
+
+    def test_runner_checkpoint_path_attr_warns(self, gcd_setup,
+                                               tmp_path):
+        runner = make_runner(gcd_setup, tmp_path)
+        with pytest.warns(DeprecationWarning,
+                          match="checkpoint_path is deprecated"):
+            assert runner.checkpoint_path == runner.checkpoint
+
+    def test_explore_result_constructor_warns(self):
+        front = ParetoFront(baseline_length=10.0)
+        with pytest.warns(DeprecationWarning,
+                          match="ExploreResult is deprecated"):
+            legacy = repro.ExploreResult(front, 3, interrupted=True,
+                                         checkpoint_path="x.ckpt")
+        assert isinstance(legacy, repro.JobResult)
+        assert legacy.state is JobState.CANCELLED
+        assert legacy.checkpoint == "x.ckpt"
+        # isinstance against the old name still holds for results
+        # built through the shim.
+        assert isinstance(legacy, repro.ExploreResult)

@@ -2,6 +2,8 @@
 
 import json
 import os
+import warnings
+from contextlib import contextmanager
 
 import pytest
 
@@ -23,6 +25,13 @@ proc gcd(in a, in b, out g) {
 """
 
 METRICS = DesignMetrics(length=10.5, energy=42.0, area=7.25)
+
+
+@contextmanager
+def warnings_as_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
 
 
 @pytest.fixture()
@@ -144,6 +153,86 @@ class TestCorruptionTolerance:
         store.put("88" * 32, METRICS)
         leftovers = [p for p in store.root.rglob("*.tmp")]
         assert leftovers == []
+
+
+class TestAtomicWrites:
+    """Crash/concurrency model of the durable write path."""
+
+    def test_fsync_called_before_rename(self, tmp_path, monkeypatch):
+        from repro.explore.store import atomic_write_text
+        order = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (order.append("fsync"), real_fsync(fd))[1])
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (order.append("replace"),
+                          real_replace(a, b))[1])
+        atomic_write_text(tmp_path / "f.json", "{}")
+        assert order == ["fsync", "replace"]
+
+    def test_crash_before_rename_leaves_target_intact(
+            self, tmp_path, monkeypatch):
+        """Simulated crash (fsync raises): the destination keeps its
+        previous content and no temp file leaks."""
+        from repro.explore.store import atomic_write_text
+        target = tmp_path / "f.json"
+        atomic_write_text(target, "old")
+
+        def boom(fd):
+            raise OSError("simulated crash")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new")
+        assert target.read_text() == "old"
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_put_crash_degrades_to_memory_with_warning(
+            self, tmp_path, monkeypatch):
+        key = "99" * 32
+        store = RunStore(tmp_path / "s")
+        monkeypatch.setattr(
+            os, "fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.warns(RunStoreWarning, match="cannot persist"):
+            store.put(key, METRICS)
+        # The in-memory layer still serves the record this run...
+        assert store.get(key).metrics == METRICS
+        # ...but nothing (and no temp litter) reached the disk.
+        monkeypatch.undo()
+        assert RunStore(tmp_path / "s").get(key) is None
+        assert list(store.root.rglob("*.tmp")) == []
+
+    def test_put_tolerates_concurrent_writer(self, tmp_path,
+                                             monkeypatch):
+        """A failed publish is silent success when another process
+        already landed the (byte-identical) record."""
+        key = "aa" * 32
+        writer_a = RunStore(tmp_path / "s")
+        writer_a.put(key, METRICS)  # the concurrent winner
+
+        def fail_replace(a, b):
+            raise OSError("lost the rename race")
+
+        monkeypatch.setattr(os, "replace", fail_replace)
+        writer_b = RunStore(tmp_path / "s")
+        with warnings_as_errors():
+            writer_b.put(key, METRICS)  # must not warn: success
+        monkeypatch.undo()
+        assert RunStore(tmp_path / "s").get(key).metrics == METRICS
+
+    def test_stray_tmp_files_ignored_by_readers(self, tmp_path):
+        key = "bb" * 32
+        store = RunStore(tmp_path / "s")
+        store.put(key, METRICS)
+        # A crashed writer's leftover temp file next to the record.
+        litter = (store.root / "v1" / key[:2] / "crashed0.tmp")
+        litter.write_text("partial garbag")
+        fresh = RunStore(tmp_path / "s")
+        assert fresh.get(key).metrics == METRICS
+        assert dict(fresh.scan()).keys() == {key}
 
 
 class TestDefaults:

@@ -1,0 +1,191 @@
+"""Job model tests: canonical specs, stable ids, queue lifecycle."""
+
+import json
+import os
+import time
+
+import pytest
+
+import repro
+from repro.errors import ServiceError
+from repro.service.jobs import (JOB_SCHEMA, JobQueue, JobSpec,
+                                JobState, PARETO, ShardSpec,
+                                default_queue_root, expand_shards)
+
+GCD = """
+proc gcd(in a, in b, out g) {
+    while (a != b) {
+        if (a < b) { b = b - a; } else { a = a - b; }
+    }
+    g = a;
+}
+"""
+
+ALLOC = "sb1=2,cp1=1,e1=1"
+
+
+def make_spec(**kw):
+    kw.setdefault("source", GCD)
+    kw.setdefault("alloc", ALLOC)
+    return JobSpec(**kw)
+
+
+class TestSpec:
+    def test_canonical_json_round_trip(self):
+        spec = make_spec(seed=3, generations=2)
+        text = spec.to_json()
+        # Canonical: one line, sorted keys, minimal separators.
+        assert "\n" not in text and ": " not in text
+        doc = json.loads(text)
+        assert doc["schema"] == JOB_SCHEMA
+        assert list(doc) == sorted(doc)
+        assert JobSpec.from_json(text) == spec
+
+    def test_job_id_stable_and_content_derived(self):
+        a = make_spec().job_id()
+        assert a == make_spec().job_id()
+        assert len(a) == 16
+        # Any knob change changes the id...
+        assert make_spec(seed=1).job_id() != a
+        assert make_spec(generations=5).job_id() != a
+        # ...but whitespace-only source edits that leave the behavior
+        # AND the document identical do not exist: the document embeds
+        # the source verbatim, so the id covers it.
+        assert make_spec(source=GCD + "\n").job_id() != a
+
+    def test_validation_errors(self):
+        with pytest.raises(ServiceError):
+            JobSpec(source="").validate()
+        with pytest.raises(ServiceError):
+            make_spec(objective="latency").validate()
+        with pytest.raises(ServiceError):
+            make_spec(generations=-1).validate()
+        with pytest.raises(ServiceError):
+            make_spec(num_seeds=0).validate()
+
+    def test_from_dict_rejects_bad_schema_and_shape(self):
+        with pytest.raises(ServiceError):
+            JobSpec.from_json("not json")
+        with pytest.raises(ServiceError):
+            JobSpec.from_dict({"schema": JOB_SCHEMA + 1,
+                               "source": GCD})
+        with pytest.raises(ServiceError):
+            JobSpec.from_dict({"schema": JOB_SCHEMA})  # no source
+
+    def test_shard_expansion(self):
+        spec = make_spec(num_seeds=2, seed=5)
+        shards = expand_shards(spec)
+        cells = {s.cell for s in shards}
+        assert cells == {"throughput", "power", PARETO}
+        assert {s.seed for s in shards} == {5, 6}
+        assert len(shards) == 6
+        assert len({s.shard_id for s in shards}) == 6
+        # Single-objective jobs shard to one cell per seed.
+        assert len(expand_shards(make_spec(objective="power"))) == 1
+        assert len(expand_shards(make_spec(warm_start=False))) == 1
+
+    def test_shard_round_trip(self):
+        shard = expand_shards(make_spec())[0]
+        again = ShardSpec.from_dict(
+            json.loads(json.dumps(shard.as_dict())))
+        assert again == shard
+
+    def test_shard_config_matches_serial_explore(self):
+        """The pareto cell's config equals a serial explore config
+        built from the same knobs — the byte-identity precondition."""
+        spec = make_spec(generations=2, population=4,
+                         candidates_per_seed=10, iterations=2)
+        shard = [s for s in expand_shards(spec)
+                 if s.cell == PARETO][0]
+        cfg = shard.explore_config()
+        assert cfg.generations == 2
+        assert cfg.population_size == 4
+        assert cfg.workers == 0
+        assert cfg.search.max_outer_iters == 2
+
+
+class TestQueue:
+    def test_submit_is_idempotent(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        first = queue.submit(make_spec())
+        again = queue.submit(make_spec())
+        assert again.job_id == first.job_id
+        assert again.submitted_at == first.submitted_at
+        assert len(queue.jobs()) == 1
+        assert queue.pending()[0].state is JobState.PENDING
+
+    def test_record_round_trip_via_disk(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        record = queue.submit(make_spec(seed=2))
+        other = JobQueue(tmp_path / "q")  # another process stand-in
+        assert other.get(record.job_id).spec == record.spec
+
+    def test_lifecycle_transitions(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        jid = queue.submit(make_spec()).job_id
+        queue.transition(jid, JobState.RUNNING, worker="w0")
+        record = queue.get(jid)
+        assert record.state is JobState.RUNNING
+        assert record.attempts == 1 and record.worker == "w0"
+        queue.transition(jid, JobState.DONE)
+        assert queue.get(jid).finished_at is not None
+        # Terminal states are sticky.
+        with pytest.raises(ServiceError):
+            queue.transition(jid, JobState.RUNNING)
+
+    def test_claims_exclusive_then_stale_steal(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        jid = queue.submit(make_spec()).job_id
+        assert queue.claim(jid, "server-a")
+        assert not queue.claim(jid, "server-b")
+        # Age the claim past the lease: another server steals it.
+        claim = queue.root / "claims" / f"{jid}.claim"
+        doc = json.loads(claim.read_text())
+        doc["ts"] = time.time() - JobQueue.JOB_LEASE - 1
+        claim.write_text(json.dumps(doc))
+        assert queue.claim(jid, "server-b")
+        queue.release(jid)
+        assert queue.claim(jid, "server-c")
+
+    def test_cancel_pending_only(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        jid = queue.submit(make_spec()).job_id
+        assert queue.cancel(jid).state is JobState.CANCELLED
+        jid2 = queue.submit(make_spec(seed=7)).job_id
+        queue.transition(jid2, JobState.RUNNING)
+        # Running jobs are the server's to cancel, not the queue's.
+        assert queue.cancel(jid2).state is JobState.RUNNING
+
+    def test_result_requires_done(self, tmp_path):
+        queue = JobQueue(tmp_path / "q")
+        jid = queue.submit(make_spec()).job_id
+        with pytest.raises(ServiceError, match="pending"):
+            queue.result(jid)
+
+    def test_default_queue_root_under_store(self):
+        assert default_queue_root("/s").as_posix() == "/s/queue"
+
+
+class TestFacade:
+    def test_submit_status_round_trip(self, tmp_path):
+        jid = repro.submit(GCD, alloc=ALLOC, generations=2,
+                           queue=tmp_path / "q")
+        assert jid == repro.submit(GCD, alloc=ALLOC, generations=2,
+                                   queue=tmp_path / "q")
+        record = repro.status(jid, queue=tmp_path / "q")
+        assert record.state is JobState.PENDING
+        assert record.spec.generations == 2
+
+    def test_submit_reads_bdl_files(self, tmp_path):
+        path = tmp_path / "gcd.bdl"
+        path.write_text(GCD)
+        jid = repro.submit(path, alloc=ALLOC, queue=tmp_path / "q")
+        assert repro.status(jid, queue=tmp_path / "q"
+                            ).spec.source == GCD
+
+    def test_submit_normalizes_alloc(self, tmp_path):
+        a = repro.submit(GCD, alloc="e1=1,cp1=1,sb1=2",
+                         queue=tmp_path / "q")
+        b = repro.submit(GCD, alloc={"sb1": 2, "cp1": 1, "e1": 1},
+                         queue=tmp_path / "q")
+        assert a == b

@@ -1,0 +1,77 @@
+"""Store federation tests: conflict-free merge of run stores."""
+
+import warnings
+from contextlib import contextmanager
+
+import pytest
+
+from repro.explore import DesignMetrics, RunStore, RunStoreWarning
+from repro.service.sync import merge_store, sync_stores
+
+M1 = DesignMetrics(length=10.0, energy=40.0, area=7.0)
+M2 = DesignMetrics(length=12.0, energy=30.0, area=6.0)
+
+
+@contextmanager
+def no_warnings():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        yield
+
+
+def fill(root, entries):
+    store = RunStore(root)
+    for key, metrics in entries.items():
+        store.put(key, metrics)
+    return store
+
+
+class TestMergeStore:
+    def test_union_copied_and_skipped_counts(self, tmp_path):
+        fill(tmp_path / "a", {"11" * 32: M1, "22" * 32: M2})
+        fill(tmp_path / "b", {"22" * 32: M2, "33" * 32: None})
+        with no_warnings():
+            stats = merge_store(tmp_path / "a", tmp_path / "b")
+        assert stats.copied == 1
+        assert stats.skipped == 1
+        assert stats.disagreements == 0
+        assert stats.examined == 2
+        merged = RunStore(tmp_path / "b")
+        assert merged.get("11" * 32).metrics == M1
+        assert merged.get("33" * 32) is not None  # untouched
+
+    def test_idempotent(self, tmp_path):
+        fill(tmp_path / "a", {"44" * 32: M1})
+        merge_store(tmp_path / "a", tmp_path / "b")
+        again = merge_store(tmp_path / "a", tmp_path / "b")
+        assert again.copied == 0 and again.skipped == 1
+
+    def test_disagreement_keeps_destination(self, tmp_path):
+        key = "55" * 32
+        fill(tmp_path / "a", {key: M1})
+        fill(tmp_path / "b", {key: M2})
+        with pytest.warns(RunStoreWarning, match="differs"):
+            stats = merge_store(tmp_path / "a", tmp_path / "b")
+        assert stats.disagreements == 1
+        assert RunStore(tmp_path / "b").get(key).metrics == M2
+
+    def test_empty_or_missing_source_is_noop(self, tmp_path):
+        stats = merge_store(tmp_path / "nowhere", tmp_path / "b")
+        assert stats.examined == 0
+
+    def test_sync_stores_bidirectional_union(self, tmp_path):
+        fill(tmp_path / "a", {"66" * 32: M1})
+        fill(tmp_path / "b", {"77" * 32: M2})
+        ab, ba = sync_stores(tmp_path / "a", tmp_path / "b")
+        assert ab.copied == 1 and ba.copied == 1
+        for root in (tmp_path / "a", tmp_path / "b"):
+            store = RunStore(root)
+            assert store.get("66" * 32).metrics == M1
+            assert store.get("77" * 32).metrics == M2
+
+    def test_stray_tmp_files_not_synced(self, tmp_path):
+        store = fill(tmp_path / "a", {"88" * 32: M1})
+        (store.root / "v1" / "88" / "crashed0.tmp").write_text("junk")
+        stats = merge_store(tmp_path / "a", tmp_path / "b")
+        assert stats.copied == 1
+        assert not list((tmp_path / "b").rglob("*.tmp"))

@@ -135,3 +135,57 @@ class TestExplore:
                      "--resume", "--export", str(second)]) == 0
         capsys.readouterr()
         assert first.read_bytes() == second.read_bytes()
+
+
+class TestService:
+    KNOBS = ["--alloc", "sb1=2,cp1=1,e1=1", "--generations", "1",
+             "--population", "4", "--candidates-per-seed", "6",
+             "--iterations", "1"]
+
+    def test_submit_serve_result_round_trip(self, gcd_file, tmp_path,
+                                            capsys):
+        queue = str(tmp_path / "queue")
+        store = str(tmp_path / "store")
+        assert main(["submit", gcd_file, *self.KNOBS,
+                     "--queue", queue, "--store", store]) == 0
+        job_id = capsys.readouterr().out.strip().splitlines()[0]
+        assert len(job_id) == 16
+
+        assert main(["job", "list", "--queue", queue]) == 0
+        assert "pending" in capsys.readouterr().out
+
+        assert main(["serve", "--queue", queue, "--store", store,
+                     "--workers", "1", "--once"]) == 0
+        assert "served 1 job(s)" in capsys.readouterr().out
+
+        front_json = tmp_path / "front.json"
+        assert main(["job", "status", job_id, "--queue", queue]) == 0
+        assert "state:     done" in capsys.readouterr().out
+        assert main(["job", "result", job_id, "--queue", queue,
+                     "--export", str(front_json)]) == 0
+        assert "merged front of" in capsys.readouterr().out
+        import json
+        assert json.loads(front_json.read_text())["points"]
+
+    def test_submit_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["submit", str(tmp_path / "no.bdl"),
+                  "--queue", str(tmp_path / "q")])
+
+    def test_job_status_unknown_id(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["job", "status", "feedfacefeedface",
+                  "--queue", str(tmp_path / "q")])
+
+    def test_store_sync_command(self, gcd_file, tmp_path, capsys):
+        queue = str(tmp_path / "queue")
+        a = str(tmp_path / "store-a")
+        assert main(["submit", gcd_file, *self.KNOBS,
+                     "--queue", queue, "--store", a]) == 0
+        assert main(["serve", "--queue", queue, "--store", a,
+                     "--workers", "1", "--once"]) == 0
+        capsys.readouterr()
+        assert main(["store", "sync", a,
+                     str(tmp_path / "store-b")]) == 0
+        out = capsys.readouterr().out
+        assert "copied" in out and "disagreements 0" in out
