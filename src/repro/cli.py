@@ -24,6 +24,10 @@ Commands:
   fronts.
 * ``store sync SRC DST``  — federate two run stores (conflict-free
   union; ``--both`` merges in both directions).
+* ``fuzz run|replay|shrink`` — differential fuzzing over seeded random
+  circuits: run a campaign (``--count``/``--seed``/``--report``),
+  replay one finding from its seed + config, or minimize it (see
+  ``docs/fuzzing.md``).
 * ``table2 [CIRCUIT...]`` — regenerate the paper's Table-2 rows.
 * ``trace summarize FILE`` — aggregate a recorded trace file into a
   per-stage self-time table plus the run's metric counters.
@@ -383,6 +387,141 @@ def cmd_store_sync(args: argparse.Namespace) -> int:
     return 0
 
 
+def _gen_config_overrides(pairs: Optional[List[str]]):
+    """``--gen key=value`` overrides -> GenConfig (None if no pairs)."""
+    if not pairs:
+        return None
+    from .gen import GenConfig, config_from_dict
+    doc: Dict[str, object] = {}
+    fields = GenConfig.__dataclass_fields__
+    for pair in pairs:
+        name, eq, value = pair.partition("=")
+        if not eq:
+            raise ConfigError(
+                f"bad --gen {pair!r}; expected key=value")
+        if name not in fields:
+            raise ConfigError(
+                f"unknown GenConfig field {name!r}; expected one of "
+                f"{sorted(fields)}")
+        kind = fields[name].type
+        try:
+            if "bool" in kind:
+                doc[name] = value.lower() in ("1", "true", "yes")
+            elif "float" in kind:
+                doc[name] = float(value)
+            elif "int" in kind:
+                doc[name] = int(value)
+            else:
+                doc[name] = value
+        except ValueError:
+            raise ConfigError(
+                f"--gen {name}: cannot parse {value!r}") from None
+    base = GenConfig().as_dict()
+    base.update(doc)
+    return config_from_dict(base)
+
+
+def _finding_from_args(args: argparse.Namespace):
+    """A finding to replay/shrink: from a report file or from flags."""
+    from .gen import FuzzFinding, GEN_SCHEMA_VERSION, GenConfig
+    if args.finding:
+        import json
+        if not os.path.isfile(args.finding):
+            raise SystemExit(
+                f"cannot read {args.finding}: no such file")
+        with open(args.finding, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        if isinstance(doc, dict) and "findings" in doc:
+            findings = doc["findings"]
+            if not findings:
+                raise SystemExit(f"{args.finding}: no findings")
+            if args.index >= len(findings):
+                raise SystemExit(
+                    f"{args.finding}: --index {args.index} out of "
+                    f"range ({len(findings)} findings)")
+            doc = findings[args.index]
+        return FuzzFinding.from_dict(doc)
+    if args.seed is None or not args.oracle:
+        raise SystemExit(
+            "need either a finding file or --seed and --oracle")
+    config = _gen_config_overrides(args.gen) or GenConfig()
+    return FuzzFinding(schema_version=GEN_SCHEMA_VERSION,
+                       seed=args.seed, config=config.as_dict(),
+                       oracle=args.oracle, detail="")
+
+
+def cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from .gen import FuzzOptions, run_campaign
+    from .obs.metrics import MetricsRegistry
+    options = FuzzOptions(
+        seed=args.seed, count=args.count,
+        oracles=tuple(args.oracle or ()),
+        config=_gen_config_overrides(args.gen),
+        workers=args.workers or 0,
+        pool_every=args.pool_every,
+        max_findings=args.max_findings,
+        shrink=not args.no_shrink)
+    tracer = _tracer_for(args)
+    metrics = MetricsRegistry()
+    report = run_campaign(options, tracer=tracer, metrics=metrics)
+    _export_trace(args, tracer, metrics.as_dict())
+    if args.report:
+        report.write(args.report)
+        print(f"report written to {args.report}", file=sys.stderr)
+    print(f"fuzzed {report.circuits} circuits "
+          f"({report.checks} oracle checks) in "
+          f"{report.elapsed_s:.1f}s: {len(report.findings)} findings")
+    for name in sorted(set(report.oracle_pass) | set(report.oracle_fail)):
+        print(f"  {name}: {report.oracle_pass.get(name, 0)} pass, "
+              f"{report.oracle_fail.get(name, 0)} fail")
+    for finding in report.findings:
+        print(f"FINDING [{finding.oracle}] seed={finding.seed}")
+        print(f"  {finding.detail.splitlines()[0]}")
+        print(f"  replay: {finding.repro_command}")
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from .gen import replay_finding
+    finding = _finding_from_args(args)
+    detail = replay_finding(finding, workers=args.workers or 0)
+    if detail is None:
+        print(f"[{finding.oracle}] seed={finding.seed}: "
+              f"no divergence (does not reproduce)")
+        return 1
+    print(f"[{finding.oracle}] seed={finding.seed}: diverges")
+    print(detail)
+    if finding.detail and detail != finding.detail:
+        print("note: detail differs from the recorded finding "
+              "(fix in progress, or nondeterministic environment?)")
+    return 0
+
+
+def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from .gen import config_from_dict, generate, shrink
+    finding = _finding_from_args(args)
+    circuit = generate(finding.seed,
+                       config_from_dict(dict(finding.config)))
+    before = len(circuit.source.splitlines())
+    result = shrink(circuit, finding.oracle,
+                    max_checks=args.max_checks)
+    if not result.reproduced:
+        print(f"[{finding.oracle}] seed={finding.seed}: oracle passes "
+              f"on the regenerated circuit; nothing to shrink")
+        return 1
+    print(f"# shrunk {before} -> {result.lines} lines "
+          f"({result.edits} edits, {result.checks} oracle checks)",
+          file=sys.stderr)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.circuit.source)
+        print(f"minimized circuit written to {args.out}",
+              file=sys.stderr)
+    else:
+        print(result.circuit.source, end="")
+    return 0
+
+
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     if not os.path.isfile(args.file):
         raise SystemExit(f"cannot read {args.file}: no such file")
@@ -483,6 +622,25 @@ def _add_explore_args(p: argparse.ArgumentParser) -> None:
                    help="warm-start search outer iterations")
     p.add_argument("--no-warm-start", action="store_true",
                    help="skip the single-objective warm-start searches")
+
+
+def _add_gen_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--gen", action="append", metavar="KEY=VALUE",
+                   help="GenConfig override, repeatable (e.g. --gen "
+                        "loop_depth=3 --gen op_mix=arith); fuzz run: "
+                        "replaces the default config grid")
+
+
+def _add_finding_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("finding", nargs="?",
+                   help="a finding JSON file, or a FUZZ_report.json "
+                        "(pick an entry with --index)")
+    p.add_argument("--index", type=int, default=0,
+                   help="finding index inside a report file (default 0)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="circuit seed (alternative to a finding file)")
+    p.add_argument("--oracle",
+                   help="oracle name (alternative to a finding file)")
 
 
 def _make_parent(*adders) -> argparse.ArgumentParser:
@@ -613,6 +771,50 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--both", action="store_true",
                     help="merge in both directions")
     ps.set_defaults(func=cmd_store_sync)
+
+    #: `fuzz run/replay/shrink` share the `--trace/--workers` group
+    #: with explore/serve, plus one `--gen key=value` override group.
+    fuzz_parent = _make_parent(_add_trace_args, _add_workers_arg,
+                               _add_gen_arg)
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing over seeded random circuits")
+    fsub = p.add_subparsers(dest="fuzz_command", required=True)
+    pf = fsub.add_parser(
+        "run", parents=[fuzz_parent],
+        help="generate circuits and run the oracle stack over each")
+    pf.add_argument("--seed", type=int, default=0,
+                    help="base seed; circuit i uses seed+i (default 0)")
+    pf.add_argument("--count", type=int, default=200,
+                    help="number of circuits (default 200)")
+    pf.add_argument("--oracle", action="append", metavar="NAME",
+                    help="run only this oracle (repeatable; default: "
+                         "the full stack)")
+    pf.add_argument("--report", metavar="FILE",
+                    help="write the campaign report (JSON) to FILE")
+    pf.add_argument("--max-findings", type=int, default=0,
+                    help="stop after N findings (default: never)")
+    pf.add_argument("--pool-every", type=int, default=25,
+                    help="run the pool-backend oracle every Nth "
+                         "circuit when --workers >= 2 (default 25)")
+    pf.add_argument("--no-shrink", action="store_true",
+                    help="record findings unminimized (faster)")
+    pf.set_defaults(func=cmd_fuzz_run)
+    pf = fsub.add_parser(
+        "replay", parents=[fuzz_parent],
+        help="re-run one finding's oracle from its seed + config")
+    _add_finding_args(pf)
+    pf.set_defaults(func=cmd_fuzz_replay)
+    pf = fsub.add_parser(
+        "shrink", parents=[fuzz_parent],
+        help="minimize a failing circuit while its oracle still fails")
+    _add_finding_args(pf)
+    pf.add_argument("--out", metavar="FILE",
+                    help="write the minimized BDL source to FILE "
+                         "(default: stdout)")
+    pf.add_argument("--max-checks", type=int, default=400,
+                    help="oracle re-check budget (default 400)")
+    pf.set_defaults(func=cmd_fuzz_shrink)
 
     p = sub.add_parser("trace", help="inspect recorded trace files")
     tsub = p.add_subparsers(dest="trace_command", required=True)

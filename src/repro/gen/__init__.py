@@ -1,0 +1,29 @@
+"""Seeded circuit generation + differential fuzzing (``repro.gen``).
+
+Three layers (see ``docs/fuzzing.md``):
+
+* :mod:`repro.gen.generator` — seeded, parameterized random BDL
+  programs, valid by construction and reproducible from
+  ``(schema_version, seed, config)``;
+* :mod:`repro.gen.oracles` / :mod:`repro.gen.harness` — stacked
+  differential oracles run over each circuit, divergences recorded as
+  structured :class:`~repro.gen.oracles.FuzzFinding` objects;
+* :mod:`repro.gen.shrink` — delta-debugging reducer that minimizes a
+  failing circuit while its oracle keeps failing.
+"""
+
+from .generator import (DEFAULT_GRID, GEN_SCHEMA_VERSION, GenConfig,
+                        GeneratedCircuit, config_from_dict, generate,
+                        grid_config)
+from .harness import (FuzzOptions, FuzzReport, replay_finding,
+                      run_campaign)
+from .oracles import ORACLES, FuzzFinding, OracleContext, run_oracle
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "DEFAULT_GRID", "FuzzFinding", "FuzzOptions", "FuzzReport",
+    "GEN_SCHEMA_VERSION", "GenConfig", "GeneratedCircuit", "ORACLES",
+    "OracleContext", "ShrinkResult", "config_from_dict", "generate",
+    "grid_config", "replay_finding", "run_campaign", "run_oracle",
+    "shrink",
+]

@@ -1,0 +1,233 @@
+"""The differential fuzz campaign runner.
+
+A campaign walks ``count`` circuit indices: each index pins a seed
+(``base_seed + index``) and a :class:`~repro.gen.generator.GenConfig`
+(the grid entry ``index % len(grid)``), generates the circuit, and runs
+the oracle stack from :mod:`repro.gen.oracles` over it.  Divergences —
+and any exception escaping an oracle — become
+:class:`~repro.gen.oracles.FuzzFinding` records in the returned
+:class:`FuzzReport`, which serializes to ``FUZZ_report.json``.
+
+Observability: per-circuit ``fuzz.circuit`` spans (with seed/oracle
+attributes) and ``fuzz.*`` counters are emitted through the standard
+:mod:`repro.obs` tracer/metrics plumbing, so ``--trace`` and
+``--stats`` work exactly as they do for ``repro explore``.
+
+Replay: :func:`replay_finding` rebuilds the circuit from
+``(schema_version, seed, config)`` alone and re-runs the single
+recorded oracle — byte-identical generation is guaranteed by the
+generator's reproducibility contract, and enforced here by comparing
+the regenerated source against the recorded one when present.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError, ReproError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, AnyTracer
+from .generator import (DEFAULT_GRID, GEN_SCHEMA_VERSION, GenConfig,
+                        GeneratedCircuit, config_from_dict, generate,
+                        grid_config)
+from .oracles import ORACLES, FuzzFinding, context_for, run_oracle
+
+#: Default interval (in circuit indices) at which the pool-spawning
+#: ``engine-backend`` oracle runs when workers >= 2.
+POOL_EVERY = 25
+
+
+@dataclass
+class FuzzOptions:
+    """Campaign parameters (all reproducibility-relevant ones are
+    recorded in the report)."""
+
+    #: Base seed: circuit ``i`` uses ``seed + i``.
+    seed: int = 0
+    #: Number of circuits to generate and check.
+    count: int = 200
+    #: Oracle names to run (default: the full stack).
+    oracles: Sequence[str] = ()
+    #: Config grid cycled by circuit index; empty = DEFAULT_GRID.
+    grid: Sequence[GenConfig] = ()
+    #: Single config override: replaces the grid entirely.
+    config: Optional[GenConfig] = None
+    #: Pool workers for the engine-backend oracle (< 2 skips it).
+    workers: int = 0
+    #: Run the pool-backend oracle every Nth circuit (it forks).
+    pool_every: int = POOL_EVERY
+    #: Stop the campaign after this many findings (0 = never).
+    max_findings: int = 0
+    #: Attach each failing circuit's shrunken source to its finding.
+    shrink: bool = True
+
+    def oracle_names(self) -> List[str]:
+        names = list(self.oracles) or list(ORACLES)
+        for name in names:
+            if name not in ORACLES:
+                raise ConfigError(
+                    f"unknown oracle {name!r}; expected one of "
+                    f"{sorted(ORACLES)}")
+        return names
+
+    def effective_grid(self) -> Sequence[GenConfig]:
+        if self.config is not None:
+            return (self.config,)
+        return tuple(self.grid) or DEFAULT_GRID
+
+
+@dataclass
+class FuzzReport:
+    """Campaign outcome: counters plus every recorded finding."""
+
+    options_seed: int
+    count: int
+    schema_version: int = GEN_SCHEMA_VERSION
+    circuits: int = 0
+    checks: int = 0
+    findings: List[FuzzFinding] = field(default_factory=list)
+    oracle_pass: Dict[str, int] = field(default_factory=dict)
+    oracle_fail: Dict[str, int] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "seed": self.options_seed,
+            "count": self.count,
+            "circuits": self.circuits,
+            "checks": self.checks,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "oracle_pass": dict(sorted(self.oracle_pass.items())),
+            "oracle_fail": dict(sorted(self.oracle_fail.items())),
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def _shrunk_source(circuit: GeneratedCircuit, oracle: str) -> str:
+    """Best-effort minimization for the finding record."""
+    from .shrink import shrink  # runtime import: shrink imports harness
+    try:
+        return shrink(circuit, oracle).circuit.source
+    except Exception:  # pragma: no cover - shrinker must never mask
+        return circuit.source
+
+
+def run_campaign(options: FuzzOptions,
+                 tracer: Optional[AnyTracer] = None,
+                 metrics: Optional[MetricsRegistry] = None
+                 ) -> FuzzReport:
+    """Run one fuzz campaign and return its report.
+
+    Never raises on a divergence — every failure is folded into the
+    report.  Only truly unexpected infrastructure errors (e.g. the
+    generator itself failing to produce a valid circuit) escape, since
+    those invalidate the whole campaign rather than one circuit.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    names = options.oracle_names()
+    grid = options.effective_grid()
+    report = FuzzReport(options_seed=options.seed, count=options.count)
+    started = time.perf_counter()
+    with tracer.span("fuzz.campaign", seed=options.seed,
+                     count=options.count):
+        for index in range(options.count):
+            seed = options.seed + index
+            config = grid_config(index, grid)
+            with tracer.span("fuzz.circuit", seed=seed,
+                             grid_index=index % len(grid)):
+                circuit = generate(seed, config)
+                ctx = context_for(circuit, workers=options.workers)
+                report.circuits += 1
+                metrics.inc("fuzz.circuits")
+                for name in names:
+                    if name == "engine-backend" and (
+                            options.workers < 2
+                            or index % max(1, options.pool_every)):
+                        continue
+                    detail = _check(ctx, name, report, metrics,
+                                    tracer, options)
+                    if detail and options.max_findings and \
+                            len(report.findings) >= options.max_findings:
+                        report.elapsed_s = time.perf_counter() - started
+                        return report
+    report.elapsed_s = time.perf_counter() - started
+    metrics.inc("fuzz.findings", len(report.findings))
+    return report
+
+
+def _check(ctx, name: str, report: FuzzReport,
+           metrics: MetricsRegistry, tracer: AnyTracer,
+           options: FuzzOptions) -> Optional[str]:
+    """Run one oracle; fold any divergence/exception into the report."""
+    report.checks += 1
+    with tracer.span("fuzz.oracle", oracle=name, seed=ctx.seed) as span:
+        try:
+            detail = run_oracle(name, ctx)
+        except ReproError as exc:
+            detail = f"{type(exc).__name__}: {exc}"
+        except RecursionError as exc:
+            detail = f"RecursionError: {exc}"
+        except Exception as exc:
+            detail = (f"unexpected {type(exc).__name__}: {exc}\n"
+                      + traceback.format_exc(limit=6))
+        span.set(diverged=bool(detail))
+    if detail is None:
+        report.oracle_pass[name] = report.oracle_pass.get(name, 0) + 1
+        metrics.inc(f"fuzz.oracle.{name}.pass")
+        return None
+    report.oracle_fail[name] = report.oracle_fail.get(name, 0) + 1
+    metrics.inc(f"fuzz.oracle.{name}.fail")
+    source = ctx.circuit.source
+    if options.shrink:
+        source = _shrunk_source(ctx.circuit, name)
+    report.findings.append(FuzzFinding(
+        schema_version=GEN_SCHEMA_VERSION, seed=ctx.seed,
+        config=ctx.circuit.config.as_dict(), oracle=name,
+        detail=detail, source=source))
+    return detail
+
+
+def replay_finding(finding: FuzzFinding,
+                   workers: int = 0) -> Optional[str]:
+    """Re-run one finding's oracle from its seed + config alone.
+
+    Returns the fresh divergence detail (``None`` if it no longer
+    reproduces — e.g. after a fix).  Raises
+    :class:`~repro.errors.ConfigError` if the finding was recorded
+    under a different generator schema version, since the same seed
+    would then denote a different circuit.
+    """
+    if finding.schema_version != GEN_SCHEMA_VERSION:
+        raise ConfigError(
+            f"finding was recorded under gen schema "
+            f"v{finding.schema_version}, this build is "
+            f"v{GEN_SCHEMA_VERSION}; the seed no longer denotes the "
+            f"same circuit")
+    config = config_from_dict(dict(finding.config))
+    circuit = generate(finding.seed, config)
+    ctx = context_for(circuit, workers=workers)
+    try:
+        return run_oracle(finding.oracle, ctx)
+    except ReproError as exc:
+        return f"{type(exc).__name__}: {exc}"
+
+
+__all__ = [
+    "FuzzOptions", "FuzzReport", "POOL_EVERY", "replay_finding",
+    "run_campaign",
+]

@@ -1,0 +1,390 @@
+"""Differential oracles: independent pipelines that must agree.
+
+Each oracle takes an :class:`OracleContext` (one generated circuit plus
+lazily shared derived artifacts — traces, profile, reference schedule)
+and returns ``None`` on agreement or a human-readable divergence detail
+string.  The harness (:mod:`repro.gen.harness`) wraps any non-``None``
+detail — or any exception escaping an oracle — in a
+:class:`FuzzFinding` carrying everything needed to replay it:
+``(schema_version, seed, config, oracle)``.
+
+The stack mirrors the repo's standing correctness claims:
+
+=================  =====================================================
+oracle             claim under test
+=================  =====================================================
+interp-stg         interpreter semantics vs. scheduled-STG statistics:
+                   traces execute trap-free, the STG validates, and the
+                   closed-form Markov average length agrees with a
+                   seeded Monte-Carlo walk of the same chain
+enum-parity        legacy ``TransformLibrary.candidates`` scan vs.
+                   ``RewriteDriver`` (incremental) enumeration — same
+                   canonically-ordered candidate set, also after an
+                   apply step re-enumerates incrementally
+rewrite-semantics  every applied candidate preserves interpreter
+                   semantics (outputs + final memory) on shared traces
+sched-incremental  region-cache (splice) scheduling is bit-identical to
+                   the cache-off splice baseline — same states, labels,
+                   ops, transitions and average length, cold and warm —
+                   and structurally identical to the plain walk (whose
+                   average may drift by float associativity only)
+engine-backend     serial vs. process-pool evaluation engines score the
+                   behavior identically
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..cdfg.interp import execute
+from ..cdfg.regions import Behavior
+from ..cdfg.validate import validate_behavior
+from ..core import THROUGHPUT, Objective
+from ..core.engine import EvaluationEngine, context_fingerprint
+from ..errors import ReproError, ScheduleError
+from ..hw import Allocation, Library, dac98_library
+from ..profiling import uniform_traces
+from ..profiling.profiler import profile
+from ..profiling.traces import TraceSet
+from ..rewrite import RewriteDriver
+from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.regioncache import RegionScheduleCache
+from ..sched.types import SchedConfig
+from ..stg.simulate import simulate
+from ..transforms import default_library
+from .generator import GEN_SCHEMA_VERSION, GenConfig, GeneratedCircuit
+
+#: Traces shared by every oracle on one circuit (seeded per circuit).
+TRACE_RUNS = 6
+
+#: Monte-Carlo walks for the Markov cross-check.
+SIM_RUNS = 256
+
+#: Tolerance for Markov-vs-simulation mean length: the walk samples the
+#: same chain the solver inverts, so only sampling error separates them.
+SIM_REL_TOL = 0.35
+SIM_ABS_TOL = 2.5
+
+#: Candidates applied (per circuit) by the rewrite-semantics oracle.
+MAX_APPLIES = 4
+
+
+@dataclass
+class FuzzFinding:
+    """One recorded divergence, replayable from seed + config alone."""
+
+    schema_version: int
+    seed: int
+    config: Dict[str, object]
+    oracle: str
+    detail: str
+    source: str = ""
+
+    @property
+    def repro_command(self) -> str:
+        """Shell command that re-runs exactly this oracle check."""
+        cfg = GenConfig(**self.config)  # type: ignore[arg-type]
+        overrides = " ".join(
+            f"--gen {name}={getattr(cfg, name)}"
+            for name in sorted(self.config)
+            if getattr(cfg, name) != getattr(GenConfig(), name))
+        base = (f"python -m repro fuzz replay --seed {self.seed} "
+                f"--oracle {shlex.quote(self.oracle)}")
+        return f"{base} {overrides}".strip()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "seed": self.seed,
+            "config": dict(self.config),
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "source": self.source,
+            "repro_command": self.repro_command,
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, object]) -> "FuzzFinding":
+        return FuzzFinding(
+            schema_version=int(doc["schema_version"]),  # type: ignore
+            seed=int(doc["seed"]),  # type: ignore
+            config=dict(doc["config"]),  # type: ignore
+            oracle=str(doc["oracle"]),
+            detail=str(doc.get("detail", "")),
+            source=str(doc.get("source", "")))
+
+
+@dataclass
+class OracleContext:
+    """Shared, lazily-built artifacts for one circuit's oracle stack.
+
+    Derived products (traces, profile, reference schedule) are built on
+    first use and reused by every oracle, so the stack costs one
+    profile + one schedule, not five.
+    """
+
+    circuit: GeneratedCircuit
+    behavior: Behavior
+    workers: int = 0
+    hw_library: Library = field(default_factory=dac98_library)
+    allocation: Allocation = field(default_factory=lambda: Allocation(
+        {name: 2 for name in dac98_library().fu_types}))
+    sched_config: SchedConfig = field(default_factory=SchedConfig)
+    _traces: Optional[TraceSet] = field(default=None, repr=False)
+    _profile: Optional[object] = field(default=None, repr=False)
+    _schedule: Optional[ScheduleResult] = field(default=None, repr=False)
+
+    @property
+    def seed(self) -> int:
+        return self.circuit.seed
+
+    def traces(self) -> TraceSet:
+        if self._traces is None:
+            self._traces = uniform_traces(
+                self.behavior, TRACE_RUNS, lo=0, hi=255,
+                seed=self.seed, array_lo=0, array_hi=255)
+        return self._traces
+
+    def branch_probs(self) -> Dict[int, float]:
+        if self._profile is None:
+            self._profile = profile(self.behavior, self.traces())
+        return self._profile.branch_probs  # type: ignore[attr-defined]
+
+    def schedule(self) -> ScheduleResult:
+        """Reference schedule: plain walk, no region cache."""
+        if self._schedule is None:
+            self._schedule = Scheduler(
+                self.behavior, self.hw_library, self.allocation,
+                self.sched_config, self.branch_probs()).schedule()
+        return self._schedule
+
+    def try_schedule(self) -> Optional[ScheduleResult]:
+        """Reference schedule, or ``None`` when the circuit trips the
+        scheduler's ``max_states`` path-explosion guard.
+
+        Hitting the guard is a documented capacity limit, not a
+        divergence: every pipeline refuses the circuit the same way,
+        so schedule-comparing oracles skip it.
+        """
+        try:
+            return self.schedule()
+        except ScheduleError as exc:
+            if _is_path_explosion(exc):
+                return None
+            raise
+
+
+def context_for(circuit: GeneratedCircuit,
+                workers: int = 0) -> OracleContext:
+    return OracleContext(circuit=circuit, behavior=circuit.behavior(),
+                         workers=workers)
+
+
+# ---------------------------------------------------------------------------
+# Oracles
+# ---------------------------------------------------------------------------
+
+def _is_path_explosion(exc: ScheduleError) -> bool:
+    return "states" in str(exc) and "exceeded" in str(exc)
+
+
+def oracle_interp_stg(ctx: OracleContext) -> Optional[str]:
+    """Interpreter runs trap-free; STG validates; Markov == walk."""
+    for i, case in enumerate(ctx.traces()):
+        result = execute(ctx.behavior, case.inputs,
+                         {k: list(v) for k, v in case.arrays.items()})
+        for name, value in result.outputs.items():
+            if not isinstance(value, int):
+                return (f"trace {i}: output {name!r} is "
+                        f"{type(value).__name__}, not int")
+    sched = ctx.try_schedule()
+    if sched is None:
+        return None  # path explosion: agreed capacity limit, skip
+    sched.stg.validate()
+    mean_markov = sched.average_length()
+    if not mean_markov > 0:
+        return f"Markov average length {mean_markov!r} is not positive"
+    walk = simulate(sched.stg, runs=SIM_RUNS, seed=ctx.seed)
+    gap = abs(walk.mean_length - mean_markov)
+    limit = SIM_ABS_TOL + SIM_REL_TOL * mean_markov
+    if gap > limit:
+        return (f"Markov average length {mean_markov:.3f} vs. "
+                f"simulated mean {walk.mean_length:.3f} over "
+                f"{SIM_RUNS} walks (gap {gap:.3f} > {limit:.3f})")
+    return None
+
+
+def _candidate_signature(cands) -> List[Tuple]:
+    return [(c.sort_key, c.description) for c in cands]
+
+
+def oracle_enum_parity(ctx: OracleContext) -> Optional[str]:
+    """Legacy scan == incremental driver, before and after an apply."""
+    library = default_library()
+    legacy = sorted(library.candidates(ctx.behavior),
+                    key=lambda c: c.sort_key)
+    driver = RewriteDriver(library)
+    driven = driver.candidates(ctx.behavior)
+    if _candidate_signature(legacy) != _candidate_signature(driven):
+        return (f"candidate sets differ: legacy {len(legacy)} vs. "
+                f"driver {len(driven)}: "
+                f"{_first_diff(legacy, driven)}")
+    for cand in driven:
+        try:
+            child = driver.apply(ctx.behavior, cand)
+        except ReproError:
+            continue
+        incremental = driver.candidates(child)
+        fresh = RewriteDriver(library,
+                              incremental=False).candidates(child)
+        if _candidate_signature(incremental) != \
+                _candidate_signature(fresh):
+            return (f"after applying {cand.description!r}: incremental "
+                    f"re-enumeration {len(incremental)} vs. full scan "
+                    f"{len(fresh)}: {_first_diff(fresh, incremental)}")
+        return None
+    return None
+
+
+def _first_diff(expect, got) -> str:
+    ek = _candidate_signature(expect)
+    gk = _candidate_signature(got)
+    for i, (a, b) in enumerate(zip(ek, gk)):
+        if a != b:
+            return f"first diff at {i}: {a!r} != {b!r}"
+    return f"length mismatch {len(ek)} != {len(gk)}"
+
+
+def oracle_rewrite_semantics(ctx: OracleContext) -> Optional[str]:
+    """Each applied rewrite preserves outputs and final memory."""
+    driver = RewriteDriver(default_library())
+    traces = ctx.traces()
+    reference = [execute(ctx.behavior, case.inputs,
+                         {k: list(v) for k, v in case.arrays.items()})
+                 for case in traces]
+    applied = 0
+    for cand in driver.candidates(ctx.behavior):
+        if applied >= MAX_APPLIES:
+            break
+        try:
+            child = driver.apply(ctx.behavior, cand)
+        except ReproError:
+            continue
+        applied += 1
+        validate_behavior(child)
+        for i, case in enumerate(traces):
+            got = execute(child, case.inputs,
+                          {k: list(v) for k, v in case.arrays.items()})
+            if got.outputs != reference[i].outputs:
+                return (f"{cand.transform}: {cand.description}: trace "
+                        f"{i} outputs {got.outputs} != "
+                        f"{reference[i].outputs}")
+            if got.arrays != reference[i].arrays:
+                return (f"{cand.transform}: {cand.description}: trace "
+                        f"{i} final memory diverged")
+    return None
+
+
+def _stg_signature(sched: ScheduleResult) -> Tuple:
+    stg = sched.stg
+    states = tuple(
+        (sid, stg.states[sid].label,
+         tuple((op.node, op.iteration, round(op.exec_prob, 12))
+               for op in stg.states[sid].ops))
+        for sid in sorted(stg.states))
+    transitions = tuple((t.src, t.dst, round(t.prob, 12), t.label)
+                        for t in stg.transitions)
+    return (stg.entry, stg.exit, states, transitions)
+
+
+#: Relative slack for the plain-walk vs. splice-path average length.
+#: The two assemble the same visit vector in different summation
+#: orders, so only float associativity separates them (the repo's
+#: bit-identity claim is *within* the splice path, cache on vs. off).
+PLAIN_REL_TOL = 1e-9
+
+
+def oracle_sched_incremental(ctx: OracleContext) -> Optional[str]:
+    """Region-cache scheduling is bit-identical to the cache-off
+    splice baseline (cold and warm), and structurally identical to the
+    plain walk."""
+    plain = ctx.try_schedule()
+    if plain is None:
+        return None  # path explosion: agreed capacity limit, skip
+    probs = ctx.branch_probs()
+    fp = context_fingerprint(ctx.hw_library, ctx.allocation,
+                             ctx.sched_config, probs)
+
+    def splice(cache: RegionScheduleCache) -> ScheduleResult:
+        return Scheduler(ctx.behavior, ctx.hw_library, ctx.allocation,
+                         ctx.sched_config, probs,
+                         region_cache=cache).schedule()
+
+    baseline = splice(RegionScheduleCache(max_entries=0, context_fp=fp))
+    base_sig = _stg_signature(baseline)
+    base_len = baseline.average_length()
+    if _stg_signature(plain) != base_sig:
+        return (f"splice-path STG differs from plain walk "
+                f"({baseline.n_states()} vs. {plain.n_states()} states)")
+    plain_len = plain.average_length()
+    if abs(plain_len - base_len) > PLAIN_REL_TOL * max(1.0, base_len):
+        return (f"splice-path average length {base_len!r} drifts from "
+                f"plain walk {plain_len!r} beyond float tolerance")
+    cache = RegionScheduleCache(max_entries=4096, context_fp=fp)
+    for attempt in ("cold", "warm"):
+        cached = splice(cache)
+        if _stg_signature(cached) != base_sig:
+            return (f"{attempt} region-cache STG differs from the "
+                    f"cache-off baseline ({cached.n_states()} vs. "
+                    f"{baseline.n_states()} states)")
+        got_len = cached.average_length()
+        if got_len != base_len:
+            return (f"{attempt} region-cache average length {got_len!r}"
+                    f" != cache-off baseline {base_len!r}")
+    return None
+
+
+def oracle_engine_backend(ctx: OracleContext) -> Optional[str]:
+    """Serial and process-pool engines agree on the score."""
+    objective = Objective(THROUGHPUT)
+    probs = ctx.branch_probs()
+    scores = {}
+    for label, workers in (("serial", 0), ("pool", max(2, ctx.workers))):
+        engine = EvaluationEngine(
+            ctx.hw_library, ctx.allocation, objective,
+            ctx.sched_config, probs, workers=workers, cache_size=0)
+        try:
+            scores[label] = engine.evaluate(ctx.behavior).score
+        finally:
+            engine.close()
+    if scores["serial"] != scores["pool"]:
+        return (f"serial score {scores['serial']!r} != pool score "
+                f"{scores['pool']!r}")
+    return None
+
+
+#: Oracle registry, in execution order.  ``engine-backend`` spawns a
+#: process pool, so the harness samples it instead of running it on
+#: every circuit (see ``FuzzOptions.pool_every``).
+ORACLES: Dict[str, Callable[[OracleContext], Optional[str]]] = {
+    "interp-stg": oracle_interp_stg,
+    "enum-parity": oracle_enum_parity,
+    "rewrite-semantics": oracle_rewrite_semantics,
+    "sched-incremental": oracle_sched_incremental,
+    "engine-backend": oracle_engine_backend,
+}
+
+
+def run_oracle(name: str, ctx: OracleContext) -> Optional[str]:
+    """Run one oracle by name; raises ``KeyError`` on unknown names."""
+    return ORACLES[name](ctx)
+
+
+__all__ = [
+    "FuzzFinding", "MAX_APPLIES", "ORACLES", "OracleContext",
+    "SIM_ABS_TOL", "SIM_REL_TOL", "SIM_RUNS", "TRACE_RUNS",
+    "context_for", "run_oracle",
+]

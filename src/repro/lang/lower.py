@@ -35,6 +35,13 @@ _BINARY_KINDS = {
 
 _BITWISE = {"&": "BAND", "|": "BOR", "^": "BXOR"}
 
+#: The parser caps *paren* nesting, but an unparenthesized operator
+#: chain (``a+a+...+a``) still builds an arbitrarily deep left-leaning
+#: AST without parser recursion; lowering walks that tree recursively,
+#: so it needs its own cap to fail as a SemanticError rather than a
+#: Python RecursionError.
+MAX_EXPR_DEPTH = 300
+
 
 class Lowerer:
     """Lowers a parsed :class:`Proc` into a behavior."""
@@ -42,12 +49,19 @@ class Lowerer:
     def __init__(self, proc: Proc) -> None:
         self.proc = proc
         self.builder = BehaviorBuilder(proc.name)
+        self._expr_depth = 0
 
     def lower(self) -> Behavior:
         """Run the lowering and return a validated behavior."""
         b = self.builder
         out_params: List[str] = []
+        seen: set = set()
         for p in self.proc.params:
+            if p.name in seen:
+                raise SemanticError(
+                    f"{p.line}:{p.column}: duplicate parameter "
+                    f"{p.name!r}")
+            seen.add(p.name)
             if p.direction == "in":
                 b.input(p.name)
             elif p.direction == "out":
@@ -128,6 +142,17 @@ class Lowerer:
 
     # ------------------------------------------------------------------
     def _expr(self, expr: Optional[Expr]) -> int:
+        self._expr_depth += 1
+        if self._expr_depth > MAX_EXPR_DEPTH:
+            raise SemanticError(
+                f"expression deeper than {MAX_EXPR_DEPTH} operations; "
+                f"split it across assignments")
+        try:
+            return self._expr_inner(expr)
+        finally:
+            self._expr_depth -= 1
+
+    def _expr_inner(self, expr: Optional[Expr]) -> int:
         b = self.builder
         if expr is None:
             raise SemanticError("missing expression")

@@ -27,6 +27,15 @@ from .astnodes import (ArrayAssign, ArrayRef, Assign, Binary, Expr, For, If,
                        While)
 from .lexer import TokKind, Token, tokenize
 
+#: Nesting caps: recursive descent must fail as a ParseError, never as
+#: a Python RecursionError, on adversarially deep input.  The caps are
+#: far above anything a real behavioral description nests (and what the
+#: fuzz generator emits), but low enough that the parser's deepest
+#: recursion — statements plus the full expression precedence ladder —
+#: stays well inside the interpreter's default stack budget.
+MAX_STMT_NEST = 50
+MAX_EXPR_NEST = 32
+
 #: Binary operator precedence levels, loosest first (C order).
 _PRECEDENCE: List[List[str]] = [
     ["||"],
@@ -49,6 +58,8 @@ class Parser:
         self._tokens = tokens
         self._pos = 0
         self._loop_counter = 0
+        self._stmt_depth = 0
+        self._expr_depth = 0
 
     # -- token plumbing -------------------------------------------------
     @property
@@ -133,6 +144,16 @@ class Parser:
         return stmts
 
     def _parse_stmt(self) -> Optional[Stmt]:
+        self._stmt_depth += 1
+        if self._stmt_depth > MAX_STMT_NEST:
+            raise self._error(
+                f"statements nested deeper than {MAX_STMT_NEST} levels")
+        try:
+            return self._parse_stmt_inner()
+        finally:
+            self._stmt_depth -= 1
+
+    def _parse_stmt_inner(self) -> Optional[Stmt]:
         tok = self._cur
         if self._accept(";"):
             return None
@@ -218,7 +239,15 @@ class Parser:
 
     # -- expressions ----------------------------------------------------
     def _parse_expr(self) -> Expr:
-        return self._parse_binary(0)
+        self._expr_depth += 1
+        if self._expr_depth > MAX_EXPR_NEST:
+            raise self._error(
+                f"expressions nested deeper than {MAX_EXPR_NEST} "
+                f"levels")
+        try:
+            return self._parse_binary(0)
+        finally:
+            self._expr_depth -= 1
 
     def _parse_binary(self, level: int) -> Expr:
         if level >= len(_PRECEDENCE):

@@ -88,6 +88,23 @@ class AnalysisManager:
                 nid for lp in self.loops for nid in lp.node_ids())
         return self._loop_nodes
 
+    def loops_touching(self, dirty: Set[int]) -> List[LoopRegion]:
+        """Loops whose match sets a rewrite touching ``dirty`` may have
+        changed — the loop-selection test for ``match_scoped``.
+
+        A dirty id still in the graph names its owning loops directly.
+        A dirty id *absent* from the graph was removed by the rewrite
+        (or its hygiene passes), so some loop shrank — which can create
+        matches (a node whose last in-loop input died becomes
+        hoistable; a loop whose last ineligible member died becomes
+        unrollable) — but the child alone cannot say *which* loop the
+        dead id belonged to, so every loop is suspect.
+        """
+        nodes = self.behavior.graph.nodes
+        if any(nid not in nodes for nid in dirty):
+            return list(self.loops)
+        return [lp for lp in self.loops if lp.node_ids() & dirty]
+
     @property
     def loop_conds(self) -> FrozenSet[int]:
         if self._loop_conds is None:

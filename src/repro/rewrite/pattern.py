@@ -178,8 +178,12 @@ class RewritePattern:
         drops carried parent matches whose dependency set intersects
         ``dirty`` and merges in whatever this returns.  Together they
         must reproduce a full :meth:`match` exactly — for the loop
-        restructurers that means re-scanning precisely the loops whose
-        nodes intersect ``dirty``.  Return ``None`` when unsupported
+        restructurers that means re-scanning every loop whose nodes
+        intersect ``dirty``, *including* loops that only lost nodes:
+        a dirty id absent from the child graph was removed from a loop
+        the child alone cannot identify, so such rewrites must widen
+        the re-scan to all loops (``AnalysisManager.loops_touching``
+        encapsulates both cases).  Return ``None`` when unsupported
         (the driver falls back to a full rescan).
         """
         return None

@@ -188,9 +188,8 @@ class LoopInvariantMotion(Transformation):
     def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
                      dirty) -> List[Match]:
         out: List[Match] = []
-        for loop in analyses.loops:
-            if loop.node_ids() & dirty:
-                out.extend(self._loop_matches(behavior, loop))
+        for loop in analyses.loops_touching(dirty):
+            out.extend(self._loop_matches(behavior, loop))
         return out
 
     def dependencies(self, behavior: Behavior, match: Match) -> frozenset:

@@ -107,6 +107,12 @@ class LoopFusion(Transformation):
 
     def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
                      dirty) -> List[Match]:
+        # A dirty id no longer in the graph was removed from *some*
+        # loop the child can't identify; fall back to scanning every
+        # pair (see AnalysisManager.loops_touching).
+        nodes = behavior.graph.nodes
+        if any(nid not in nodes for nid in dirty):
+            return self._matches(behavior, analyses, None)
         return self._matches(behavior, analyses, set(dirty))
 
     def _matches(self, behavior: Behavior, analyses: AnalysisManager,

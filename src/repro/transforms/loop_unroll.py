@@ -70,9 +70,8 @@ class LoopUnrolling(Transformation):
     def match_scoped(self, behavior: Behavior, analyses: AnalysisManager,
                      dirty) -> List[Match]:
         out: List[Match] = []
-        for loop in analyses.loops:
-            if loop.node_ids() & dirty:
-                out.extend(self._loop_matches(loop))
+        for loop in analyses.loops_touching(dirty):
+            out.extend(self._loop_matches(loop))
         return out
 
     def apply(self, behavior: Behavior, match: Match) -> None:

@@ -1,0 +1,70 @@
+"""Shrinker invariants: smaller, still failing, deterministic.
+
+The reducer is driven by a fake oracle with a simple syntactic failure
+predicate, so "still failing" is directly checkable on the result.
+"""
+
+import pytest
+
+from repro.gen import GenConfig, generate, shrink
+from repro.gen import oracles as oracles_mod
+
+
+def _has_loop(ctx):
+    src = ctx.circuit.source
+    if "while (" in src or "for (" in src:
+        return "circuit contains a loop"
+    return None
+
+
+@pytest.fixture
+def loop_oracle(monkeypatch):
+    monkeypatch.setitem(oracles_mod.ORACLES, "fake-loop", _has_loop)
+    return "fake-loop"
+
+
+@pytest.fixture
+def loopy_circuit():
+    return generate(4, GenConfig(loop_depth=1, loop_density=0.9,
+                                 while_loops=True, block_stmts=4))
+
+
+def test_shrink_returns_a_smaller_still_failing_circuit(
+        loop_oracle, loopy_circuit):
+    assert _has_loop_source(loopy_circuit.source)
+    result = shrink(loopy_circuit, loop_oracle)
+    assert result.reproduced
+    assert result.edits > 0
+    assert _has_loop_source(result.circuit.source)
+    assert len(result.circuit.source.splitlines()) \
+        < len(loopy_circuit.source.splitlines())
+    # The reduced program still compiles and validates.
+    result.circuit.behavior()
+
+
+def test_shrink_is_deterministic(loop_oracle, loopy_circuit):
+    first = shrink(loopy_circuit, loop_oracle)
+    second = shrink(loopy_circuit, loop_oracle)
+    assert first.circuit.source == second.circuit.source
+    assert first.edits == second.edits
+    assert first.checks == second.checks
+
+
+def test_shrink_passes_through_non_reproducing_circuits(
+        loop_oracle):
+    straightline = generate(0, GenConfig(loop_depth=0,
+                                         loop_density=0.0))
+    assert not _has_loop_source(straightline.source)
+    result = shrink(straightline, loop_oracle)
+    assert not result.reproduced
+    assert result.edits == 0
+    assert result.circuit.source == straightline.source
+
+
+def test_shrink_respects_the_check_budget(loop_oracle, loopy_circuit):
+    result = shrink(loopy_circuit, loop_oracle, max_checks=5)
+    assert result.checks <= 6  # initial probe + budgeted edits
+
+
+def _has_loop_source(source):
+    return "while (" in source or "for (" in source
