@@ -72,10 +72,13 @@ class ReproConfig:
         ReproConfig(workers=4)                      # engine knob only
         ReproConfig(fact=FactConfig(vdd=3.3))       # full control
 
-    ``workers`` / ``cache_size`` / ``incremental``, when given, override
-    the evaluation engine knobs inside the search section
-    (``incremental=False`` disables region-level schedule memoization —
-    same results, no reuse; see ``docs/performance.md``).
+    ``workers`` / ``cache_size`` / ``incremental`` /
+    ``numeric_backend``, when given, override the evaluation engine
+    knobs inside the search section (``incremental=False`` disables
+    region-level schedule memoization — same results, no reuse;
+    ``numeric_backend="batched"`` stacks candidate Markov solves into
+    blocked linear-algebra calls — again bit-identical results; see
+    ``docs/performance.md``).
 
     ``trace`` attaches a :class:`~repro.obs.trace.Tracer`: the run
     records nested spans (compile / schedule / evaluate /
@@ -91,6 +94,7 @@ class ReproConfig:
     workers: Optional[int] = None
     cache_size: Optional[int] = None
     incremental: Optional[bool] = None
+    numeric_backend: Optional[str] = None
     trace: Optional[AnyTracer] = None
 
     def resolved(self) -> FactConfig:
@@ -107,6 +111,8 @@ class ReproConfig:
             updates["cache_size"] = self.cache_size
         if self.incremental is not None:
             updates["incremental"] = self.incremental
+        if self.numeric_backend is not None:
+            updates["numeric_backend"] = self.numeric_backend
         if updates:
             fact.search = replace(fact.search, **updates)
         return fact

@@ -130,11 +130,11 @@ def _load(path: str):
     # treating a missing path as source text and report a confusing
     # lex error on a typo'd filename).
     if not os.path.isfile(path):
-        raise SystemExit(f"cannot read {path}: no such file")
+        raise SystemExit(f"error: cannot read {path}: no such file")
     try:
         return api.compile(path)
     except OSError as exc:
-        raise SystemExit(f"cannot read {path}: {exc}")
+        raise SystemExit(f"error: cannot read {path}: {exc}")
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -206,7 +206,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                             seed=args.seed,
                             incremental=not args.no_incremental,
                             incremental_enumeration=(
-                                not args.no_incremental_enum)),
+                                not args.no_incremental_enum),
+                            numeric_backend=args.numeric_backend),
         workers=args.workers)
     result = api.optimize(
         behavior, objective=args.objective, config=config,
@@ -242,7 +243,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
                            seed=args.seed, workers=args.workers,
                            incremental=not args.no_incremental,
                            incremental_enumeration=(
-                               not args.no_incremental_enum))
+                               not args.no_incremental_enum),
+                           numeric_backend=args.numeric_backend)
     config = ExploreConfig(
         generations=args.generations,
         population_size=args.population,
@@ -251,7 +253,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         warm_start=not args.no_warm_start,
         sched=SchedConfig(clock=args.clock), search=search,
         incremental=not args.no_incremental,
-        incremental_enumeration=not args.no_incremental_enum)
+        incremental_enumeration=not args.no_incremental_enum,
+        numeric_backend=args.numeric_backend)
     result = api.explore(
         behavior, config=config, alloc=args.alloc,
         profile_traces=args.profile_traces, store=args.store,
@@ -313,7 +316,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_submit(args: argparse.Namespace) -> int:
     if not os.path.isfile(args.file):
-        raise SystemExit(f"cannot read {args.file}: no such file")
+        raise SystemExit(f"error: cannot read {args.file}: no such file")
     job_id = api.submit(
         args.file, alloc=args.alloc, objective=args.objective,
         queue=args.queue, store=args.store, seed=args.seed,
@@ -428,22 +431,22 @@ def _finding_from_args(args: argparse.Namespace):
         import json
         if not os.path.isfile(args.finding):
             raise SystemExit(
-                f"cannot read {args.finding}: no such file")
+                f"error: cannot read {args.finding}: no such file")
         with open(args.finding, encoding="utf-8") as handle:
             doc = json.load(handle)
         if isinstance(doc, dict) and "findings" in doc:
             findings = doc["findings"]
             if not findings:
-                raise SystemExit(f"{args.finding}: no findings")
+                raise SystemExit(f"error: {args.finding}: no findings")
             if args.index >= len(findings):
                 raise SystemExit(
-                    f"{args.finding}: --index {args.index} out of "
-                    f"range ({len(findings)} findings)")
+                    f"error: {args.finding}: --index {args.index} out "
+                    f"of range ({len(findings)} findings)")
             doc = findings[args.index]
         return FuzzFinding.from_dict(doc)
     if args.seed is None or not args.oracle:
         raise SystemExit(
-            "need either a finding file or --seed and --oracle")
+            "error: need either a finding file or --seed and --oracle")
     config = _gen_config_overrides(args.gen) or GenConfig()
     return FuzzFinding(schema_version=GEN_SCHEMA_VERSION,
                        seed=args.seed, config=config.as_dict(),
@@ -524,12 +527,12 @@ def cmd_fuzz_shrink(args: argparse.Namespace) -> int:
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
     if not os.path.isfile(args.file):
-        raise SystemExit(f"cannot read {args.file}: no such file")
+        raise SystemExit(f"error: cannot read {args.file}: no such file")
     from .obs import format_summary, load_trace, summarize_trace
     try:
         spans, metrics = load_trace(args.file)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"cannot load trace {args.file}: {exc}")
+        raise SystemExit(f"error: cannot load trace {args.file}: {exc}")
     print(format_summary(summarize_trace(spans, metrics)))
     return 0
 
@@ -609,6 +612,12 @@ def _add_incremental_args(p: argparse.ArgumentParser) -> None:
                    help="disable incremental candidate enumeration "
                         "(identical results, slower; the benchmark "
                         "baseline)")
+    p.add_argument("--numeric-backend", choices=("scalar", "batched"),
+                   default="scalar",
+                   help="linear-algebra core for candidate evaluation: "
+                        "'batched' stacks Markov solves into blocked "
+                        "LAPACK calls (identical results; see "
+                        "docs/performance.md)")
 
 
 def _add_explore_args(p: argparse.ArgumentParser) -> None:

@@ -38,10 +38,11 @@ from ..cdfg.ir import _digest
 from ..cdfg.regions import Behavior
 from ..errors import ReproError, SearchError
 from ..hw import Allocation, Library
+from ..numeric import get_backend, set_backend
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import NULL_TRACER, AnyTracer, Tracer
 from ..stg import markov as _markov
-from ..sched.driver import ScheduleResult, Scheduler
+from ..sched.driver import ScheduleResult, Scheduler, resolve_visits
 from ..sched.regioncache import RegionScheduleCache
 from ..sched.types import BranchProbs, ResourceModel, SchedConfig
 from .evalcache import CacheStats, EvalCache, cached_fingerprint
@@ -113,6 +114,8 @@ class _EvalContext:
     incremental: bool = True
     region_cache_size: int = 4096
     traced: bool = False
+    #: numeric backend name; installed per process (see _init_worker).
+    numeric_backend: str = "scalar"
 
     def make_region_cache(self) -> Optional[RegionScheduleCache]:
         """A region-schedule cache bound to this context.
@@ -171,6 +174,47 @@ def _datapath_cost(behavior: Behavior, library: Library,
     return sum(rm.delay_of(nid) for nid in behavior.graph.node_ids())
 
 
+def _counters_before(region_cache: Optional[RegionScheduleCache],
+                     numeric) -> Tuple:
+    """Snapshot of every per-candidate counter source."""
+    return (region_cache.snapshot() if region_cache is not None else None,
+            numeric.snapshot(), numeric.solve_seconds)
+
+
+def _accrue_counters(stats: EvalStats, before: Tuple,
+                     region_cache: Optional[RegionScheduleCache],
+                     numeric) -> None:
+    """Add the counter deltas since ``before`` onto ``stats``."""
+    cache_before, nb_before, seconds_before = before
+    nb_after = numeric.snapshot()
+    stats.numeric_flushes += nb_after[0] - nb_before[0]
+    stats.numeric_batched += nb_after[1] - nb_before[1]
+    stats.numeric_seconds += numeric.solve_seconds - seconds_before
+    if region_cache is None or cache_before is None:
+        return
+    after = region_cache.snapshot()
+    stats.region_hits += after[0] - cache_before[0]
+    stats.region_requests += ((after[0] - cache_before[0])
+                              + (after[1] - cache_before[1]))
+    stats.markov_local += after[2] - cache_before[2]
+    stats.markov_reused += after[3] - cache_before[3]
+    stats.markov_full += after[4] - cache_before[4]
+    stats.solver_time += after[5] - cache_before[5]
+    stats.states_built += after[6] - cache_before[6]
+    stats.states_reused += after[7] - cache_before[7]
+    stats.region_evictions += after[8] - cache_before[8]
+
+
+def _set_result_attrs(span, score: float, stats: EvalStats) -> None:
+    # inf is not valid JSON; unschedulable candidates carry the
+    # `unschedulable` attribute instead of a score.
+    span.set(score=score if score != float("inf") else None,
+             region_hits=stats.region_hits,
+             states_built=stats.states_built,
+             states_reused=stats.states_reused,
+             reschedule_fraction=round(stats.reschedule_fraction, 4))
+
+
 def _score_one(ctx: _EvalContext, behavior: Behavior,
                region_cache: Optional[RegionScheduleCache],
                tracer: AnyTracer = NULL_TRACER,
@@ -184,8 +228,8 @@ def _score_one(ctx: _EvalContext, behavior: Behavior,
     with tracer.span("evaluate", cache="miss") as span:
         if key is not None:
             span.set(candidate=key[:16])
-        before = region_cache.snapshot() \
-            if region_cache is not None else None
+        numeric = get_backend()
+        before = _counters_before(region_cache, numeric)
         stats = EvalStats(scheduled=1)
         t0 = time.perf_counter()
         try:
@@ -200,28 +244,10 @@ def _score_one(ctx: _EvalContext, behavior: Behavior,
             result, score = None, float("inf")
             span.set(unschedulable=type(err).__name__)
         stats.sched_time = time.perf_counter() - t0
-        if region_cache is None or before is None:
-            if result is not None:
-                stats.states_built = len(result.stg.states)
-        else:
-            after = region_cache.snapshot()
-            (stats.region_hits, stats.region_requests, stats.markov_local,
-             stats.markov_reused, stats.markov_full, stats.solver_time,
-             stats.states_built, stats.states_reused,
-             stats.region_evictions) = (
-                after[0] - before[0],
-                (after[0] - before[0]) + (after[1] - before[1]),
-                after[2] - before[2], after[3] - before[3],
-                after[4] - before[4], after[5] - before[5],
-                after[6] - before[6], after[7] - before[7],
-                after[8] - before[8])
-        # inf is not valid JSON; unschedulable candidates carry the
-        # `unschedulable` attribute instead of a score.
-        span.set(score=score if score != float("inf") else None,
-                 region_hits=stats.region_hits,
-                 states_built=stats.states_built,
-                 states_reused=stats.states_reused,
-                 reschedule_fraction=round(stats.reschedule_fraction, 4))
+        _accrue_counters(stats, before, region_cache, numeric)
+        if region_cache is None and result is not None:
+            stats.states_built = len(result.stg.states)
+        _set_result_attrs(span, score, stats)
         return result, score, stats
 
 
@@ -241,6 +267,10 @@ def _init_worker(ctx: _EvalContext) -> None:
     # parent re-parents them under its open span via Tracer.adopt.
     _WORKER_TRACER = Tracer() if ctx.traced else NULL_TRACER
     _markov.set_tracer(_WORKER_TRACER)
+    # Like the tracer, the numeric backend is process-local state: each
+    # worker installs its own instance (the counters it accumulates are
+    # shipped home per candidate via EvalStats).
+    set_backend(ctx.numeric_backend)
 
 
 def _eval_worker(behavior: Behavior
@@ -276,6 +306,7 @@ class EvaluationEngine:
                  incremental: bool = True,
                  region_cache_size: int = 4096,
                  region_cache: Optional[RegionScheduleCache] = None,
+                 numeric_backend: str = "scalar",
                  tracer: Optional[AnyTracer] = None
                  ) -> None:
         self.tracer: AnyTracer = tracer if tracer is not None \
@@ -285,7 +316,12 @@ class EvaluationEngine:
                                  branch_probs, objective,
                                  incremental=incremental,
                                  region_cache_size=region_cache_size,
-                                 traced=bool(self.tracer.enabled))
+                                 traced=bool(self.tracer.enabled),
+                                 numeric_backend=numeric_backend)
+        # Installed for this process too (the serial backend and batch
+        # leftovers evaluate inline); resolve_backend falls back to
+        # scalar when batching prerequisites are missing.
+        set_backend(numeric_backend)
         self.workers = resolve_workers(workers)
         self.cache = EvalCache(max_entries=cache_size)
         #: (parent raw fingerprint × match fingerprint) -> behavior
@@ -482,12 +518,107 @@ class EvaluationEngine:
                         self.tracer.adopt(payload, root_attrs=attrs)
                     scored.append(triple)
                 return scored
-        scored = [_score_one(self._ctx, b, self._region_cache,
-                             self.tracer,
-                             keys[i] if keys is not None else None)
-                  for i, b in enumerate(behaviors)]
+        numeric = get_backend()
+        if (numeric.batched and self._region_cache is not None
+                and len(behaviors) >= 2):
+            scored = self._score_generation(behaviors, keys)
+        else:
+            scored = [_score_one(self._ctx, b, self._region_cache,
+                                 self.tracer,
+                                 keys[i] if keys is not None else None)
+                      for i, b in enumerate(behaviors)]
         for _result, _score, st in scored:
             self.eval_stats.add(st)
+        return scored
+
+    def _score_generation(self, behaviors: List[Behavior],
+                          keys: Optional[List[str]]
+                          ) -> List[Tuple[Optional[ScheduleResult], float,
+                                          EvalStats]]:
+        """Serial scoring with generation-deferred visit solves.
+
+        The cross-candidate batch point of the batched numeric backend
+        (`docs/performance.md`): every candidate is scheduled first with
+        its final spliced-visit assembly deferred, then *all*
+        candidates' dirty fragments are solved in one flush
+        (:func:`repro.sched.driver.resolve_visits`), then each candidate
+        is spliced and scored.  Each sub-chain's solution is independent
+        of its flushmates and fragments shared between candidates are
+        solved once and memo-reused exactly as the sequential walk would
+        have, so scores, STGs and visit totals are bit-identical to
+        :func:`_score_one`.  Per-candidate ``EvalStats`` cover each
+        candidate's own scheduling and scoring; the communal flush's
+        counters are booked as one extra batch-level record so
+        aggregated totals stay exact.
+        """
+        ctx, cache, tracer = self._ctx, self._region_cache, self.tracer
+        numeric = get_backend()
+        count = len(behaviors)
+        spans: List[object] = []
+        stats_list: List[EvalStats] = []
+        pendings: List[Optional[object]] = []
+        results: List[Optional[ScheduleResult]] = [None] * count
+        errors: List[Optional[ReproError]] = [None] * count
+        for i, behavior in enumerate(behaviors):
+            stats = EvalStats(scheduled=1)
+            before = _counters_before(cache, numeric)
+            t0 = time.perf_counter()
+            pending = None
+            with tracer.span("evaluate", cache="miss") as span:
+                if keys is not None:
+                    span.set(candidate=keys[i][:16])
+                try:
+                    scheduler = Scheduler(behavior, ctx.library,
+                                          ctx.allocation, ctx.sched_config,
+                                          ctx.branch_probs,
+                                          region_cache=cache,
+                                          tracer=tracer,
+                                          defer_visits=True)
+                    results[i] = scheduler.schedule()
+                    pending = scheduler.pending
+                except ReproError as err:
+                    errors[i] = err
+            stats.sched_time = time.perf_counter() - t0
+            _accrue_counters(stats, before, cache, numeric)
+            spans.append(span)
+            stats_list.append(stats)
+            pendings.append(pending)
+        todo = [(i, p) for i, p in enumerate(pendings)
+                if p is not None and errors[i] is None]
+        if todo:
+            batch = EvalStats()
+            before = _counters_before(cache, numeric)
+            t0 = time.perf_counter()
+            resolved = resolve_visits([p for _i, p in todo], cache)
+            batch.sched_time = time.perf_counter() - t0
+            _accrue_counters(batch, before, cache, numeric)
+            self.eval_stats.add(batch)
+            for (i, _p), err in zip(todo, resolved):
+                if err is not None:
+                    errors[i] = err
+        scored: List[Tuple[Optional[ScheduleResult], float,
+                           EvalStats]] = []
+        for i, behavior in enumerate(behaviors):
+            stats, span = stats_list[i], spans[i]
+            before = _counters_before(cache, numeric)
+            t0 = time.perf_counter()
+            result, score = results[i], float("inf")
+            if errors[i] is None and result is not None:
+                try:
+                    score = ctx.objective.evaluate(result)
+                    score += TIEBREAK * _datapath_cost(
+                        behavior, ctx.library, ctx.allocation)
+                except ReproError as err:
+                    errors[i] = err
+            if errors[i] is not None:
+                result, score = None, float("inf")
+                span.set(unschedulable=type(errors[i]).__name__)
+            stats.sched_time += time.perf_counter() - t0
+            _accrue_counters(stats, before, cache, numeric)
+            # The evaluate span closed after scheduling, but its attrs
+            # stay writable until the tracer exports (see obs.trace).
+            _set_result_attrs(span, score, stats)
+            scored.append((result, score, stats))
         return scored
 
     def _ensure_pool(self) -> Optional[Executor]:

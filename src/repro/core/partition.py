@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..stg.markov import expected_visits, state_probabilities
+from ..stg.markov import state_probabilities
 from ..stg.model import Stg, Transition
 
 
@@ -39,29 +39,39 @@ class StgBlock:
         return out
 
 
-def relative_frequencies(stg: Stg) -> List[Tuple[Transition, float]]:
-    """``(transition, P(source) × P(edge | source))`` pairs, descending."""
-    probs = state_probabilities(stg)
+def relative_frequencies(stg: Stg,
+                         visits: Optional[Dict[int, float]] = None
+                         ) -> List[Tuple[Transition, float]]:
+    """``(transition, P(source) × P(edge | source))`` pairs, descending.
+
+    ``visits`` optionally supplies precomputed expected visits (a
+    schedule result's memoized totals) so the chain isn't solved a
+    second time just to rank transitions.
+    """
+    probs = state_probabilities(stg, visits=visits)
     ranked = [(t, probs.get(t.src, 0.0) * t.prob)
               for t in stg.transitions]
     ranked.sort(key=lambda pair: (-pair[1], pair[0].src, pair[0].dst))
     return ranked
 
 
-def partition_stg(stg: Stg, threshold: float = 0.1) -> List[StgBlock]:
+def partition_stg(stg: Stg, threshold: float = 0.1,
+                  visits: Optional[Dict[int, float]] = None
+                  ) -> List[StgBlock]:
     """Partition the STG into disjoint hot blocks.
 
     Args:
         stg: the scheduled behavior.
         threshold: keep transitions whose relative frequency is at least
             ``threshold × max_frequency``.
+        visits: precomputed expected visits (else solved here).
 
     Returns:
         Disjoint blocks, most frequent first.  States whose traffic is
         entirely below threshold belong to no block (they are the cold
         remainder the algorithm leaves untouched).
     """
-    ranked = relative_frequencies(stg)
+    ranked = relative_frequencies(stg, visits=visits)
     if not ranked:
         return []
     cutoff = ranked[0][1] * threshold
@@ -100,9 +110,10 @@ def partition_stg(stg: Stg, threshold: float = 0.1) -> List[StgBlock]:
 
 
 def hot_cdfg_nodes(stg: Stg, threshold: float = 0.1,
-                   max_blocks: Optional[int] = None) -> Set[int]:
+                   max_blocks: Optional[int] = None,
+                   visits: Optional[Dict[int, float]] = None) -> Set[int]:
     """CDFG nodes inside the hottest blocks (search focus set)."""
-    blocks = partition_stg(stg, threshold)
+    blocks = partition_stg(stg, threshold, visits=visits)
     if max_blocks is not None:
         blocks = blocks[:max_blocks]
     out: Set[int] = set()

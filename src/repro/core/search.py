@@ -126,6 +126,11 @@ class SearchConfig:
     identical results either way — ``--no-incremental-enum`` is the
     benchmark baseline); ``enum_cache_size`` bounds its per-behavior
     enumeration memo.
+    ``numeric_backend`` selects the linear-algebra core for candidate
+    evaluation: ``"scalar"`` (one solve per chain, the classic path) or
+    ``"batched"`` (same-size chains stacked into blocked LAPACK calls,
+    vectorized power accumulation) — bit-identical results either way
+    (``--numeric-backend`` on the CLI; see docs/performance.md).
     """
 
     max_outer_iters: int = 6
@@ -141,6 +146,7 @@ class SearchConfig:
     region_cache_size: int = 4096
     incremental_enumeration: bool = True
     enum_cache_size: int = 512
+    numeric_backend: str = "scalar"
 
 
 @dataclass
@@ -217,6 +223,7 @@ class TransformSearch:
             incremental=self.config.incremental,
             region_cache_size=self.config.region_cache_size,
             region_cache=self.region_cache,
+            numeric_backend=self.config.numeric_backend,
             tracer=self.tracer)
 
     def evaluate(self, behavior: Behavior,

@@ -103,6 +103,7 @@ class ExploreConfig:
     cycle_time: float = 1.0
     incremental: bool = True
     incremental_enumeration: bool = True
+    numeric_backend: str = "scalar"
 
     def warm_start_search(self) -> SearchConfig:
         """The warm-start budget (explicit, or derived from the knobs)."""
@@ -112,23 +113,26 @@ class ExploreConfig:
             seed=self.seed, workers=self.workers,
             cache_size=self.cache_size,
             incremental=self.incremental,
-            incremental_enumeration=self.incremental_enumeration)
+            incremental_enumeration=self.incremental_enumeration,
+            numeric_backend=self.numeric_backend)
 
     def identity(self) -> Tuple:
         """Everything that shapes the search trajectory (for the run
         fingerprint; ``generations`` is deliberately excluded so a
         finished run can be extended by resuming with a higher cap).
-        ``incremental`` / ``incremental_enumeration`` and the cache
-        sizes are normalized out: all evaluation and enumeration modes
-        produce identical trajectories by construction, so a run
-        checkpointed in one mode can resume in the other."""
+        ``incremental`` / ``incremental_enumeration`` / the numeric
+        backend and the cache sizes are normalized out: all evaluation
+        and enumeration modes produce identical trajectories by
+        construction, so a run checkpointed in one mode can resume in
+        the other."""
         return (self.population_size, self.max_candidates_per_seed,
                 self.seed, self.warm_start,
                 astuple(replace(self.warm_start_search(),
                                 incremental=True,
                                 region_cache_size=4096,
                                 incremental_enumeration=True,
-                                enum_cache_size=512)),
+                                enum_cache_size=512,
+                                numeric_backend="scalar")),
                 self.vdd, self.vt, self.cycle_time,
                 tuple(self.warm_start_objectives))
 
@@ -267,6 +271,7 @@ class ExploreRunner:
             sched_config=cfg.sched, branch_probs=self.branch_probs,
             workers=cfg.workers, cache_size=cfg.cache_size,
             incremental=cfg.incremental, region_cache=region_cache,
+            numeric_backend=cfg.numeric_backend,
             tracer=self.tracer)
         telemetry = ExploreTelemetry(backend=engine.backend,
                                      workers=max(engine.workers, 1),

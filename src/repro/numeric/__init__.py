@@ -1,0 +1,47 @@
+"""Numeric backends for the evaluation hot path.
+
+The paper's Section 2.2 analysis bottoms out in many small absorbing-
+chain solves (one per dirty schedule fragment), an activity-weighted
+energy sum, and Monte-Carlo walks.  This package supplies two
+interchangeable backends behind those primitives:
+
+* ``scalar`` (default) — the classic one-solve-at-a-time path, exactly
+  as the scheduler has always run it;
+* ``batched`` — collects the absorbing-chain systems queued by one
+  candidate and dispatches them as stacked LAPACK solves (grouped by
+  size below ``SPARSE_THRESHOLD``), vectorizes the power accumulation,
+  and offers a numpy-RNG batched simulator.
+
+The batched backend is gated by the repository's bit-identity
+contract: every evaluation output (schedules, visit totals, scores,
+power estimates, Pareto fronts) must be byte-identical to the scalar
+backend's.  See ``docs/performance.md`` ("Numeric backends") for the
+batch points and the one documented deviation (sparse systems are
+solved per-system inside a flush, because a block-diagonal assembled
+sparse solve reorders eliminations and is *not* per-block
+bit-identical).
+
+Backends are installed per process (like the Markov tracer): the
+evaluation engine calls :func:`set_backend` in the parent and in every
+pool worker's initializer, so deep callees reach the active backend
+via :func:`get_backend` without threading it through every signature.
+"""
+
+from .backend import (BACKENDS, BATCHED, SCALAR, BatchedBackend,
+                      NumericBackend, ScalarBackend, batching_available,
+                      get_backend, resolve_backend, set_backend,
+                      use_backend)
+
+__all__ = [
+    "BACKENDS",
+    "BATCHED",
+    "SCALAR",
+    "BatchedBackend",
+    "NumericBackend",
+    "ScalarBackend",
+    "batching_available",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]

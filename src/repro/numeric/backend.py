@@ -1,0 +1,315 @@
+"""Backend objects and per-process installation.
+
+A backend is a small stateful object exposing ``solve_systems`` — the
+flush: it takes the list of assembled absorbing-chain systems queued by
+one call site and returns one entry per system, either the raw solution
+vector or the :class:`~repro.errors.MarkovError` that system produced.
+There is no deferred queue to drain: the batch *is* the call, so error
+scope and evaluation order stay easy to reason about.
+
+Installation is process-local (module global), mirroring
+``repro.stg.markov.set_tracer``: the evaluation engine installs the
+configured backend in the parent process and in every pool worker's
+initializer, and deep callees (scheduler, region cache, power model)
+reach it through :func:`get_backend`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from ..errors import ConfigError, MarkovError
+
+#: Canonical backend names (the CLI's ``--numeric-backend`` choices).
+SCALAR = "scalar"
+BATCHED = "batched"
+BACKENDS = (SCALAR, BATCHED)
+
+
+def _solve_or_error(system) -> Union["object", MarkovError]:
+    """One scalar solve, with the MarkovError captured instead of raised."""
+    from ..stg.markov import _solve_visits
+    try:
+        return _solve_visits(system.name, system.transitions,
+                             system.index, system.n, system.e)
+    except MarkovError as err:
+        return err
+
+
+def _negative_visits_error(system) -> MarkovError:
+    """The scalar path's exact negative-visits error for one system."""
+    return MarkovError(f"{system.name}: negative expected visits; "
+                       f"inconsistent probabilities")
+
+
+class NumericBackend:
+    """Interface shared by the scalar and batched backends."""
+
+    name: str = "?"
+    #: True when call sites should gather work into flushes; the scalar
+    #: backend leaves every call site on its classic sequential path.
+    batched: bool = False
+    #: Seconds spent inside solves (matrix assembly from transitions,
+    #: LAPACK, validity checks) — the numeric-core metric both backends
+    #: accrue symmetrically: the scalar path per ``_solve_visits`` call,
+    #: the batched path per flush.  ``+=`` on the class default creates
+    #: the per-instance accumulator.
+    solve_seconds: float = 0.0
+    #: True while a batched flush is timing itself, so the per-system
+    #: scalar re-solves it falls back on do not double-accrue.
+    _in_flush: bool = False
+
+    def solve_systems(self, systems: Sequence) -> List[object]:
+        """Solve every system; one result (vector or MarkovError) each."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Tuple[int, int]:
+        """``(flushes, flushed_systems)`` counters for per-candidate
+        deltas (see :class:`~repro.core.telemetry.EvalStats`)."""
+        return (0, 0)
+
+
+class ScalarBackend(NumericBackend):
+    """The classic path: each system solved on its own, in order."""
+
+    name = SCALAR
+    batched = False
+
+    def solve_systems(self, systems: Sequence) -> List[object]:
+        return [_solve_or_error(system) for system in systems]
+
+
+class BatchedBackend(NumericBackend):
+    """Grouped stacked/merged solves with per-system error isolation.
+
+    Dense systems (``n <= SPARSE_THRESHOLD``) are grouped by size and
+    solved through one stacked LAPACK call per group — bit-identical to
+    individual solves.  Sizes with a single member skip the stack
+    machinery and take ``solver.solve_dense_single`` — the same LAPACK
+    call as the scalar interior without its per-call constructions
+    (block-diagonal merging was rejected; see the ``solver`` module
+    docstring).  Sparse systems are solved per-system inside the same
+    flush (an assembled block-diagonal *sparse* solve would not be
+    per-block bit-identical; see ``docs/performance.md``).  A singular
+    member poisons its whole stack, so on ``LinAlgError`` the group is
+    re-solved system-by-system, reproducing the scalar path's exact
+    per-system ``MarkovError``.
+    """
+
+    name = BATCHED
+    batched = True
+
+    def __init__(self) -> None:
+        self.flushes = 0          #: solve_systems calls with >=1 system
+        self.flushed_systems = 0  #: systems routed through flushes
+        self.stacked_calls = 0    #: stacked LAPACK calls issued
+        self.single_solves = 0    #: lean size-singleton dense solves
+        self.solo_solves = 0      #: sparse / singular-isolation solves
+        self.max_batch = 0        #: largest flush seen
+        # Bound once: flushes are frequent enough (one per candidate's
+        # dirty fragments, one per variant-measure pair) that per-call
+        # module lookups are measurable against small stacks.
+        import time
+
+        import numpy as np
+
+        from . import solver
+        self._perf = time.perf_counter
+        self._np = np
+        self._solver = solver
+        # the markov module imports this one, so it is bound lazily on
+        # the first flush instead of here
+        self._markov = None
+
+    def snapshot(self) -> Tuple[int, int]:
+        return (self.flushes, self.flushed_systems)
+
+    @property
+    def fill_rate(self) -> float:
+        """Average systems per flush (1.0 = no batching happened)."""
+        return self.flushed_systems / self.flushes if self.flushes else 0.0
+
+    def solve_systems(self, systems: Sequence) -> List[object]:
+        if not systems:
+            return []
+        markov = self._markov
+        if markov is None:
+            from ..stg import markov
+            self._markov = markov
+        self.flushes += 1
+        self.flushed_systems += len(systems)
+        if len(systems) > self.max_batch:
+            self.max_batch = len(systems)
+        self._in_flush = True
+        t0 = self._perf()
+        try:
+            # The tracer is the markov module's process-local one, so
+            # flush spans nest under whatever schedule/evaluate span is
+            # open.  Untraced one- and two-system flushes — the
+            # dominant shapes — skip the span and grouping machinery,
+            # whose bookkeeping rivals a small solve's cost.
+            tracer = markov._TRACER
+            if len(systems) <= 2 and not tracer.enabled:
+                return self._solve_small(systems,
+                                         markov.SPARSE_THRESHOLD)
+            return self._solve_grouped(systems, tracer)
+        finally:
+            self._in_flush = False
+            self.solve_seconds += self._perf() - t0
+
+    def _solve_small(self, systems: Sequence,
+                     threshold: int) -> List[object]:
+        """Span-free flush of at most two systems, counters matching
+        :meth:`_solve_grouped` case for case."""
+        solver = self._solver
+        if (len(systems) == 2 and systems[0].n == systems[1].n
+                and systems[0].n <= threshold):
+            try:
+                v = solver.solve_dense_stack(systems)
+            except self._np.linalg.LinAlgError:
+                self.solo_solves += 2
+                return [_solve_or_error(system) for system in systems]
+            self.stacked_calls += 1
+            if solver.negative(v):
+                return [(_negative_visits_error(system)
+                         if solver.negative(vj) else vj)
+                        for system, vj in zip(systems, v)]
+            return [v[0], v[1]]
+        results: List[object] = []
+        for system in systems:
+            if system.n > threshold:
+                results.append(_solve_or_error(system))
+                self.solo_solves += 1
+                continue
+            try:
+                v = solver.solve_dense_single(system)
+            except self._np.linalg.LinAlgError:
+                results.append(_solve_or_error(system))
+                self.solo_solves += 1
+                continue
+            self.single_solves += 1
+            if solver.negative(v):
+                results.append(_negative_visits_error(system))
+            else:
+                results.append(v)
+        return results
+
+    def _solve_grouped(self, systems: Sequence,
+                       tracer) -> List[object]:
+        """The general flush: grouped stacked solves under a span."""
+        np = self._np
+        solver = self._solver
+        results: List[object] = [None] * len(systems)
+        dense, sparse = solver.group_by_size(systems)
+        with tracer.span("numeric.flush", systems=len(systems),
+                         dense_groups=len(dense),
+                         sparse=len(sparse)) as span:
+            singles: List[int] = []
+            for n, idxs in sorted(dense.items()):
+                if len(idxs) == 1:
+                    singles.append(idxs[0])
+                    continue
+                group = [systems[i] for i in idxs]
+                try:
+                    v = solver.solve_dense_stack(group)
+                except np.linalg.LinAlgError:
+                    span.set(singular=True)
+                    for i in idxs:
+                        results[i] = _solve_or_error(systems[i])
+                        self.solo_solves += 1
+                    continue
+                self.stacked_calls += 1
+                if solver.negative(v):
+                    # rare: locate the offending members only then
+                    for j, i in enumerate(idxs):
+                        vi = v[j]
+                        if solver.negative(vi):
+                            results[i] = _negative_visits_error(
+                                systems[i])
+                        else:
+                            results[i] = vi
+                else:
+                    for j, i in enumerate(idxs):
+                        results[i] = v[j]
+            # Size-singleton systems (no stacking partner — the usual
+            # shape of a variant-measure pair) take the lean
+            # single-solve path: same LAPACK call as the scalar
+            # interior, without its per-call constructions.
+            for i in singles:
+                try:
+                    v = solver.solve_dense_single(systems[i])
+                except np.linalg.LinAlgError:
+                    span.set(singular=True)
+                    results[i] = _solve_or_error(systems[i])
+                    self.solo_solves += 1
+                    continue
+                self.single_solves += 1
+                if solver.negative(v):
+                    results[i] = _negative_visits_error(systems[i])
+                else:
+                    results[i] = v
+            for i in sparse:
+                results[i] = _solve_or_error(systems[i])
+                self.solo_solves += 1
+            span.set(fill=len(systems)
+                     / max(len(dense) + len(sparse), 1))
+        return results
+
+
+def batching_available() -> bool:
+    """True when the batched backend's numpy machinery imports."""
+    try:
+        from . import solver  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def resolve_backend(name: "str | None") -> NumericBackend:
+    """Backend instance for a configured name.
+
+    ``None``/empty counts as scalar; ``batched`` silently falls back to
+    scalar when numpy batching is unavailable (the configured knob is a
+    performance hint, never a correctness switch — both backends are
+    bit-identical).  Unknown names raise :class:`ConfigError`.
+    """
+    if name in (None, "", SCALAR):
+        return ScalarBackend()
+    if name == BATCHED:
+        if not batching_available():
+            return ScalarBackend()
+        return BatchedBackend()
+    raise ConfigError(
+        f"unknown numeric backend {name!r}; choose from {BACKENDS}")
+
+
+#: Process-local installed backend (see :func:`set_backend`).
+_BACKEND: NumericBackend = ScalarBackend()
+
+
+def get_backend() -> NumericBackend:
+    """The backend installed in this process."""
+    return _BACKEND
+
+
+def set_backend(backend: "str | NumericBackend | None") -> NumericBackend:
+    """Install the process-local backend (a name or an instance)."""
+    global _BACKEND
+    if isinstance(backend, NumericBackend):
+        _BACKEND = backend
+    else:
+        _BACKEND = resolve_backend(backend)
+    return _BACKEND
+
+
+@contextlib.contextmanager
+def use_backend(backend: "str | NumericBackend | None"
+                ) -> Iterator[NumericBackend]:
+    """Temporarily install a backend (tests, oracles, benchmarks)."""
+    previous = _BACKEND
+    installed = set_backend(backend)
+    try:
+        yield installed
+    finally:
+        set_backend(previous)

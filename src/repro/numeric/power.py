@@ -1,0 +1,75 @@
+"""Vectorized activity-weighted energy accumulation.
+
+Replaces the scalar per-event dict updates in
+:func:`repro.power.model.estimate_power` with one grouped reduction per
+bucket, while staying bit-identical:
+
+* partial sums come from ``np.cumsum`` — a strictly left-to-right
+  running sum, the same float-association order as the scalar ``+=``
+  chain (``np.sum``'s pairwise reduction would *not* match);
+* buckets are keyed in first-encounter order among positive-weight
+  states, so downstream ``sum(dict.values())`` reductions (which are
+  insertion-order sensitive) see the same operand order;
+* the unknown-node :class:`~repro.errors.PowerError` fires at the same
+  event the scalar loop would raise it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..cdfg.ops import OpKind
+from ..errors import PowerError
+
+
+def _running_sum(values: List[float]) -> float:
+    """Left-to-right float sum of ``values`` (bit-identical to the
+    scalar accumulation chain)."""
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    return float(np.cumsum(np.asarray(values))[-1])
+
+
+def accumulate_activity(stg, graph, library, visits: Dict[int, float]
+                        ) -> Tuple[Dict[str, float], Dict[str, float],
+                                   float, float]:
+    """Batched replica of the scalar accumulation loop.
+
+    Returns ``(fu_ops, fu_energy, mem_accesses, total_ops)`` exactly as
+    the scalar loop in ``estimate_power`` would have left them.
+    """
+    fu_counts: Dict[str, List[float]] = {}
+    fu_energies: Dict[str, List[float]] = {}
+    mem: List[float] = []
+    ops: List[float] = []
+    nodes = graph.nodes
+    fu_for = library.fu_for
+    for sid, state in stg.states.items():
+        weight = visits.get(sid, 0.0)
+        if weight <= 0:
+            continue
+        for op in state.ops:
+            count = weight * op.exec_prob
+            node = nodes.get(op.node)
+            if node is None:
+                raise PowerError(
+                    f"state {sid} references unknown CDFG node {op.node}")
+            if node.kind in (OpKind.LOAD, OpKind.STORE):
+                mem.append(count)
+                ops.append(count)
+                continue
+            fu = fu_for(node.kind)
+            if fu is None:
+                continue  # wiring (joins, const shifts) costs nothing
+            fu_counts.setdefault(fu.name, []).append(count)
+            fu_energies.setdefault(fu.name, []).append(count * fu.energy)
+            ops.append(count)
+    fu_ops = {name: _running_sum(vals)
+              for name, vals in fu_counts.items()}
+    fu_energy = {name: _running_sum(vals)
+                 for name, vals in fu_energies.items()}
+    return fu_ops, fu_energy, _running_sum(mem), _running_sum(ops)

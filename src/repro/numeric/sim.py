@@ -1,0 +1,105 @@
+"""Vectorized Monte-Carlo simulation (numpy RNG batching).
+
+All runs advance in lockstep: one ``Generator.random`` draw per step
+covers every still-active run, and per-state cumulative transition
+rows (padded into one matrix) turn edge selection into a comparison
+count.  Statistically equivalent to :func:`repro.stg.simulate.simulate`
+but drawing from numpy's PCG64 stream, so individual paths differ from
+the scalar walker — use it for cross-validation at scale, not in
+bit-identity gates (simulation never feeds candidate scoring).
+
+Contract differences from the scalar walker, both documented here and
+in ``docs/performance.md``: every state with outgoing transitions is
+row-sum-validated up front (the scalar walk only checks states it
+happens to visit), and the ``max_cycles`` guard bounds lockstep steps
+rather than one run's path length.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import StgError
+from ..stg.simulate import ROW_SUM_TOL, WalkResult
+
+
+def simulate_batched(stg, runs: int = 1000, seed: int = 0,
+                     max_cycles: int = 1_000_000) -> WalkResult:
+    """Estimate schedule-length statistics with batched random walks."""
+    stg.validate()
+    if runs <= 0:
+        return WalkResult(runs=0, mean_length=0.0, min_length=0,
+                          max_length=0, state_visit_rate={})
+    ids = stg.state_ids()
+    index = {sid: i for i, sid in enumerate(ids)}
+    n = len(ids)
+    degrees: List[int] = []
+    rows: List[list] = []
+    for sid in ids:
+        edges = stg.out_edges(sid)
+        rows.append(edges)
+        degrees.append(len(edges))
+    max_deg = max(degrees) if degrees else 0
+    # Padded per-state cumulative rows: +inf padding never wins the
+    # "first cumulative above r" comparison.
+    cum = np.full((n, max(max_deg, 1)), np.inf)
+    dst = np.zeros((n, max(max_deg, 1)), dtype=np.intp)
+    totals = np.ones(n)
+    dead = np.zeros(n, dtype=bool)
+    exit_i = index[stg.exit]
+    for i, edges in enumerate(rows):
+        if not edges:
+            dead[i] = i != exit_i
+            continue
+        probs = np.array([t.prob for t in edges])
+        row = np.cumsum(probs)
+        total = float(row[-1])
+        if abs(total - 1.0) > ROW_SUM_TOL:
+            raise StgError(
+                f"state {ids[i]} outgoing probabilities sum to "
+                f"{total:.6f}, expected 1 (tolerance {ROW_SUM_TOL})")
+        cum[i, :len(edges)] = row
+        dst[i, :len(edges)] = [index[t.dst] for t in edges]
+        totals[i] = total
+    deg_arr = np.asarray(degrees, dtype=np.intp)
+    rng = np.random.default_rng(seed)
+    cur = np.full(runs, index[stg.entry], dtype=np.intp)
+    lengths = np.ones(runs, dtype=np.int64)
+    visit_counts = np.zeros(n, dtype=np.int64)
+    visit_counts[index[stg.entry]] += runs
+    active = cur != exit_i
+    steps = 0
+    while active.any():
+        steps += 1
+        if steps > max_cycles:
+            raise StgError(f"simulation exceeded {max_cycles} cycles")
+        live = np.flatnonzero(active)
+        states = cur[live]
+        if dead[states].any():
+            bad = int(states[dead[states]][0])
+            raise StgError(
+                f"state {ids[bad]} has no outgoing transitions")
+        r = rng.random(live.size) * totals[states]
+        # Index of the first cumulative strictly above r; clamping to
+        # the row degree funnels float-drift leftovers into the last
+        # edge, like the scalar walker's fallback.
+        choice = (cum[states] <= r[:, None]).sum(axis=1)
+        np.minimum(choice, deg_arr[states] - 1, out=choice)
+        nxt = dst[states, choice]
+        cur[live] = nxt
+        lengths[live] += 1
+        visit_counts += np.bincount(nxt, minlength=n)
+        active[live] = nxt != exit_i
+    total_cycles = int(lengths.sum())
+    rate: Dict[int, float] = {
+        ids[i]: int(c) / total_cycles
+        for i, c in enumerate(visit_counts) if c}
+    return WalkResult(
+        runs=runs,
+        mean_length=total_cycles / runs,
+        min_length=int(lengths.min()),
+        max_length=int(lengths.max()),
+        state_visit_rate=rate,
+    )

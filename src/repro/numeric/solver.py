@@ -1,0 +1,194 @@
+"""Stacked and merged dense solves for batches of absorbing chains.
+
+The batched backend groups same-size dense systems and issues one
+``np.linalg.solve`` over a ``(k, n, n)`` stack.  numpy's gufunc loops
+LAPACK ``gesv`` once per stack item, so the stacked result is
+bit-identical to ``k`` individual solves — that equivalence is what
+lets the batched backend live under the repository's byte-identity
+gate.
+
+Systems with no same-size partner in a flush (the common shape for
+variant-measure pairs, whose two chains almost never match in size) go
+through :func:`solve_dense_single` — the scalar interior minus its
+per-call ndarray constructions.  Packing them into one *block-diagonal*
+dense solve was tried and rejected: although partial pivoting never
+crosses exactly-zero off-diagonal blocks (pivot indices and the zero
+blocks of the LU factors are preserved), optimized BLAS picks different
+micro-kernel tails for different matrix dimensions, so a block's
+eliminations accumulate in a different order inside the larger matrix
+and its solution drifts by a few ulp — which the repository's
+byte-identity gate rejects.  (An assembled block-diagonal *sparse*
+solve is worse still: a global fill-reducing ordering mixes
+eliminations across blocks, so sparse systems are solved per-system.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+#: Stacks up to this many systems fill their Q blocks with a direct
+#: per-transition Python loop; larger stacks gather COO-style triplets
+#: and accumulate them with one unbuffered ``np.add.at`` (whose fixed
+#: call cost only amortizes over enough transitions).  Both branches
+#: accumulate in transition-list order into zeroed blocks and finish
+#: with the same broadcast ``eye − Qᵀ``, so they are bit-identical.
+DIRECT_FILL_MAX = 16
+
+#: Identity matrices by size, shared across solves.  ``np.eye`` is one
+#: of the costlier per-solve constructions when the caches are cold
+#: mid-campaign, and the subtraction below never mutates its output's
+#: inputs, so the cached array stays pristine.  Bounded by the distinct
+#: dense sizes seen (``n <= SPARSE_THRESHOLD``).
+_EYE: dict = {}
+
+
+def _eye(n: int) -> np.ndarray:
+    e = _EYE.get(n)
+    if e is None:
+        e = _EYE[n] = np.eye(n)
+    return e
+
+
+def assemble_dense(system) -> np.ndarray:
+    """``I − Qᵀ`` of one system, assembled exactly like the scalar path.
+
+    The accumulation (``q[si, di] += t.prob`` in transition-list order)
+    mirrors :func:`repro.stg.markov._solve_visits` so duplicate edges
+    collapse with the same float-addition order.
+    """
+    n = system.n
+    index = system.index
+    q = np.zeros((n, n))
+    for t in system.transitions:
+        si = index.get(t.src)
+        di = index.get(t.dst)
+        if si is None or di is None:
+            continue
+        q[si, di] += t.prob
+    return _eye(n) - q.T
+
+
+def assemble_dense_stack(systems: Sequence) -> np.ndarray:
+    """``I − Qᵀ`` of many same-size systems as one ``(k, n, n)`` stack.
+
+    The blocks are accumulated directly in transposed layout
+    (``q[j, di, si] += prob``) so the closing subtraction reads
+    contiguous memory instead of a transpose view; the addends and
+    their order match the scalar path's fill-then-transpose exactly,
+    and subtraction is elementwise, so the bits do too.  Small stacks
+    (``k <= DIRECT_FILL_MAX``) fill with a direct per-transition loop.
+    Larger stacks gather COO-style triplets and accumulate them with
+    one unbuffered ``np.add.at``; ``ufunc.at`` applies duplicate
+    indices sequentially in array order — the triplet lists preserve
+    transition-list order per system — so duplicate edges collapse
+    with the same float-addition order either way.
+    """
+    n = systems[0].n
+    k = len(systems)
+    q = np.zeros((k, n, n))
+    if k <= DIRECT_FILL_MAX:
+        for j, system in enumerate(systems):
+            index = system.index
+            qj = q[j]
+            for t in system.transitions:
+                si = index.get(t.src)
+                di = index.get(t.dst)
+                if si is None or di is None:
+                    continue
+                qj[di, si] += t.prob
+    else:
+        ks: List[int] = []
+        sis: List[int] = []
+        dis: List[int] = []
+        probs: List[float] = []
+        for j, system in enumerate(systems):
+            index = system.index
+            for t in system.transitions:
+                si = index.get(t.src)
+                di = index.get(t.dst)
+                if si is None or di is None:
+                    continue
+                ks.append(j)
+                sis.append(si)
+                dis.append(di)
+                probs.append(t.prob)
+        if probs:
+            np.add.at(q, (ks, dis, sis), probs)
+    return _eye(n) - q
+
+
+def solve_dense_stack(systems: Sequence) -> np.ndarray:
+    """One stacked LAPACK call over same-size dense systems.
+
+    The right-hand sides are shipped as ``(k, n, 1)`` — a bare
+    ``(k, n)`` is ambiguous under the ``(m,m),(m,n)->(m,n)`` gufunc
+    signature.  Raises :class:`numpy.linalg.LinAlgError` if *any* stack
+    item is singular; the caller isolates by re-solving items
+    individually (which reproduces the scalar path's per-system
+    :class:`~repro.errors.MarkovError`).
+    """
+    n = systems[0].n
+    k = len(systems)
+    a = assemble_dense_stack(systems)
+    b = np.empty((k, n, 1))
+    for j, system in enumerate(systems):
+        b[j, :, 0] = system.e
+    return np.linalg.solve(a, b)[..., 0]
+
+
+def solve_dense_single(system) -> np.ndarray:
+    """One dense solve, lean: the scalar interior without its per-call
+    ``np.eye`` construction or the ``(1, n, n)`` stack round trip.
+
+    Identical LAPACK call and bit-identical assembly to the scalar
+    path's ``_solve_visits``: the cached identity holds the same values
+    ``np.eye`` would build, and accumulating ``Qᵀ`` directly (swap the
+    indices, keep transition-list order) feeds the subtraction the same
+    addends as transposing afterwards — elementwise either way, so the
+    bits match.  Raises :class:`numpy.linalg.LinAlgError` on
+    singularity; the caller falls back to the scalar path for its
+    exact error.
+    """
+    n = system.n
+    index = system.index
+    qt = np.zeros((n, n))
+    for t in system.transitions:
+        si = index.get(t.src)
+        di = index.get(t.dst)
+        if si is None or di is None:
+            continue
+        qt[di, si] += t.prob
+    return np.linalg.solve(_eye(n) - qt, system.e)
+
+
+def negative(v: np.ndarray) -> bool:
+    """Exactly ``np.any(v < -1e-6)``, the scalar path's validity test.
+
+    NaN entries compare ``False`` under both spellings.  The plain
+    Python scan exists because for the tiny vectors that dominate the
+    flushes, two ufunc dispatches (compare, reduce) cost more than the
+    solve's own arithmetic.
+    """
+    if v.size <= 64:
+        return any(x < -1e-6 for x in v.ravel().tolist())
+    return bool(np.any(v < -1e-6))
+
+
+def group_by_size(systems: Sequence) -> "tuple[dict, List[int]]":
+    """Partition systems into dense groups (by ``n``) and sparse solos.
+
+    Returns ``(dense, sparse)`` where ``dense`` maps each size to the
+    list of indices into ``systems`` and ``sparse`` lists the indices
+    above ``SPARSE_THRESHOLD``.
+    """
+    from ..stg.markov import SPARSE_THRESHOLD
+    dense: dict = {}
+    sparse: List[int] = []
+    for i, system in enumerate(systems):
+        if system.n > SPARSE_THRESHOLD:
+            sparse.append(i)
+        else:
+            dense.setdefault(system.n, []).append(i)
+    return dense, sparse

@@ -179,6 +179,12 @@ class MetricsRegistry:
         self.inc("markov.reused", stats.markov_reused)
         self.inc("markov.full", stats.markov_full)
         self.inc("markov.solver_seconds", stats.solver_time)
+        self.inc("numeric.flushes", stats.numeric_flushes)
+        self.inc("numeric.batched_systems", stats.numeric_batched)
+        self.inc("numeric.solve_seconds", stats.numeric_seconds)
+        self.set("numeric.systems_per_flush",
+                 stats.numeric_batched / stats.numeric_flushes
+                 if stats.numeric_flushes > 0 else 0.0)
 
     # -- merge / export --------------------------------------------------
     def merge(self, other: "MetricsRegistry") -> None:

@@ -8,11 +8,12 @@ traces for the synthesis-level power simulation.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import StgError
-from .model import Stg
+from .model import Stg, Transition
 
 #: Maximum tolerated float drift in a state's outgoing probability mass.
 #: Rows further from 1 than this indicate a real modelling bug, not
@@ -35,32 +36,63 @@ class WalkResult:
         return self.state_visit_rate.get(sid, 0.0)
 
 
+#: One state's prepared outgoing row: ``(edges, cumulative, total)``.
+_Row = Tuple[List[Transition], List[float], float]
+
+
+def _state_row(stg: Stg, sid: int) -> _Row:
+    """Validate and prepare one state's outgoing row.
+
+    The cumulative list carries the same running partial sums the old
+    per-step ``acc += t.prob`` loop produced (and its last element is
+    the same float the old ``sum(...)`` computed), so sampling against
+    it with :func:`bisect_right` picks the exact edge the linear scan
+    would have — the walk is bit-identical, just without re-summing the
+    row on every visit.
+    """
+    edges = stg.out_edges(sid)
+    if not edges:
+        raise StgError(f"state {sid} has no outgoing transitions")
+    cumulative: List[float] = []
+    acc = 0.0
+    for t in edges:
+        acc += t.prob
+        cumulative.append(acc)
+    total = cumulative[-1]
+    if abs(total - 1.0) > ROW_SUM_TOL:
+        raise StgError(
+            f"state {sid} outgoing probabilities sum to {total:.6f}, "
+            f"expected 1 (tolerance {ROW_SUM_TOL})")
+    return edges, cumulative, total
+
+
 def walk_once(stg: Stg, rng: random.Random,
-              max_cycles: int = 1_000_000) -> List[int]:
-    """One sampled execution path from entry to exit (inclusive)."""
+              max_cycles: int = 1_000_000,
+              table: Optional[Dict[int, _Row]] = None) -> List[int]:
+    """One sampled execution path from entry to exit (inclusive).
+
+    ``table`` memoizes per-state cumulative probability rows;
+    :func:`simulate` shares one across all its runs so each state's row
+    is summed and validated once per STG instead of once per step.
+    """
+    if table is None:
+        table = {}
     path = [stg.entry]
     sid = stg.entry
     while sid != stg.exit:
-        edges = stg.out_edges(sid)
-        if not edges:
-            raise StgError(f"state {sid} has no outgoing transitions")
-        total = sum(t.prob for t in edges)
-        if abs(total - 1.0) > ROW_SUM_TOL:
-            raise StgError(
-                f"state {sid} outgoing probabilities sum to {total:.6f}, "
-                f"expected 1 (tolerance {ROW_SUM_TOL})")
+        row = table.get(sid)
+        if row is None:
+            row = table[sid] = _state_row(stg, sid)
+        edges, cumulative, total = row
         # Sample against the actual row mass: float drift within the
         # tolerance is renormalized instead of silently funnelling the
-        # missing mass into the last edge.
+        # missing mass into the last edge (beyond-last-cumulative draws
+        # clamp to the final edge, as the linear scan's fallback did).
         r = rng.random() * total
-        acc = 0.0
-        chosen = edges[-1]
-        for t in edges:
-            acc += t.prob
-            if r < acc:
-                chosen = t
-                break
-        sid = chosen.dst
+        i = bisect_right(cumulative, r)
+        if i >= len(edges):
+            i = len(edges) - 1
+        sid = edges[i].dst
         path.append(sid)
         if len(path) > max_cycles:
             raise StgError(f"simulation exceeded {max_cycles} cycles")
@@ -72,12 +104,13 @@ def simulate(stg: Stg, runs: int = 1000, seed: int = 0,
     """Estimate schedule-length statistics by Monte-Carlo simulation."""
     stg.validate()
     rng = random.Random(seed)
+    table: Dict[int, _Row] = {}
     total = 0
     visits: Dict[int, int] = {}
     min_len: Optional[int] = None
     max_len = 0
     for _ in range(runs):
-        path = walk_once(stg, rng, max_cycles)
+        path = walk_once(stg, rng, max_cycles, table)
         total += len(path)
         min_len = len(path) if min_len is None else min(min_len, len(path))
         max_len = max(max_len, len(path))

@@ -1,0 +1,155 @@
+"""Scalar vs. batched numeric backend: bit-identical everything.
+
+Mirror of ``test_incremental_equivalence``: the batched numeric core
+(blocked Markov solves, vectorized power accumulation) is an
+optimization, never an approximation — for every transformation in the
+library, for whole searches, on both engine backends, and on the
+degenerate corpus circuits, it must reproduce the scalar path exactly.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.bench.circuits import circuit
+from repro.core import Fact, FactConfig, Objective, POWER, SearchConfig
+from repro.core.engine import EvaluationEngine
+from repro.hw import Allocation, dac98_library
+from repro.lang import compile_source
+from repro.numeric import batching_available, set_backend, use_backend
+from repro.profiling import profile
+from repro.sched.types import SchedConfig
+from repro.transforms import default_library
+
+from .test_incremental_equivalence import EXTRA_SOURCES, SITES
+
+pytestmark = pytest.mark.skipif(not batching_available(),
+                                reason="numpy batching unavailable")
+
+LIB = dac98_library()
+TLIB = default_library()
+GENEROUS = Allocation({k: 2 for k in LIB.fu_types})
+
+CORPUS = sorted(glob.glob(os.path.join(os.path.dirname(__file__), "..",
+                                       "gen", "corpus", "*.bdl")))
+
+
+@pytest.fixture(autouse=True)
+def _scalar_after():
+    """Every test leaves the process-global backend at scalar."""
+    yield
+    set_backend("scalar")
+
+
+@pytest.mark.parametrize("transform", sorted(TLIB.names()))
+def test_transform_scores_identically(transform):
+    """Original + transformed behavior: same score, same STG, whether
+    the Markov solves run one at a time or stacked."""
+    beh, alloc, sched, probs, cand = SITES[transform]
+    transformed = cand.apply(beh)
+
+    def engine(backend):
+        # cache_size=0: force actual scheduling, not behavior-cache hits.
+        return EvaluationEngine(LIB, alloc, Objective(),
+                                sched_config=sched, branch_probs=probs,
+                                cache_size=0, numeric_backend=backend)
+
+    for b in (beh, transformed):
+        s = engine("scalar").evaluate(b)
+        a = engine("batched").evaluate(b)
+        assert a.score == s.score
+        assert (a.result is None) == (s.result is None)
+        if a.result is not None:
+            assert a.result.stg.to_dot() == s.result.stg.to_dot()
+            assert a.result.average_length() == \
+                s.result.average_length()
+
+
+def _search(name, backend, workers=0, seed=3, objective="throughput"):
+    c = circuit(name)
+    beh = c.behavior()
+    probs = dict(profile(beh, c.traces(beh)).branch_probs)
+    cfg = FactConfig(sched=c.sched, search=SearchConfig(
+        seed=seed, max_outer_iters=2, max_candidates_per_seed=24,
+        workers=workers, numeric_backend=backend))
+    fact = Fact(LIB, config=cfg)
+    return fact.optimize(beh, c.allocation, branch_probs=probs,
+                         objective=objective)
+
+
+def _fingerprint(res):
+    assert res.best.result is not None
+    return (res.best.score, res.best.lineage,
+            tuple(res.search.history),
+            res.best.result.stg.to_dot())
+
+
+class TestSearchEquivalence:
+    def test_serial_batched_matches_scalar(self):
+        assert (_fingerprint(_search("gcd", "batched"))
+                == _fingerprint(_search("gcd", "scalar")))
+
+    def test_power_objective_batched_matches_scalar(self):
+        """POWER scores candidates through estimate_power, so this
+        covers the vectorized activity accumulation end to end."""
+        assert (_fingerprint(_search("gcd", "batched",
+                                     objective=POWER))
+                == _fingerprint(_search("gcd", "scalar",
+                                        objective=POWER)))
+
+    def test_pool_batched_matches_serial_scalar(self):
+        """Each pool worker installs its own backend instance; the
+        assembled search must still match the serial scalar baseline."""
+        assert (_fingerprint(_search("gcd", "batched", workers=2))
+                == _fingerprint(_search("gcd", "scalar", workers=0)))
+
+    def test_batched_actually_batches(self):
+        res = _search("gcd", "batched")
+        assert res.telemetry is not None
+        assert res.telemetry.eval.numeric_flushes > 0
+        assert (res.telemetry.eval.numeric_batched
+                >= res.telemetry.eval.numeric_flushes)
+
+    def test_scalar_reports_no_flushes(self):
+        res = _search("gcd", "scalar")
+        assert res.telemetry is not None
+        assert res.telemetry.eval.numeric_flushes == 0
+        assert res.telemetry.eval.numeric_batched == 0
+
+
+class TestDegenerateCircuits:
+    """Corpus circuits with singular sub-chains / zero-trip loops."""
+
+    @pytest.mark.parametrize(
+        "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS])
+    def test_corpus_schedules_identically(self, path):
+        with open(path) as handle:
+            beh = compile_source(handle.read())
+
+        def evaluate(backend):
+            with use_backend(backend):
+                engine = EvaluationEngine(LIB, GENEROUS, Objective(),
+                                          cache_size=0,
+                                          numeric_backend=backend)
+                ev = engine.evaluate(beh)
+            if ev.result is None:
+                return (None, ev.score)
+            return (ev.result.stg.to_dot(), ev.score)
+
+        assert evaluate("batched") == evaluate("scalar")
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_SOURCES))
+    def test_extra_sources_schedule_identically(self, name):
+        beh = compile_source(EXTRA_SOURCES[name])
+
+        def evaluate(backend):
+            engine = EvaluationEngine(LIB, GENEROUS, Objective(),
+                                      cache_size=0,
+                                      numeric_backend=backend)
+            ev = engine.evaluate(beh)
+            assert ev.result is not None
+            return (ev.result.stg.to_dot(), ev.score,
+                    ev.result.average_length())
+
+        assert evaluate("batched") == evaluate("scalar")

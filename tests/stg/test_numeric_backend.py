@@ -1,0 +1,292 @@
+"""Numeric backend: blocked solves, vectorized walks, bit-identity.
+
+The batched backend is an optimization, never an approximation: every
+stacked LAPACK solve, the vectorized power accumulation and the
+cumulative-row walk sampler must reproduce the scalar path to the last
+bit (the repo's standing gating contract; see docs/performance.md).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, MarkovError
+from repro.numeric import (BATCHED, SCALAR, BatchedBackend, ScalarBackend,
+                           batching_available, get_backend,
+                           resolve_backend, set_backend, use_backend)
+from repro.numeric.sim import simulate_batched
+from repro.numeric.solver import (assemble_dense, group_by_size,
+                                  negative, solve_dense_single,
+                                  solve_dense_stack)
+from repro.stg import (Stg, average_schedule_length, expected_visits,
+                       simulate)
+from repro.stg.markov import (build_chain_system, expected_visits_many,
+                              fragment_visits, solve_systems)
+from repro.stg.simulate import walk_once
+
+pytestmark = pytest.mark.skipif(not batching_available(),
+                                reason="numpy batching unavailable")
+
+
+def linear_stg(n, name="linear"):
+    stg = Stg(name)
+    ids = [stg.add_state(label=f"s{i}") for i in range(n)]
+    for a, b in zip(ids, ids[1:]):
+        stg.add_transition(a, b, 1.0)
+    stg.entry, stg.exit = ids[0], ids[-1]
+    return stg
+
+
+def geometric_loop(p_continue, name="loop"):
+    stg = Stg(name)
+    entry = stg.add_state(label="entry")
+    body = stg.add_state(label="body")
+    exit_ = stg.add_state(label="exit")
+    stg.add_transition(entry, body, 1.0)
+    stg.add_transition(body, body, p_continue, "continue")
+    stg.add_transition(body, exit_, 1.0 - p_continue, "exit")
+    stg.entry, stg.exit = entry, exit_
+    return stg
+
+
+def nonterminating_stg():
+    """body loops forever with probability 1: singular system."""
+    stg = Stg("forever")
+    entry = stg.add_state(label="entry")
+    body = stg.add_state(label="body")
+    exit_ = stg.add_state(label="exit")
+    stg.add_transition(entry, body, 1.0)
+    stg.add_transition(body, body, 1.0)
+    stg.add_transition(body, exit_, 0.0)
+    stg.entry, stg.exit = entry, exit_
+    return stg
+
+
+class TestResolution:
+    def test_default_is_scalar(self):
+        assert isinstance(resolve_backend(None), ScalarBackend)
+        assert isinstance(resolve_backend(""), ScalarBackend)
+        assert isinstance(resolve_backend(SCALAR), ScalarBackend)
+
+    def test_batched_resolves(self):
+        assert isinstance(resolve_backend(BATCHED), BatchedBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_backend("quantum")
+
+    def test_set_backend_accepts_names_and_instances(self):
+        original = get_backend()
+        try:
+            assert set_backend(BATCHED).batched
+            mine = ScalarBackend()
+            assert set_backend(mine) is mine
+        finally:
+            set_backend(original)
+
+    def test_use_backend_restores(self):
+        before = get_backend()
+        with use_backend(BATCHED):
+            assert get_backend().batched
+        assert get_backend() is before
+
+
+class TestStackedSolve:
+    def test_stack_bit_identical_to_individual_solves(self):
+        """One (k, n, n) gesv call == k separate (n, n) calls, bit for
+        bit (numpy loops the same LAPACK routine per stack item)."""
+        rng = np.random.default_rng(7)
+        stgs = [geometric_loop(p, name=f"g{i}")
+                for i, p in enumerate(rng.uniform(0.05, 0.95, size=9))]
+        systems = [build_chain_system(stg) for stg in stgs]
+        stacked = solve_dense_stack(systems)
+        for system, got in zip(systems, stacked):
+            a = assemble_dense(system)
+            lone = np.linalg.solve(a, system.e)
+            assert got.tobytes() == lone.tobytes()
+
+    def test_single_solve_bit_identical_to_scalar(self):
+        """The lean size-singleton path (transposed fill, cached
+        identity) must match the scalar interior bit for bit."""
+        rng = np.random.default_rng(11)
+        for i, p in enumerate(rng.uniform(0.05, 0.95, size=12)):
+            system = build_chain_system(geometric_loop(p, name=f"s{i}"))
+            lone = np.linalg.solve(assemble_dense(system), system.e)
+            assert solve_dense_single(system).tobytes() == lone.tobytes()
+
+    def test_negative_matches_ufunc_predicate(self):
+        """`negative` is exactly `np.any(v < -1e-6)`, NaN included."""
+        cases = [np.array([0.5, 1.0]),
+                 np.array([0.5, -1e-7]),       # inside tolerance
+                 np.array([0.5, -1e-3]),       # genuine negative
+                 np.array([np.nan, 0.5]),      # NaN compares False
+                 np.array([np.nan, -1e-3]),    # mixed NaN + negative
+                 np.zeros(0),
+                 np.random.default_rng(3).uniform(
+                     -1e-5, 1e-5, size=200)]   # large-array branch
+        for v in cases:
+            assert negative(v) == bool(np.any(v < -1e-6))
+
+    def test_two_system_flush_matches_grouped_path(self):
+        """The span-free <=2-system fast path returns the same results
+        and counters as the grouped path (which a traced run takes)."""
+        from repro.obs.trace import Tracer
+        from repro.stg import markov
+        pairs = [
+            [build_chain_system(geometric_loop(0.3, name="a")),
+             build_chain_system(geometric_loop(0.7, name="b"))],
+            [build_chain_system(geometric_loop(0.4, name="c")),
+             build_chain_system(linear_stg(6, name="d"))],
+            [build_chain_system(nonterminating_stg()),
+             build_chain_system(linear_stg(3, name="e"))],
+        ]
+        for systems in pairs:
+            fast = BatchedBackend()
+            fast_out = fast.solve_systems(systems)
+            slow = BatchedBackend()
+            previous = markov._TRACER
+            try:
+                markov.set_tracer(Tracer())
+                slow_out = slow.solve_systems(systems)
+            finally:
+                markov.set_tracer(previous)
+            for f, s in zip(fast_out, slow_out):
+                if isinstance(f, MarkovError):
+                    assert str(f) == str(s)
+                else:
+                    assert f.tobytes() == s.tobytes()
+            assert fast.stacked_calls == slow.stacked_calls
+            assert fast.single_solves == slow.single_solves
+            assert fast.solo_solves == slow.solo_solves
+
+    def test_backend_visits_identical(self):
+        stgs = [linear_stg(4), geometric_loop(0.9),
+                geometric_loop(0.25), linear_stg(7)]
+        scalar = [expected_visits(stg) for stg in stgs]
+        with use_backend(BATCHED):
+            batched = expected_visits_many(stgs)
+        assert scalar == batched  # same keys, same float bits
+
+    def test_group_by_size_partitions_everything(self):
+        systems = [build_chain_system(linear_stg(n))
+                   for n in (3, 5, 3, 9, 5, 3)]
+        dense, sparse = group_by_size(systems)
+        assert sparse == []
+        flat = sorted(i for idxs in dense.values() for i in idxs)
+        assert flat == list(range(len(systems)))
+        assert sorted(dense) == [2, 4, 8]   # transient states (n - 1)
+
+    def test_singular_member_is_isolated(self):
+        """A non-terminating chain inside a stack must not poison its
+        batchmates, and must carry the scalar path's exact error."""
+        good = geometric_loop(0.5, name="good")
+        bad = nonterminating_stg()
+        systems = [build_chain_system(good), build_chain_system(bad),
+                   build_chain_system(linear_stg(3, name="lin"))]
+        with use_backend(BATCHED):
+            solved = solve_systems(systems)
+        with pytest.raises(MarkovError) as scalar_err:
+            expected_visits(bad)
+        assert isinstance(solved[1], MarkovError)
+        assert str(solved[1]) == str(scalar_err.value)
+        for i in (0, 2):
+            assert isinstance(solved[i], np.ndarray)
+        # the healthy members match their scalar solves exactly
+        with use_backend(BATCHED):
+            assert expected_visits(good) == \
+                expected_visits_many([good])[0]
+
+    def test_expected_visits_many_raises_in_list_order(self):
+        with use_backend(BATCHED):
+            with pytest.raises(MarkovError, match="forever"):
+                expected_visits_many([geometric_loop(0.5),
+                                      nonterminating_stg(),
+                                      linear_stg(2)])
+
+    def test_fragment_visits_unchanged_by_backend(self):
+        stg = geometric_loop(0.8)
+        sources = {stg.entry: 1.0}
+        scalar = fragment_visits(stg, sources)
+        with use_backend(BATCHED):
+            batched = fragment_visits(stg, sources)
+        assert scalar == batched
+
+    def test_counters_accumulate(self):
+        backend = BatchedBackend()
+        original = get_backend()
+        try:
+            set_backend(backend)
+            expected_visits_many([linear_stg(4), linear_stg(4),
+                                  geometric_loop(0.5)])
+        finally:
+            set_backend(original)
+        flushes, systems = backend.snapshot()
+        assert flushes == 1
+        assert systems == 3
+        assert backend.max_batch == 3      # one flush carried all three
+        assert backend.stacked_calls == 1  # the same-size pair
+        assert backend.single_solves == 1  # the size-singleton loop
+
+
+class TestWalkOnce:
+    def _reference_walk(self, stg, rng):
+        """The pre-cumulative-table sampler, kept as the oracle."""
+        path = [stg.entry]
+        sid = stg.entry
+        while sid != stg.exit:
+            edges = stg.out_edges(sid)
+            total = sum(t.prob for t in edges)
+            r = rng.random() * total
+            acc = 0.0
+            nxt = edges[-1].dst
+            for t in edges:
+                acc += t.prob
+                if r < acc:
+                    nxt = t.dst
+                    break
+            sid = nxt
+            path.append(sid)
+        return path
+
+    @pytest.mark.parametrize("p", [0.1, 0.5, 0.9])
+    def test_bisect_sampler_matches_linear_scan(self, p):
+        """Same RNG stream, same path: the cumulative-row bisect picks
+        the same edge as the scalar scan on every step."""
+        stg = geometric_loop(p)
+        for seed in range(20):
+            got = walk_once(stg, random.Random(seed))
+            want = self._reference_walk(stg, random.Random(seed))
+            assert got == want
+
+    def test_simulate_deterministic(self):
+        stg = geometric_loop(0.7)
+        a = simulate(stg, runs=50, seed=3)
+        b = simulate(stg, runs=50, seed=3)
+        assert a.mean_length == b.mean_length
+        assert a.state_visit_rate == b.state_visit_rate
+
+
+class TestSimulateBatched:
+    def test_mean_close_to_markov(self):
+        stg = geometric_loop(0.8)
+        exact = average_schedule_length(stg)
+        walk = simulate_batched(stg, runs=4000, seed=0)
+        assert walk.mean_length == pytest.approx(exact, rel=0.1)
+
+    def test_matches_scalar_statistics(self):
+        stg = geometric_loop(0.5)
+        scalar = simulate(stg, runs=3000, seed=1)
+        batched = simulate_batched(stg, runs=3000, seed=1)
+        # different RNG streams: statistically equivalent, not
+        # bit-identical (documented in docs/performance.md)
+        assert batched.mean_length == pytest.approx(scalar.mean_length,
+                                                    rel=0.1)
+
+    def test_empty_and_degenerate(self):
+        stg = linear_stg(3)
+        assert simulate_batched(stg, runs=0, seed=0).runs == 0
+        one = Stg("one")
+        s = one.add_state()
+        one.entry = one.exit = s
+        assert simulate_batched(one, runs=8, seed=0).mean_length == 1.0
