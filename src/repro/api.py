@@ -73,12 +73,14 @@ class ReproConfig:
         ReproConfig(fact=FactConfig(vdd=3.3))       # full control
 
     ``workers`` / ``cache_size`` / ``incremental`` /
-    ``numeric_backend``, when given, override the evaluation engine
-    knobs inside the search section (``incremental=False`` disables
-    region-level schedule memoization — same results, no reuse;
-    ``numeric_backend="batched"`` stacks candidate Markov solves into
-    blocked linear-algebra calls — again bit-identical results; see
-    ``docs/performance.md``).
+    ``numeric_backend`` / ``streaming``, when given, override the
+    evaluation engine knobs inside the search section
+    (``incremental=False`` disables region-level schedule memoization —
+    same results, no reuse; ``numeric_backend="batched"`` stacks
+    candidate Markov solves into blocked linear-algebra calls;
+    ``streaming=True`` pipelines each generation through
+    ``evaluate_stream`` instead of the barrier — all bit-identical
+    results; see ``docs/performance.md`` and ``docs/pipeline.md``).
 
     ``trace`` attaches a :class:`~repro.obs.trace.Tracer`: the run
     records nested spans (compile / schedule / evaluate /
@@ -95,6 +97,7 @@ class ReproConfig:
     cache_size: Optional[int] = None
     incremental: Optional[bool] = None
     numeric_backend: Optional[str] = None
+    streaming: Optional[bool] = None
     trace: Optional[AnyTracer] = None
 
     def resolved(self) -> FactConfig:
@@ -113,6 +116,8 @@ class ReproConfig:
             updates["incremental"] = self.incremental
         if self.numeric_backend is not None:
             updates["numeric_backend"] = self.numeric_backend
+        if self.streaming is not None:
+            updates["streaming"] = self.streaming
         if updates:
             fact.search = replace(fact.search, **updates)
         return fact
@@ -283,6 +288,7 @@ def explore(behavior_or_source: Union[Behavior, str], *,
             workers: Optional[int] = None,
             seed: Optional[int] = None,
             generations: Optional[int] = None,
+            streaming: Optional[bool] = None,
             trace: Optional[AnyTracer] = None) -> JobResult:
     """Map the throughput / power / area trade-off surface.
 
@@ -314,8 +320,10 @@ def explore(behavior_or_source: Union[Behavior, str], *,
         resume: continue an interrupted run from its checkpoint;
             the exploration trajectory — and the exported front — are
             bit-for-bit identical to an uninterrupted run.
-        workers / seed / generations: convenience overrides for the
-            corresponding ``config`` fields.
+        workers / seed / generations / streaming: convenience overrides
+            for the corresponding ``config`` fields (``streaming``
+            pipelines each generation — byte-identical fronts; see
+            ``docs/pipeline.md``).
         trace: a :class:`~repro.obs.trace.Tracer` recording the run;
             traced and untraced runs export byte-identical fronts.
     """
@@ -328,6 +336,8 @@ def explore(behavior_or_source: Union[Behavior, str], *,
         updates["seed"] = seed
     if generations is not None:
         updates["generations"] = generations
+    if streaming is not None:
+        updates["streaming"] = streaming
     if updates:
         cfg = replace(cfg, **updates)
     if branch_probs is None and traces is None:

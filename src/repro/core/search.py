@@ -131,6 +131,10 @@ class SearchConfig:
     ``"batched"`` (same-size chains stacked into blocked LAPACK calls,
     vectorized power accumulation) — bit-identical results either way
     (``--numeric-backend`` on the CLI; see docs/performance.md).
+    ``streaming`` evaluates each generation through the engine's
+    streaming pipeline (:meth:`~repro.core.engine.EvaluationEngine.
+    evaluate_stream`) instead of the generation barrier — results are
+    byte-identical (``--streaming`` on the CLI; see docs/pipeline.md).
     """
 
     max_outer_iters: int = 6
@@ -147,6 +151,7 @@ class SearchConfig:
     incremental_enumeration: bool = True
     enum_cache_size: int = 512
     numeric_backend: str = "scalar"
+    streaming: bool = False
 
 
 @dataclass
@@ -277,7 +282,11 @@ class TransformSearch:
                         stats_before = engine.eval_stats.minus(
                             EvalStats())
                         gen_start = time.perf_counter()
-                        generation = engine.evaluate_batch(pairs)
+                        if cfg.streaming:
+                            generation = self._evaluate_streaming(
+                                engine, pairs)
+                        else:
+                            generation = engine.evaluate_batch(pairs)
                         gen_time = time.perf_counter() - gen_start
                         gen_stats = engine.eval_stats.minus(stats_before)
                         generation.sort(key=lambda e: e.score)
@@ -315,6 +324,8 @@ class TransformSearch:
             telemetry.rewrite = self.driver.stats.minus(
                 run_start_rewrite)
             telemetry.backend = engine.backend
+            if cfg.streaming:
+                telemetry.stream = engine.stream_stats
             if owns_engine:
                 engine.close()
         return SearchResult(best=best, initial=initial, generations=outer,
@@ -322,6 +333,27 @@ class TransformSearch:
                             history=history, telemetry=telemetry)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _evaluate_streaming(engine: EvaluationEngine,
+                            pairs: List[Tuple[Behavior,
+                                              Tuple[str, ...]]]
+                            ) -> List[Evaluated]:
+        """One generation through the streaming pipeline.
+
+        Ranking and selection need the whole generation (they are
+        cross-candidate), so the stream's completion-order results are
+        reassembled by input index — per-candidate outputs are
+        byte-identical to the barrier path, which makes the resulting
+        trajectory identical too.  The win is upstream: the engine
+        overlaps evaluations inside its in-flight window instead of
+        idling behind chunked-map stragglers.
+        """
+        outputs: List[Optional[Evaluated]] = [None] * len(pairs)
+        for i, ev in engine.evaluate_stream(pairs):
+            outputs[i] = ev
+        assert all(e is not None for e in outputs)
+        return outputs  # type: ignore[return-value]
+
     def _expand(self, in_set: Sequence[Evaluated],
                 tracer: AnyTracer = NULL_TRACER
                 ) -> List[Tuple[Behavior, Tuple[str, ...]]]:

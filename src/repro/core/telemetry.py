@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field, fields
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..rewrite.driver import RewriteStats
+from ..stream import StreamStats
 from .evalcache import CacheStats
 
 
@@ -150,6 +151,8 @@ class SearchTelemetry:
     cache: CacheStats = field(default_factory=CacheStats)
     eval: EvalStats = field(default_factory=EvalStats)
     rewrite: RewriteStats = field(default_factory=RewriteStats)
+    #: streaming-pipeline counters; None for barrier runs
+    stream: Optional[StreamStats] = None
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -198,6 +201,8 @@ class SearchTelemetry:
         reg.inc("search.wall_seconds", self.total_wall_time)
         reg.absorb_cache_stats("engine.cache", self.cache)
         reg.absorb_eval_stats(self.eval)
+        if self.stream is not None:
+            reg.absorb_stream_stats(self.stream)
         for name, value in self.rewrite.as_dict().items():
             reg.inc(f"rewrite.{name}", value)
         for g in self.generations:
@@ -215,6 +220,8 @@ class SearchTelemetry:
             "cache": self.cache.as_dict(),
             "eval": self.eval.as_dict(),
             "rewrite": self.rewrite.as_dict(),
+            "stream": self.stream.as_dict()
+            if self.stream is not None else None,
             "best_trajectory": self.best_trajectory,
             "metrics": self.metrics().as_dict(),
         }
@@ -245,6 +252,8 @@ class SearchTelemetry:
             f"{self.rewrite.rescanned_matches} rescanned), "
             f"{self.rewrite.enum_seconds * 1000:.1f} ms",
         ]
+        if self.stream is not None:
+            lines.append("  " + self.stream.summary())
         reg = self.metrics()
         lines.append(
             "  totals (aggregated across workers): region cache "
@@ -305,6 +314,10 @@ class ExploreTelemetry:
     cache: CacheStats = field(default_factory=CacheStats)
     eval: EvalStats = field(default_factory=EvalStats)
     rewrite: RewriteStats = field(default_factory=RewriteStats)
+    #: streaming-pipeline counters; None for barrier runs.  Attached at
+    #: run end (not per generation), so it is never pickled into
+    #: checkpoints — only ``generations`` is carried across resumes.
+    stream: Optional[StreamStats] = None
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -349,6 +362,8 @@ class ExploreTelemetry:
         reg.absorb_cache_stats("store", self.store)
         reg.absorb_cache_stats("engine.cache", self.cache)
         reg.absorb_eval_stats(self.eval)
+        if self.stream is not None:
+            reg.absorb_stream_stats(self.stream)
         for name, value in self.rewrite.as_dict().items():
             reg.inc(f"rewrite.{name}", value)
         for g in self.generations:
@@ -370,6 +385,8 @@ class ExploreTelemetry:
             "cache": self.cache.as_dict(),
             "eval": self.eval.as_dict(),
             "rewrite": self.rewrite.as_dict(),
+            "stream": self.stream.as_dict()
+            if self.stream is not None else None,
             "front_trajectory": self.front_trajectory,
             "metrics": self.metrics().as_dict(),
         }
@@ -394,6 +411,8 @@ class ExploreTelemetry:
             f"{self.rewrite.full_scans} full scans), "
             f"{self.rewrite.enum_seconds * 1000:.1f} ms",
         ]
+        if self.stream is not None:
+            lines.append("  " + self.stream.summary())
         reg = self.metrics()
         lines.append(
             "  totals (aggregated across workers): region cache "

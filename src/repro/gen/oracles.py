@@ -34,6 +34,11 @@ numeric-backend    scalar vs. batched numeric cores produce bit-
                    identical schedules, average lengths and power
                    estimates (same STG, same floats, same error class
                    on infeasible circuits)
+stream-parity      the streaming evaluation pipeline
+                   (``EvaluationEngine.evaluate_stream``) scores a
+                   mixed batch — parent, rewritten children, in-batch
+                   duplicates — identically to the barrier
+                   ``evaluate_batch`` path, result for result
 =================  =====================================================
 """
 
@@ -47,7 +52,8 @@ from ..cdfg.interp import execute
 from ..cdfg.regions import Behavior
 from ..cdfg.validate import validate_behavior
 from ..core import THROUGHPUT, Objective
-from ..core.engine import EvaluationEngine, context_fingerprint
+from ..core.engine import (Evaluated, EvaluationEngine,
+                           context_fingerprint)
 from ..errors import ReproError, ScheduleError
 from ..hw import Allocation, Library, dac98_library
 from ..profiling import uniform_traces
@@ -430,6 +436,64 @@ def oracle_numeric_backend(ctx: OracleContext) -> Optional[str]:
     return None
 
 
+def oracle_stream_parity(ctx: OracleContext) -> Optional[str]:
+    """Streaming evaluation scores a batch exactly like the barrier.
+
+    Builds a mixed generation — the parent, up to :data:`MAX_APPLIES`
+    rewritten children, and an in-batch duplicate of the parent — and
+    scores it through both ``evaluate_batch`` (the barrier path) and a
+    reassembled ``evaluate_stream`` on fresh engines.  Demands the same
+    score and the same STG signature at every index: the streaming
+    pipeline's deferred flushes, in-flight dedup and reordering must be
+    invisible in the per-candidate outputs.
+    """
+    if ctx.try_schedule() is None:
+        return None  # path explosion: agreed capacity limit, skip
+    probs = ctx.branch_probs()
+    driver = RewriteDriver(default_library())
+    pairs: List[Tuple[Behavior, Tuple[str, ...]]] = [(ctx.behavior, ())]
+    applied = 0
+    for cand in driver.candidates(ctx.behavior):
+        if applied >= MAX_APPLIES:
+            break
+        try:
+            child = driver.apply(ctx.behavior, cand)
+        except ReproError:
+            continue
+        applied += 1
+        pairs.append((child, (cand.description,)))
+    pairs.append((ctx.behavior, ()))  # in-batch duplicate
+    objective = Objective(THROUGHPUT)
+
+    def run(streaming: bool) -> List[Tuple]:
+        engine = EvaluationEngine(
+            ctx.hw_library, ctx.allocation, objective,
+            ctx.sched_config, probs, workers=0)
+        try:
+            if streaming:
+                out: List[Optional[Evaluated]] = [None] * len(pairs)
+                for i, ev in engine.evaluate_stream(iter(pairs)):
+                    out[i] = ev
+            else:
+                out = list(engine.evaluate_batch(pairs))
+        finally:
+            engine.close()
+        return [(ev.score,
+                 _stg_signature(ev.result) if ev.result is not None
+                 else None)
+                for ev in out]  # type: ignore[union-attr]
+
+    barrier = run(False)
+    stream = run(True)
+    for i, (want, got) in enumerate(zip(barrier, stream)):
+        if want != got:
+            return (f"candidate {i}/{len(pairs)}: barrier score "
+                    f"{want[0]!r} / stream score {got[0]!r}"
+                    + ("" if want[0] != got[0]
+                       else " agree but the STGs differ"))
+    return None
+
+
 #: Oracle registry, in execution order.  ``engine-backend`` spawns a
 #: process pool, so the harness samples it instead of running it on
 #: every circuit (see ``FuzzOptions.pool_every``).
@@ -440,6 +504,7 @@ ORACLES: Dict[str, Callable[[OracleContext], Optional[str]]] = {
     "sched-incremental": oracle_sched_incremental,
     "engine-backend": oracle_engine_backend,
     "numeric-backend": oracle_numeric_backend,
+    "stream-parity": oracle_stream_parity,
 }
 
 

@@ -31,12 +31,23 @@ def summarize_trace(spans: Sequence[Mapping[str, Any]],
          "processes": <distinct pids>,
          "metrics": {...}}   # echoed through when provided
     """
+    span_pid: Dict[Any, Any] = {doc.get("id"): doc.get("pid", 0)
+                                for doc in spans if doc.get("id") is not None}
     child_time: Dict[Any, float] = {}
     for doc in spans:
         parent = doc.get("parent")
-        if parent is not None:
-            child_time[parent] = (child_time.get(parent, 0.0)
-                                  + float(doc.get("duration", 0.0)))
+        if parent is None:
+            continue
+        # Spans adopted from pool workers keep their original parent id
+        # but ran in another process; their duration overlaps the
+        # parent's wall time instead of consuming it, so crossing a pid
+        # boundary must not eat into the parent's self time.  An
+        # unknown parent id keeps the old same-process assumption.
+        parent_pid = span_pid.get(parent)
+        if parent_pid is not None and parent_pid != doc.get("pid", 0):
+            continue
+        child_time[parent] = (child_time.get(parent, 0.0)
+                              + float(doc.get("duration", 0.0)))
     stages: Dict[str, Dict[str, float]] = {}
     pids = set()
     for doc in spans:

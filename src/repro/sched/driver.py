@@ -99,7 +99,11 @@ class PendingVisits:
     evaluation engine's generation-deferred mode): scheduling completes
     normally but the final per-fragment Markov solves are left queued so
     *many candidates'* dirty fragments can go out in one cross-candidate
-    flush (:func:`resolve_visits`).  Holds everything the assembly
+    flush (:func:`resolve_visits`).  The flush need not cover a whole
+    generation: the streaming pipeline flushes opportunistically every
+    ``AdmissionPolicy.flush_size`` candidates, which is safe because
+    every flush composition assembles bit-identical totals.  Holds
+    everything the assembly
     needs: the result to fill, the once-per-execution states outside any
     fragment, the spliced pieces in splice order, and the candidate's
     ``schedule`` span (closed, but its attributes stay writable) for the
@@ -680,7 +684,10 @@ def resolve_visits(pendings: Sequence[PendingVisits],
     reused, exactly as the sequential walk's memoization would have
     reused them, and each sub-chain's solution is independent of its
     flushmates, so the assembled totals are bit-identical to the
-    per-candidate path.
+    per-candidate path.  Callers may therefore flush any sub-batch at
+    any time: the barrier engine flushes once per generation, while the
+    streaming engine flushes every few candidates to keep results
+    flowing — both produce the same numbers.
 
     Returns one entry per pending candidate: None on success, or the
     :class:`~repro.errors.MarkovError` its full-chain fallback raised —

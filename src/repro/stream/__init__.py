@@ -1,0 +1,20 @@
+"""Streaming evaluation pipeline primitives.
+
+The barrier loop (``evaluate_batch``) hands a whole generation to the
+engine and waits; nothing downstream moves until the slowest candidate
+finishes.  This package holds the small, dependency-free pieces that let
+the engine, the search and the explorer run the same loop as a
+*pipeline* instead: candidates flow through a bounded in-flight window,
+results surface in completion order, and an in-order committer restores
+enumeration order wherever determinism demands it (Pareto-front
+admission).  See ``docs/pipeline.md`` for the end-to-end picture.
+
+Nothing here imports from ``repro.core`` or ``repro.sched`` — the
+package must stay importable from both sides of the pipeline without
+cycles.
+"""
+from .pipeline import InOrderCommitter, StreamStats
+from .policy import AdmissionPolicy, available_cpus
+
+__all__ = ["AdmissionPolicy", "InOrderCommitter", "StreamStats",
+           "available_cpus"]

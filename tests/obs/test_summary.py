@@ -37,14 +37,45 @@ class TestSummarize:
         assert stages["batch"]["self"] == pytest.approx(1.0)
 
     def test_clock_skew_clamped_to_zero(self):
-        # adopted worker spans can nominally exceed the parent span
+        # a same-process child can nominally exceed the parent span
         spans = [
             _span("batch", 1, None, 1.0),
-            _span("evaluate", 2, 1, 1.5, pid=7),
+            _span("evaluate", 2, 1, 1.5),
         ]
         report = summarize_trace(spans)
         assert report["stages"]["batch"]["self"] == 0.0
+
+    def test_adopted_worker_spans_keep_parent_self_time(self):
+        # Spans adopted from pool workers (other pid) overlap the
+        # parent's wall time instead of consuming it: the parent spent
+        # its own time waiting/collecting, not running the child.
+        spans = [
+            _span("evaluate.batch", 1, None, 1.0),
+            _span("schedule", 2, 1, 0.8, pid=7),
+        ]
+        report = summarize_trace(spans)
+        assert report["stages"]["evaluate.batch"]["self"] == \
+            pytest.approx(1.0)
+        assert report["stages"]["schedule"]["self"] == pytest.approx(0.8)
         assert report["processes"] == 2
+
+    def test_mixed_pid_children_subtract_only_local_ones(self):
+        spans = [
+            _span("evaluate.batch", 1, None, 2.0),
+            _span("collect", 2, 1, 0.5),           # same pid: subtracts
+            _span("schedule", 3, 1, 1.2, pid=9),   # adopted: does not
+        ]
+        stages = summarize_trace(spans)["stages"]
+        assert stages["evaluate.batch"]["self"] == pytest.approx(1.5)
+
+    def test_unknown_parent_id_assumes_same_process(self):
+        # A child whose parent span is missing from the trace falls
+        # back to the old same-process accounting (no pid to compare).
+        spans = [
+            _span("orphan", 2, 99, 0.5),
+        ]
+        report = summarize_trace(spans)
+        assert report["stages"]["orphan"]["self"] == pytest.approx(0.5)
 
     def test_empty(self):
         report = summarize_trace([])

@@ -1,0 +1,239 @@
+"""``EvaluationEngine.evaluate_stream``: parity, protocol, carry-over."""
+
+import pytest
+
+from repro.bench import allocation_for
+from repro.core import Objective
+from repro.core.engine import EvaluationEngine
+from repro.lang import compile_source
+from repro.profiling import profile, uniform_traces
+from repro.stream import AdmissionPolicy, StreamStats
+
+GCD_SRC = """
+proc gcd(in a, in b, out g) {
+    while (a != b) {
+        if (a < b) { b = b - a; } else { a = a - b; }
+    }
+    g = a;
+}
+"""
+
+# Scheduling-compatible variants of the same interface: every body uses
+# only subtraction and comparison, so the gcd allocation covers all of
+# them while each has a distinct fingerprint (distinct cache key).
+VARIANT_BODIES = (
+    "g = a - b;",
+    "g = b - a;",
+    "g = (a - b) - b;",
+    "g = (b - a) - a;",
+)
+
+
+def _variants():
+    return [compile_source("proc f(in a, in b, out g) { %s }" % body)
+            for body in VARIANT_BODIES]
+
+
+def _engine(**kw):
+    beh = compile_source(GCD_SRC)
+    traces = uniform_traces(beh, 8, lo=1, hi=60, seed=3)
+    probs = profile(beh, traces).branch_probs
+    return EvaluationEngine(dac98_lib(), allocation_for("gcd"),
+                            Objective(), branch_probs=probs, **kw)
+
+
+def dac98_lib():
+    from repro.hw import dac98_library
+    return dac98_library()
+
+
+def _reassemble(stream, n):
+    """Collect ``(index, Evaluated)`` pairs back into input order."""
+    out = [None] * n
+    for i, ev in stream:
+        assert out[i] is None
+        out[i] = ev
+    assert all(ev is not None for ev in out)
+    return out
+
+
+def _signatures(evaluated):
+    return [(ev.score, ev.lineage) for ev in evaluated]
+
+
+class TestStreamMatchesBatch:
+    def test_serial_stream_equals_batch(self):
+        pairs = [(beh, (f"v{i}",)) for i, beh in enumerate(_variants())]
+        with _engine(workers=0) as eng:
+            batch = eng.evaluate_batch(pairs)
+        with _engine(workers=0) as eng:
+            stream = _reassemble(eng.evaluate_stream(iter(pairs)),
+                                 len(pairs))
+        assert _signatures(stream) == _signatures(batch)
+
+    def test_pool_stream_equals_serial_batch(self):
+        pairs = [(beh, (f"v{i}",)) for i, beh in enumerate(_variants())]
+        with _engine(workers=0) as eng:
+            batch = eng.evaluate_batch(pairs)
+        with _engine(workers=2) as eng:
+            stream = _reassemble(eng.evaluate_stream(iter(pairs)),
+                                 len(pairs))
+            assert eng.stream_stats.submitted == len(pairs)
+            assert eng.stream_stats.completed == len(pairs)
+        assert _signatures(stream) == _signatures(batch)
+
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_duplicates_merge_and_keep_lineage(self, workers):
+        v = _variants()
+        pairs = [(v[0], ("first",)), (v[1], ("other",)),
+                 (v[0].copy(), ("dup",))]
+        with _engine(workers=workers) as eng:
+            out = _reassemble(eng.evaluate_stream(iter(pairs)),
+                              len(pairs))
+            stats = eng.stream_stats
+        assert out[0].score == out[2].score
+        assert out[2].lineage == ("dup",)
+        # The duplicate merged onto the in-flight original (pool) or
+        # deferred buffer slot / cache (serial): either way no third
+        # evaluation was scheduled.
+        assert stats.enqueued == 3
+        assert stats.merged + stats.cache_hits == 1
+
+    def test_stats_accumulate_into_supplied_object(self):
+        pairs = [(beh, ()) for beh in _variants()[:2]]
+        stats = StreamStats()
+        with _engine(workers=0) as eng:
+            list(eng.evaluate_stream(iter(pairs), stats=stats))
+            assert eng.stream_stats.enqueued == 0
+        assert stats.enqueued == 2
+        assert stats.completed == 2
+
+
+class TestNoneProtocol:
+    def test_serial_skips_none_markers(self):
+        v = _variants()[:2]
+        feed = iter([None, (v[0], ()), None, None, (v[1], ())])
+        with _engine(workers=0) as eng:
+            out = _reassemble(eng.evaluate_stream(feed), 2)
+        assert [ev.behavior for ev in out] == v
+
+    def test_pool_repulls_after_completion(self):
+        v = _variants()[:2]
+
+        def feed():
+            yield (v[0], ())
+            # "No work yet": the stream must not block on this marker —
+            # it drains a completion and pulls again.
+            yield None
+            yield (v[1], ())
+
+        with _engine(workers=2) as eng:
+            out = _reassemble(eng.evaluate_stream(feed()), 2)
+            assert eng.stream_stats.submitted == 2
+        assert [ev.behavior for ev in out] == v
+
+    def test_pool_none_with_empty_window_is_an_error(self):
+        with _engine(workers=2) as eng:
+            with pytest.raises(RuntimeError):
+                list(eng.evaluate_stream(iter([None])))
+
+
+class TestDetachedSpeculation:
+    def test_detached_work_is_never_reevaluated(self):
+        """A detachable item submitted once serves a later stream.
+
+        Whether the speculative future finishes inside the first
+        stream, is carried and harvested, or is adopted mid-flight by
+        the second stream is timing-dependent — but in every case the
+        work is submitted to the pool exactly once and the second
+        stream's result matches the serial reference.
+        """
+        v = _variants()
+        with _engine(workers=0) as eng:
+            reference = eng.evaluate_batch([(v[1], ())])[0]
+
+        def first():
+            yield (v[0], ())
+            yield (v[1], (), True)   # speculative: stream may end first
+
+        with _engine(workers=2) as eng:
+            seen = dict(eng.evaluate_stream(first()))
+            # The real item always surfaces; the speculative one only
+            # if it finished before the stream ran out of real work.
+            assert 0 in seen
+            second = _reassemble(
+                eng.evaluate_stream(iter([(v[1], ("real",))])), 1)
+            stats = eng.stream_stats
+            assert not eng._carried
+        assert second[0].score == reference.score
+        assert second[0].lineage == ("real",)
+        assert stats.submitted == 2
+        assert stats.carried == stats.adopted \
+            + (stats.cache_hits if stats.carried else 0)
+
+    def test_real_waiter_pins_a_speculative_future(self):
+        v = _variants()
+
+        def feed():
+            yield (v[0], (), True)
+            yield (v[0].copy(), ("real",))   # duplicate, but real
+
+        with _engine(workers=2) as eng:
+            out = dict(eng.evaluate_stream(feed()))
+            # The merge turned the speculative submission into real
+            # work: the stream waited for it, nothing was carried.
+            assert eng.stream_stats.merged == 1
+            assert eng.stream_stats.carried == 0
+            assert not eng._carried
+        assert set(out) == {0, 1}
+        assert out[1].lineage == ("real",)
+
+    def test_detach_flag_is_ignored_serially(self):
+        v = _variants()[:1]
+        with _engine(workers=0) as eng:
+            out = _reassemble(
+                eng.evaluate_stream(iter([(v[0], (), True)])), 1)
+            assert eng.stream_stats.carried == 0
+        assert out[0].behavior is v[0]
+
+    def test_harvest_absorbs_finished_carried_future(self):
+        """_harvest_carried moves a done future into the eval cache."""
+
+        class DoneFuture:
+            def done(self):
+                return True
+
+            def result(self):
+                from repro.core.telemetry import EvalStats
+                return (("payload", 42.0, EvalStats()), None)
+
+        with _engine(workers=0) as eng:
+            eng._carried["somekey"] = DoneFuture()
+            stats = StreamStats()
+            eng._harvest_carried(stats)
+            assert not eng._carried
+            assert stats.completed == 1
+            assert eng.cache.get("somekey") == ("payload", 42.0)
+
+    def test_harvest_skips_running_and_drops_failed(self):
+        class RunningFuture:
+            def done(self):
+                return False
+
+        class FailedFuture:
+            def done(self):
+                return True
+
+            def result(self):
+                raise RuntimeError("worker died")
+
+        with _engine(workers=0) as eng:
+            eng._carried["running"] = RunningFuture()
+            eng._carried["failed"] = FailedFuture()
+            stats = StreamStats()
+            eng._harvest_carried(stats)
+            # The running future stays available for adoption; the
+            # failed one is forgotten (its key will simply resubmit).
+            assert set(eng._carried) == {"running"}
+            assert stats.completed == 0
+            del eng._carried["running"]

@@ -1,0 +1,158 @@
+"""Streaming exploration: front parity, speculation, interrupt/resume."""
+
+import pytest
+
+import repro
+from repro import JobState
+from repro.core.search import SearchConfig
+from repro.explore import ExploreConfig, ExploreRunner
+from repro.profiling import profile, uniform_traces
+
+GCD = """
+proc gcd(in a, in b, out g) {
+    while (a != b) {
+        if (a < b) { b = b - a; } else { a = a - b; }
+    }
+    g = a;
+}
+"""
+
+ALLOC = "sb1=2,cp1=1,e1=1"
+
+
+def config(generations=2, seed=1, streaming=False, workers=None):
+    return ExploreConfig(
+        generations=generations, population_size=4,
+        max_candidates_per_seed=10, seed=seed, workers=workers,
+        streaming=streaming,
+        search=SearchConfig(max_outer_iters=2, seed=seed,
+                            max_candidates_per_seed=10,
+                            workers=workers))
+
+
+@pytest.fixture(scope="module")
+def gcd_setup():
+    beh = repro.compile(GCD)
+    alloc = repro.coerce_allocation(ALLOC)
+    probs = dict(profile(beh, uniform_traces(beh, 12, lo=1, hi=255,
+                                             seed=1)).branch_probs)
+    return beh, alloc, probs
+
+
+def make_runner(gcd_setup, tmp_path, **kw):
+    beh, alloc, probs = gcd_setup
+    kw.setdefault("config", config())
+    kw.setdefault("store", tmp_path / "store")
+    return ExploreRunner(beh, alloc, branch_probs=probs, **kw)
+
+
+class TestFrontParity:
+    def test_serial_streaming_front_is_byte_identical(self, gcd_setup,
+                                                      tmp_path):
+        barrier = make_runner(gcd_setup, tmp_path / "ba",
+                              config=config(3)).run()
+        stream = make_runner(gcd_setup, tmp_path / "st",
+                             config=config(3, streaming=True)).run()
+        assert stream.front.to_json() == barrier.front.to_json()
+        assert stream.front.to_csv() == barrier.front.to_csv()
+        assert stream.generations == barrier.generations
+
+    def test_pool_streaming_front_is_byte_identical(self, gcd_setup,
+                                                    tmp_path,
+                                                    monkeypatch):
+        # Force the speculative feeder on even on a single-CPU host so
+        # the whole pipeline (speculation, shedding, carried futures)
+        # is exercised, not just the in-flight window.
+        monkeypatch.setattr("repro.stream.available_cpus", lambda: 8)
+        barrier = make_runner(gcd_setup, tmp_path / "ba",
+                              config=config(3, workers=2)).run()
+        stream = make_runner(
+            gcd_setup, tmp_path / "st",
+            config=config(3, streaming=True, workers=2)).run()
+        assert stream.front.to_json() == barrier.front.to_json()
+        tel = stream.telemetry.stream
+        assert tel is not None
+        assert tel.enqueued > 0
+        assert tel.completed > 0
+        assert tel.max_inflight >= 1
+
+    def test_speculation_disabled_on_single_cpu(self, gcd_setup,
+                                                tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.stream.available_cpus", lambda: 1)
+        stream = make_runner(
+            gcd_setup, tmp_path,
+            config=config(2, streaming=True, workers=2)).run()
+        tel = stream.telemetry.stream
+        assert tel is not None
+        assert tel.speculated == 0
+        assert tel.carried == 0
+
+    def test_streaming_telemetry_absent_on_barrier_runs(self, gcd_setup,
+                                                        tmp_path):
+        barrier = make_runner(gcd_setup, tmp_path).run()
+        assert barrier.telemetry.stream is None
+
+
+class TestInterruptResume:
+    def test_interrupt_mid_stream_then_resume_is_byte_identical(
+            self, gcd_setup, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.stream.available_cpus", lambda: 8)
+        reference = make_runner(gcd_setup, tmp_path / "ref",
+                                config=config(3, streaming=True)).run()
+        runner = make_runner(gcd_setup, tmp_path / "cut",
+                             config=config(3, streaming=True))
+        # Ask for a stop after the first completed generation, exactly
+        # as the SIGINT handler does mid-campaign.  With streaming on,
+        # the request lands while the next generation's speculative
+        # work may still be in flight; the checkpoint must only cover
+        # committed generations.
+        original = ExploreRunner._save_checkpoint
+
+        def stop_after_first(self, generation, *args, **kwargs):
+            original(self, generation, *args, **kwargs)
+            if generation >= 1:
+                self.request_stop()
+
+        ExploreRunner._save_checkpoint = stop_after_first
+        try:
+            partial = runner.run()
+        finally:
+            ExploreRunner._save_checkpoint = original
+        assert partial.state is JobState.CANCELLED
+        assert partial.generations == 1
+        resumed = make_runner(gcd_setup, tmp_path / "cut",
+                              config=config(3, streaming=True)
+                              ).run(resume=True)
+        assert resumed.state is JobState.DONE
+        assert resumed.generations == 3
+        assert resumed.front.to_json() == reference.front.to_json()
+        assert resumed.front.to_csv() == reference.front.to_csv()
+
+    def test_resume_may_switch_between_barrier_and_streaming(
+            self, gcd_setup, tmp_path):
+        # ``streaming`` is a scheduling knob, not a search parameter:
+        # the checkpoint identity ignores it, so a barrier run's
+        # checkpoint resumes under streaming (and vice versa) with the
+        # same front as an uninterrupted barrier run.
+        reference = make_runner(gcd_setup, tmp_path / "ref",
+                                config=config(3)).run()
+        runner = make_runner(gcd_setup, tmp_path / "cut",
+                             config=config(3))
+        original = ExploreRunner._save_checkpoint
+
+        def stop_after_first(self, generation, *args, **kwargs):
+            original(self, generation, *args, **kwargs)
+            if generation >= 1:
+                self.request_stop()
+
+        ExploreRunner._save_checkpoint = stop_after_first
+        try:
+            partial = runner.run()
+        finally:
+            ExploreRunner._save_checkpoint = original
+        assert partial.state is JobState.CANCELLED
+        resumed = make_runner(gcd_setup, tmp_path / "cut",
+                              config=config(3, streaming=True)
+                              ).run(resume=True)
+        assert resumed.state is JobState.DONE
+        assert resumed.front.to_json() == reference.front.to_json()
