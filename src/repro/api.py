@@ -377,6 +377,7 @@ def submit(source: Union[str, "os.PathLike[str]"], *,
            candidates_per_seed: int = 24,
            iterations: int = 6,
            warm_start: bool = True,
+           strategy: str = "greedy",
            profile_traces: int = 12,
            clock: float = 25.0) -> str:
     """Enqueue an optimization job; returns its (content-derived) id.
@@ -409,6 +410,7 @@ def submit(source: Union[str, "os.PathLike[str]"], *,
                    population=population,
                    candidates_per_seed=candidates_per_seed,
                    iterations=iterations, warm_start=warm_start,
+                   strategy=strategy,
                    profile_traces=profile_traces, clock=clock)
     return _job_queue(queue, store).submit(spec).job_id
 

@@ -208,7 +208,8 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                             incremental_enumeration=(
                                 not args.no_incremental_enum),
                             numeric_backend=args.numeric_backend,
-                            streaming=args.streaming),
+                            streaming=args.streaming,
+                            **_strategy_fields(args)),
         workers=args.workers)
     result = api.optimize(
         behavior, objective=args.objective, config=config,
@@ -246,13 +247,15 @@ def cmd_explore(args: argparse.Namespace) -> int:
                            incremental_enumeration=(
                                not args.no_incremental_enum),
                            numeric_backend=args.numeric_backend,
-                           streaming=args.streaming)
+                           streaming=args.streaming,
+                           **_strategy_fields(args))
     config = ExploreConfig(
         generations=args.generations,
         population_size=args.population,
         max_candidates_per_seed=args.candidates_per_seed,
         seed=args.seed, workers=args.workers,
         warm_start=not args.no_warm_start,
+        warm_start_transfer=args.warm_start_transfer,
         sched=SchedConfig(clock=args.clock), search=search,
         incremental=not args.no_incremental,
         incremental_enumeration=not args.no_incremental_enum,
@@ -329,6 +332,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
         candidates_per_seed=args.candidates_per_seed,
         iterations=args.iterations,
         warm_start=not args.no_warm_start,
+        strategy=args.strategy,
         profile_traces=args.profile_traces, clock=args.clock)
     record = api.status(job_id, queue=args.queue, store=args.store)
     print(job_id)
@@ -374,6 +378,25 @@ def cmd_job_result(args: argparse.Namespace) -> int:
           f"designs from {result.shards} shard(s)")
     _print_front(result.front)
     _write_front(result.front, args)
+    return 0
+
+
+def cmd_store_list(args: argparse.Namespace) -> int:
+    from .explore.store import RunStore, default_store_root
+    store = RunStore(args.store if args.store
+                     else default_store_root())
+    designs = sum(1 for _ in store.scan())
+    transfers = store.transfers()
+    print(f"{store.root}: {designs} stored evaluation(s), "
+          f"{len(transfers)} transfer front(s)")
+    for doc in transfers:
+        features = doc["features"]
+        context = ", ".join(
+            f"{k}={features[k]:g}" for k in ("vdd", "vt", "cycle_time")
+            if k in features)
+        print(f"  {str(doc['run'])[:12]}  behavior "
+              f"{str(doc['behavior'])[:12]}  front "
+              f"{doc['front_size']:>3}  {context}")
     return 0
 
 
@@ -642,6 +665,36 @@ def _add_explore_args(p: argparse.ArgumentParser) -> None:
                    help="skip the single-objective warm-start searches")
 
 
+def _add_strategy_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--strategy",
+                   choices=("greedy", "macro", "portfolio"),
+                   default="greedy",
+                   help="search strategy (docs/search.md): greedy is "
+                        "the paper's loop, macro adds dependent "
+                        "rewrite chains, portfolio races several "
+                        "configurations under one budget")
+    p.add_argument("--portfolio", type=int, default=None, metavar="N",
+                   help="race N strategy members (implies "
+                        "--strategy portfolio)")
+    p.add_argument("--max-evaluations", type=int, default=None,
+                   help="stop the search once this many schedule "
+                        "evaluations were spent (soft cap, checked "
+                        "between generations)")
+
+
+def _strategy_fields(args: argparse.Namespace) -> Dict[str, object]:
+    """``--strategy/--portfolio/--max-evaluations`` → SearchConfig
+    keyword overrides."""
+    fields: Dict[str, object] = {
+        "strategy": args.strategy,
+        "max_evaluations": args.max_evaluations,
+    }
+    if args.portfolio is not None:
+        fields["strategy"] = "portfolio"
+        fields["portfolio_size"] = args.portfolio
+    return fields
+
+
 def _add_gen_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument("--gen", action="append", metavar="KEY=VALUE",
                    help="GenConfig override, repeatable (e.g. --gen "
@@ -686,7 +739,8 @@ def build_parser() -> argparse.ArgumentParser:
     queue_parent = _make_parent(_add_store_arg, _add_queue_arg)
     explore_parent = _make_parent(_add_explore_args)
     tuning_parent = _make_parent(_add_stats_arg,
-                                 _add_incremental_args)
+                                 _add_incremental_args,
+                                 _add_strategy_args)
 
     p = sub.add_parser("compile", help="parse and lower a BDL file",
                        parents=[trace_parent])
@@ -729,6 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="continue an interrupted run from its "
                         "checkpoint (bit-for-bit)")
+    p.add_argument("--warm-start", action="store_true",
+                   dest="warm_start_transfer",
+                   help="seed the initial population from the nearest "
+                        "prior run's front in the store's transfer "
+                        "index (docs/search.md)")
     p.add_argument("--export", metavar="FILE",
                    help="write the front as canonical JSON")
     p.add_argument("--csv", metavar="FILE",
@@ -763,6 +822,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-seeds", type=int, default=1,
                    help="independent exploration seeds (sharded "
                         "across workers)")
+    p.add_argument("--strategy",
+                   choices=("greedy", "macro", "portfolio"),
+                   default="greedy",
+                   help="search strategy for the job's warm-start "
+                        "searches (docs/search.md)")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("job", help="inspect queued jobs")
@@ -786,6 +850,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("store", help="run-store maintenance")
     ssub = p.add_subparsers(dest="store_command", required=True)
+    ps = ssub.add_parser(
+        "list",
+        help="stored evaluation count and the transfer index")
+    _add_store_arg(ps)
+    ps.set_defaults(func=cmd_store_list)
     ps = ssub.add_parser(
         "sync", help="conflict-free union of two run stores")
     ps.add_argument("src", help="source store directory")

@@ -75,6 +75,43 @@ class Evaluated:
     stats: Optional[EvalStats] = None
 
 
+class EvalBudget:
+    """A cap on *real* evaluation work, metered on one engine.
+
+    The currency is ``EvalStats.scheduled`` — candidates that actually
+    went through the scheduler.  Cache hits are free: a budgeted search
+    is charged for the work it causes, not the candidates it looks at,
+    which is what makes budget comparisons fair between strategies that
+    share the memoization cache (a portfolio member rediscovering
+    another's candidate pays nothing).  ``limit=None`` never exhausts.
+
+    Budgets snapshot the engine's counter at construction, so stacking
+    several sequential searches on one engine each against their own
+    budget works.
+    """
+
+    def __init__(self, engine: "EvaluationEngine",
+                 limit: Optional[int] = None) -> None:
+        self.engine = engine
+        self.limit = limit
+        self._start = engine.eval_stats.scheduled
+
+    @property
+    def spent(self) -> int:
+        """Scheduled evaluations since this budget was created."""
+        return self.engine.eval_stats.scheduled - self._start
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+
 @dataclass
 class _Deferred:
     """A candidate scheduled with its visit resolution still pending.
@@ -451,6 +488,10 @@ class EvaluationEngine:
     def backend(self) -> str:
         return "process" if self.workers >= 2 and not self._pool_broken \
             else "serial"
+
+    def budget(self, limit: Optional[int] = None) -> EvalBudget:
+        """A fresh :class:`EvalBudget` metering this engine from now."""
+        return EvalBudget(self, limit)
 
     # -- evaluation -----------------------------------------------------
     def evaluate(self, behavior: Behavior,

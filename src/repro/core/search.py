@@ -1,27 +1,34 @@
-"""The ``Apply_transforms`` search (paper Figure 6).
+"""The ``Apply_transforms`` search harness.
 
-A population-based hybrid of iterative improvement and simulated
-annealing:
+:class:`TransformSearch` drives a pluggable
+:class:`~repro.search.strategy.SearchStrategy` (``docs/search.md``)
+over one behavior.  The harness owns everything strategies share — the
+:class:`~repro.core.engine.EvaluationEngine` with its memoization
+cache, region-schedule cache, streaming pipeline, evaluation budget
+and telemetry — while the strategy decides what to evaluate and what
+to keep:
 
-* ``In_set`` holds the behaviors seeding the current generation;
-* each generation applies every candidate transformation to every seed,
-  forming ``Behavior_set``;
-* every member is **rescheduled** and scored with the objective — this
-  is where scheduling information guides transformation selection.
-  Scheduling is delegated to an
-  :class:`~repro.core.engine.EvaluationEngine`, which memoizes
-  identical candidates (common across lineages) and can fan a
-  generation out across worker processes;
-* members are ranked by score and a fixed-size subset is drawn with
-  probability ratio ``e^(−k·rank_i) / e^(−k·rank_j)``; ``k`` grows
-  linearly with the outer iteration, so early generations tolerate bad
-  moves and later ones favor the best;
-* the loop stops when an outer iteration fails to improve the best
-  score (or a hard iteration cap is reached).
+* ``greedy`` (the default) is the paper's Figure-6 loop, a
+  population-based hybrid of iterative improvement and simulated
+  annealing: ``In_set`` seeds each generation, every candidate
+  transformation applied to every seed forms ``Behavior_set``, every
+  member is **rescheduled** and scored (this is where scheduling
+  information guides transformation selection), and a fixed-size
+  subset survives with probability ratio
+  ``e^(−k·rank_i) / e^(−k·rank_j)`` where ``k`` grows with the outer
+  iteration; the loop stops when an outer iteration fails to improve
+  the best score (or a hard iteration cap is reached);
+* ``macro`` runs the same loop over a neighborhood extended with
+  dependent rewrite *chains* (:mod:`repro.search.macro`);
+* ``portfolio`` races several configurations under the one shared
+  engine with budget-based arbitration
+  (:mod:`repro.search.portfolio`).
 
 Each :meth:`TransformSearch.run` draws from a fresh
 ``random.Random(config.seed)``, so repeated or concurrent runs with the
-same seed reproduce the same trajectory regardless of backend.
+same seed reproduce the same trajectory regardless of backend — and the
+greedy strategy reproduces the pre-strategy-layer monolithic loop byte
+for byte (:mod:`repro.search.reference` is the frozen oracle).
 """
 
 from __future__ import annotations
@@ -135,6 +142,15 @@ class SearchConfig:
     streaming pipeline (:meth:`~repro.core.engine.EvaluationEngine.
     evaluate_stream`) instead of the generation barrier — results are
     byte-identical (``--streaming`` on the CLI; see docs/pipeline.md).
+
+    ``strategy`` selects the search strategy (``"greedy"``, ``"macro"``
+    or ``"portfolio"`` — ``--strategy`` on the CLI; docs/search.md).
+    ``macro_depth`` / ``macro_limit`` bound macro-move chains (longest
+    dependent chain, chains per seed per generation);
+    ``portfolio_size`` is the number of racing portfolio members; and
+    ``max_evaluations`` caps the run's *scheduled* evaluations (cache
+    hits are free; ``None`` is unbounded) — the budget that makes
+    cross-strategy quality comparisons fair.
     """
 
     max_outer_iters: int = 6
@@ -152,11 +168,20 @@ class SearchConfig:
     enum_cache_size: int = 512
     numeric_backend: str = "scalar"
     streaming: bool = False
+    strategy: str = "greedy"
+    macro_depth: int = 2
+    macro_limit: int = 8
+    portfolio_size: int = 3
+    max_evaluations: Optional[int] = None
 
 
 @dataclass
 class SearchResult:
-    """Outcome of one ``Apply_transforms`` run."""
+    """Outcome of one ``Apply_transforms`` run.
+
+    ``generations`` is strategy-defined: outer iterations for greedy
+    and macro runs, total observed generations for a portfolio.
+    """
 
     best: Evaluated
     initial: Evaluated
@@ -164,17 +189,31 @@ class SearchResult:
     evaluated_count: int = 0
     history: List[float] = field(default_factory=list)
     telemetry: Optional[SearchTelemetry] = None
+    #: name of the strategy that produced this result (docs/search.md)
+    strategy: str = "greedy"
 
     @property
     def improvement(self) -> float:
-        """initial score / best score (>1 means the search helped)."""
+        """initial score / best score (>1 means the search helped).
+
+        A no-op search on a zero-score input (both scores 0, e.g. a
+        zero-weight objective) reports 1.0 — "nothing to improve", not
+        an infinite win; only a genuine drop to a non-positive best
+        from a positive initial reports ``inf``.
+        """
         if self.best.score <= 0:
-            return float("inf")
+            return 1.0 if self.initial.score <= 0 else float("inf")
         return self.initial.score / self.best.score
 
 
 class TransformSearch:
-    """Runs the Figure-6 loop over one behavior."""
+    """The strategy-agnostic search harness over one behavior.
+
+    Owns the evaluation engine, the caches, the evaluation budget and
+    telemetry; the strategy named by ``SearchConfig.strategy`` decides
+    what to evaluate (docs/search.md).  The default ``greedy`` strategy
+    reproduces the paper's Figure-6 loop byte for byte.
+    """
 
     def __init__(self, transforms: TransformLibrary, library: Library,
                  allocation: Allocation, objective: Objective,
@@ -242,6 +281,9 @@ class TransformSearch:
 
     def run(self, behavior: Behavior) -> SearchResult:
         """Optimize ``behavior``; returns the best design found."""
+        # Runtime import: repro.search sits above repro.core in the
+        # layer diagram (strategies import the engine's types).
+        from ..search import make_strategy
         cfg = self.config
         # Fresh RNG per run: repeated runs on one TransformSearch (and
         # concurrent searches sharing a seed) see the same sequence.
@@ -257,6 +299,8 @@ class TransformSearch:
         telemetry.start()
         run_start_stats = engine.eval_stats.minus(EvalStats())
         run_start_rewrite = self.driver.stats.copy()
+        strategy = make_strategy(cfg, self._expander_factory(tracer))
+        telemetry.strategy = strategy.name
         try:
             initial = engine.evaluate(behavior)
             if initial.result is None:
@@ -266,57 +310,49 @@ class TransformSearch:
             # Nodes created by rewrites get ids above the input's: they
             # are products of hot-region rewriting and stay in focus.
             self._fresh_from = max(behavior.graph.nodes, default=-1) + 1
-            best = initial
-            in_set: List[Evaluated] = [initial]
-            history = [initial.score]
-            outer = 0
-            while outer < cfg.max_outer_iters:
-                improved = False
-                for _move in range(cfg.max_moves):
-                    with tracer.span("search.generation",
-                                     outer=outer) as gen_span:
-                        pairs = self._expand(in_set, tracer)
-                        if not pairs:
-                            break
-                        hits_before = engine.stats.hits
-                        stats_before = engine.eval_stats.minus(
-                            EvalStats())
-                        gen_start = time.perf_counter()
-                        if cfg.streaming:
-                            generation = self._evaluate_streaming(
-                                engine, pairs)
-                        else:
-                            generation = engine.evaluate_batch(pairs)
-                        gen_time = time.perf_counter() - gen_start
-                        gen_stats = engine.eval_stats.minus(stats_before)
-                        generation.sort(key=lambda e: e.score)
-                        best_before = best.score
-                        if generation[0].score < best.score - 1e-9:
-                            best = generation[0]
-                            improved = True
-                        history.append(best.score)
-                        gen_span.set(
-                            candidates=len(pairs),
-                            cache_hits=engine.stats.hits - hits_before,
-                            scheduled=gen_stats.scheduled,
-                            best_score=best.score,
-                            objective_delta=best_before - best.score,
-                            reschedule_fraction=round(
-                                gen_stats.reschedule_fraction, 4))
-                        telemetry.record_generation(
-                            outer_iter=outer, wall_time=gen_time,
-                            evaluations=len(pairs),
-                            cache_hits=engine.stats.hits - hits_before,
-                            best_score=best.score,
-                            scheduled=gen_stats.scheduled,
-                            reschedule_fraction=(
-                                gen_stats.reschedule_fraction),
-                            solver_time=gen_stats.solver_time)
-                        k = cfg.k0 + cfg.k_step * outer
-                        in_set = self._select(generation, k)
-                outer += 1
-                if not improved:
+            strategy.start(initial)
+            budget = engine.budget(cfg.max_evaluations)
+            while not budget.exhausted:
+                proposal = strategy.propose(tracer)
+                if proposal is None:
                     break
+                try:
+                    pairs = proposal.pairs
+                    hits_before = engine.stats.hits
+                    stats_before = engine.eval_stats.minus(EvalStats())
+                    gen_start = time.perf_counter()
+                    if cfg.streaming:
+                        generation = self._evaluate_streaming(
+                            engine, pairs)
+                    else:
+                        generation = engine.evaluate_batch(pairs)
+                    gen_time = time.perf_counter() - gen_start
+                    gen_stats = engine.eval_stats.minus(stats_before)
+                    generation.sort(key=lambda e: e.score)
+                    best_before = strategy.best.score
+                    proposal.cost = gen_stats.scheduled
+                    strategy.observe(proposal, generation)
+                    best_score = strategy.best.score
+                    proposal.span.set(
+                        candidates=len(pairs),
+                        cache_hits=engine.stats.hits - hits_before,
+                        scheduled=gen_stats.scheduled,
+                        best_score=best_score,
+                        objective_delta=best_before - best_score,
+                        reschedule_fraction=round(
+                            gen_stats.reschedule_fraction, 4))
+                    telemetry.record_generation(
+                        outer_iter=proposal.outer, wall_time=gen_time,
+                        evaluations=len(pairs),
+                        cache_hits=engine.stats.hits - hits_before,
+                        best_score=best_score,
+                        scheduled=gen_stats.scheduled,
+                        reschedule_fraction=(
+                            gen_stats.reschedule_fraction),
+                        solver_time=gen_stats.solver_time,
+                        member=proposal.member)
+                finally:
+                    proposal.close()
         finally:
             telemetry.finish()
             telemetry.cache = engine.stats
@@ -326,11 +362,17 @@ class TransformSearch:
             telemetry.backend = engine.backend
             if cfg.streaming:
                 telemetry.stream = engine.stream_stats
+            member_stats = getattr(strategy, "member_stats", None)
+            if member_stats is not None:
+                telemetry.members = member_stats()
             if owns_engine:
                 engine.close()
-        return SearchResult(best=best, initial=initial, generations=outer,
+        return SearchResult(best=strategy.best, initial=initial,
+                            generations=strategy.generations,
                             evaluated_count=engine.requests,
-                            history=history, telemetry=telemetry)
+                            history=strategy.history,
+                            telemetry=telemetry,
+                            strategy=strategy.name)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -353,6 +395,38 @@ class TransformSearch:
             outputs[i] = ev
         assert all(e is not None for e in outputs)
         return outputs  # type: ignore[return-value]
+
+    def _expander_factory(self, tracer: AnyTracer):
+        """Expansion hook handed to strategies (docs/search.md).
+
+        ``factory(depth)`` returns an expander closing over this
+        search's transform library, rewrite driver, hot-node focus and
+        tracer.  Depth 1 is plain one-step expansion (the strategy's
+        RNG is consumed exactly as the monolithic loop consumed the run
+        RNG); depth >= 2 appends dependent macro chains, which consume
+        no RNG, so a macro trajectory shares greedy's RNG stream.
+        """
+        def factory(depth: int):
+            def expander(seeds, rng):
+                pairs = expand_candidates(
+                    self.transforms, seeds, rng,
+                    max_per_seed=self.config.max_candidates_per_seed,
+                    hot_nodes=self.hot_nodes,
+                    fresh_from=self._fresh_from
+                    if self._fresh_from is not None else 0,
+                    driver=self.driver, tracer=tracer)
+                if depth >= 2:
+                    from ..search.macro import expand_macro_chains
+                    pairs.extend(expand_macro_chains(
+                        self.driver, seeds, depth=depth,
+                        limit=self.config.macro_limit,
+                        hot_nodes=self.hot_nodes,
+                        fresh_from=self._fresh_from
+                        if self._fresh_from is not None else 0,
+                        tracer=tracer))
+                return pairs
+            return expander
+        return factory
 
     def _expand(self, in_set: Sequence[Evaluated],
                 tracer: AnyTracer = NULL_TRACER

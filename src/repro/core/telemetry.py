@@ -120,7 +120,8 @@ class EvalStats:
 
 @dataclass
 class GenerationRecord:
-    """One generation (``Behavior_set``) of the Figure-6 loop."""
+    """One generation (``Behavior_set``) proposed by the search
+    strategy."""
 
     index: int
     outer_iter: int
@@ -131,6 +132,9 @@ class GenerationRecord:
     scheduled: int = 0
     reschedule_fraction: float = 1.0
     solver_time: float = 0.0
+    #: portfolio member that proposed this generation (None outside
+    #: portfolio runs)
+    member: Optional[str] = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -153,6 +157,11 @@ class SearchTelemetry:
     rewrite: RewriteStats = field(default_factory=RewriteStats)
     #: streaming-pipeline counters; None for barrier runs
     stream: Optional[StreamStats] = None
+    #: search strategy that drove this run (docs/search.md)
+    strategy: str = "greedy"
+    #: per-member scoreboard of a portfolio run (label -> counters);
+    #: None for single-strategy runs
+    members: Optional[Dict[str, Dict[str, float]]] = None
 
     # -- recording ------------------------------------------------------
     def start(self) -> None:
@@ -165,14 +174,15 @@ class SearchTelemetry:
                           evaluations: int, cache_hits: int,
                           best_score: float, scheduled: int = 0,
                           reschedule_fraction: float = 1.0,
-                          solver_time: float = 0.0) -> None:
+                          solver_time: float = 0.0,
+                          member: Optional[str] = None) -> None:
         self.generations.append(GenerationRecord(
             index=len(self.generations), outer_iter=outer_iter,
             wall_time=wall_time, evaluations=evaluations,
             cache_hits=cache_hits, best_score=best_score,
             scheduled=scheduled,
             reschedule_fraction=reschedule_fraction,
-            solver_time=solver_time))
+            solver_time=solver_time, member=member))
         self.evaluations += evaluations
 
     # -- views ----------------------------------------------------------
@@ -207,6 +217,11 @@ class SearchTelemetry:
             reg.inc(f"rewrite.{name}", value)
         for g in self.generations:
             reg.observe("search.generation.seconds", g.wall_time)
+        if self.members:
+            for label, counters in self.members.items():
+                for name, value in counters.items():
+                    if value != float("inf"):
+                        reg.set(f"search.member.{label}.{name}", value)
         return reg
 
     def as_dict(self) -> Dict[str, object]:
@@ -214,6 +229,7 @@ class SearchTelemetry:
         return {
             "backend": self.backend,
             "workers": self.workers,
+            "strategy": self.strategy,
             "total_wall_time": self.total_wall_time,
             "evaluations": self.evaluations,
             "generations": [asdict(g) for g in self.generations],
@@ -222,6 +238,7 @@ class SearchTelemetry:
             "rewrite": self.rewrite.as_dict(),
             "stream": self.stream.as_dict()
             if self.stream is not None else None,
+            "members": self.members,
             "best_trajectory": self.best_trajectory,
             "metrics": self.metrics().as_dict(),
         }
@@ -254,6 +271,16 @@ class SearchTelemetry:
         ]
         if self.stream is not None:
             lines.append("  " + self.stream.summary())
+        if self.strategy != "greedy":
+            # Extra lines only for non-default strategies: the greedy
+            # report stays byte-identical to the pre-strategy output.
+            lines.append(f"  strategy: {self.strategy}")
+            for label, c in (self.members or {}).items():
+                lines.append(
+                    f"    member {label}: {int(c['spent'])} scheduled "
+                    f"over {int(c['generations'])} generations "
+                    f"({int(c['outer_iters'])} outer), "
+                    f"best {c['best_score']:.4f}")
         reg = self.metrics()
         lines.append(
             "  totals (aggregated across workers): region cache "
@@ -263,12 +290,14 @@ class SearchTelemetry:
             f"states {int(reg.value('stg.states_built'))} built / "
             f"{int(reg.value('stg.states_reused'))} reused")
         for g in self.generations:
+            member = f" [{g.member}]" if g.member else ""
             lines.append(
                 f"  gen {g.index:2d} (outer {g.outer_iter}): "
                 f"{g.evaluations:4d} evals, {g.cache_hits:4d} cached, "
                 f"{g.scheduled:4d} scheduled "
                 f"(resched {100 * g.reschedule_fraction:5.1f}%), "
-                f"{g.wall_time * 1000:8.1f} ms, best {g.best_score:.4f}")
+                f"{g.wall_time * 1000:8.1f} ms, best {g.best_score:.4f}"
+                f"{member}")
         return "\n".join(lines)
 
 

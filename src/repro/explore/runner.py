@@ -57,7 +57,7 @@ from ..transforms import TransformLibrary, default_library
 from ..core.engine import (Evaluated, EvaluationEngine,
                            context_fingerprint)
 from ..sched.regioncache import RegionScheduleCache
-from ..core.evalcache import CacheStats
+from ..core.evalcache import CacheStats, behavior_fingerprint
 from ..core.fact import Fact, FactConfig
 from ..core.objectives import POWER, THROUGHPUT, Objective
 from ..core.search import SearchConfig, expand_candidates
@@ -66,8 +66,8 @@ from ..rewrite.driver import RewriteDriver
 from ..service.jobs import JobResult, JobState
 from .pareto import (DesignMetrics, DesignPoint, ParetoFront,
                      nsga2_select, objectives_from_metrics)
-from .store import (RunStore, StoredEval, atomic_write_bytes,
-                    default_store_root)
+from .store import (RunStore, RunStoreWarning, StoredEval,
+                    atomic_write_bytes, default_store_root)
 
 #: Version stamp of the pickled checkpoint documents.  Bumped to 2 when
 #: the telemetry records grew incremental-evaluation fields (old
@@ -107,6 +107,13 @@ class ExploreConfig:
     #: stream each generation through the engine's pipeline (results
     #: byte-identical to the barrier path; see docs/pipeline.md)
     streaming: bool = False
+    #: seed the initial population from the nearest prior run's front
+    #: in the store's transfer index (``--warm-start`` on the CLI;
+    #: docs/search.md).  Fronts are *recorded* unconditionally at every
+    #: successful run end; this knob only controls adoption.
+    warm_start_transfer: bool = False
+    #: how many transferred designs may join the initial population
+    transfer_seeds: int = 4
 
     def warm_start_search(self) -> SearchConfig:
         """The warm-start budget (explicit, or derived from the knobs)."""
@@ -139,7 +146,8 @@ class ExploreConfig:
                                 numeric_backend="scalar",
                                 streaming=False)),
                 self.vdd, self.vt, self.cycle_time,
-                tuple(self.warm_start_objectives))
+                tuple(self.warm_start_objectives),
+                self.warm_start_transfer, self.transfer_seeds)
 
 
 class ExploreResult(JobResult):
@@ -233,6 +241,12 @@ class ExploreRunner:
             self.checkpoint = (self.store.root / "runs"
                                / f"{self.run_fingerprint}.ckpt")
         self._stop_requested = False
+        # Behaviors for current front/population members, keyed by
+        # design fingerprint.  The front archives *stripped* points
+        # (no behavior), so the transfer index resolves behaviors
+        # here; pruned every generation to front + population.
+        self._transfer_pool: Dict[
+            str, Tuple[Behavior, Tuple[str, ...]]] = {}
 
     @property
     def checkpoint_path(self) -> Path:
@@ -297,6 +311,9 @@ class ExploreRunner:
                     rng.setstate(state["rng_state"])
                     generation = state["generation"]
                     population = state["population"]
+                    self._transfer_pool = {
+                        p.fingerprint: (p.behavior, tuple(p.lineage))
+                        for p in population if p.behavior is not None}
                     baseline_length = state["baseline_length"]
                     front = ParetoFront(baseline_length=baseline_length,
                                         points=state["front"])
@@ -343,6 +360,7 @@ class ExploreRunner:
                         front.update(points)
                         population = self._next_population(population,
                                                            points)
+                        self._prune_transfer_pool(front, population)
                         generation += 1
                         gen_stats = engine.eval_stats.minus(stats_before)
                         gen_span.set(
@@ -368,6 +386,11 @@ class ExploreRunner:
                                               population, front,
                                               telemetry,
                                               baseline_length)
+                if not interrupted and not self._stop_requested:
+                    # Publish this run's front for future warm-start
+                    # transfer (recording is unconditional; adoption is
+                    # opt-in via warm_start_transfer).
+                    self._record_transfer(front)
         except KeyboardInterrupt:
             # A second SIGINT (or one outside our handler's reach)
             # lands here: the checkpoint of the last completed
@@ -425,7 +448,96 @@ class ExploreRunner:
                                     rec, baseline_length)
                 front.add(point)
                 population.append(point)
+        if cfg.warm_start_transfer:
+            population.extend(self._transfer_bootstrap(
+                engine, front, baseline_length, population))
         return baseline_length, population, front
+
+    # -- warm-start transfer --------------------------------------------
+    def _transfer_features(self) -> Dict[str, float]:
+        """This run's context coordinate in the transfer index: the
+        knobs a user typically sweeps between campaigns (supply
+        voltage, threshold, cycle time, clock and the per-FU
+        allocation).  The library and circuit are pinned separately —
+        transfer candidates must share the input behavior fingerprint."""
+        cfg = self.config
+        features: Dict[str, float] = {
+            "vdd": cfg.vdd, "vt": cfg.vt,
+            "cycle_time": cfg.cycle_time,
+            "clock": cfg.sched.clock,
+        }
+        for name, count in sorted(self.allocation.counts.items()):
+            features[f"alloc.{name}"] = float(count)
+        return features
+
+    def _transfer_bootstrap(self, engine: EvaluationEngine,
+                            front: ParetoFront, baseline_length: float,
+                            population: Sequence[DesignPoint]
+                            ) -> List[DesignPoint]:
+        """Adopt the nearest prior run's front as extra seeds.
+
+        Every transferred behavior is *re-evaluated under this run's
+        context* (via the store, so already-known designs cost one
+        lookup): the prior front's metrics are meaningless here, only
+        its rewritten behaviors carry over.  Infeasible or duplicate
+        designs are skipped; at most ``transfer_seeds`` join.
+        """
+        cfg = self.config
+        doc = self.store.nearest_transfer(
+            behavior_fingerprint(self.behavior),
+            self._transfer_features(), exclude=self.run_fingerprint)
+        if doc is None:
+            return []
+        entries = self.store.load_transfer(str(doc["run"]))
+        if not entries:
+            return []
+        have = {p.fingerprint for p in population}
+        adopted: List[DesignPoint] = []
+        with self.tracer.span("explore.transfer",
+                              source=str(doc["run"])[:12]) as span:
+            for behavior, lineage in entries:
+                if len(adopted) >= cfg.transfer_seeds:
+                    break
+                key, record = self._resolve_one(behavior, engine)
+                if key in have or not record.feasible:
+                    continue
+                have.add(key)
+                point = self._point(key, behavior, lineage, record,
+                                    baseline_length)
+                front.add(point)
+                adopted.append(point)
+            span.set(offered=len(entries), adopted=len(adopted))
+        return adopted
+
+    def _prune_transfer_pool(self, front: ParetoFront,
+                             population: Sequence[DesignPoint]) -> None:
+        live = {p.fingerprint for p in front.sorted_points()}
+        live.update(p.fingerprint for p in population)
+        self._transfer_pool = {fp: entry for fp, entry
+                               in self._transfer_pool.items()
+                               if fp in live}
+
+    def _record_transfer(self, front: ParetoFront) -> None:
+        """Publish the final front into the store's transfer index.
+
+        The front archives stripped points, so behaviors come from the
+        transfer pool.  Front members inherited from a pre-resume
+        process whose behaviors are no longer in memory are skipped —
+        the recorded front may be a subset after a resume.
+        """
+        entries = [self._transfer_pool[p.fingerprint]
+                   for p in front.sorted_points()
+                   if p.fingerprint in self._transfer_pool]
+        if not entries:
+            return
+        try:
+            self.store.record_transfer(
+                self.run_fingerprint,
+                behavior_fingerprint(self.behavior),
+                self._transfer_features(), entries)
+        except Exception as exc:  # pickling oddities must not kill a run
+            warnings.warn(f"cannot record warm-start transfer: {exc}",
+                          RunStoreWarning, stacklevel=2)
 
     # -- evaluation -----------------------------------------------------
     def _resolve_one(self, behavior: Behavior, engine: EvaluationEngine
@@ -713,6 +825,7 @@ class ExploreRunner:
         objectives = objectives_from_metrics(
             record.metrics, baseline_length, vdd=cfg.vdd, vt=cfg.vt,
             cycle_time=cfg.cycle_time)
+        self._transfer_pool[key] = (behavior, tuple(lineage))
         return DesignPoint(key, tuple(lineage), record.metrics,
                            objectives, behavior)
 

@@ -47,11 +47,13 @@ same object the in-memory evaluation cache reports through
 from __future__ import annotations
 
 import json
+import math
 import os
+import pickle
 import tempfile
 import warnings
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..cdfg.ir import _digest
 from ..cdfg.regions import Behavior
@@ -64,6 +66,13 @@ STORE_SCHEMA = 1
 
 #: Layout version directory under the store root.
 LAYOUT_DIR = "v1"
+
+#: Warm-start transfer records live beside the design records, one
+#: (meta JSON + pickled front) pair per completed exploration run.
+TRANSFER_DIR = "transfer"
+
+#: Schema version of the transfer meta documents.
+TRANSFER_SCHEMA = 1
 
 #: Environment knob consulted when no explicit store root is given.
 STORE_ENV = "REPRO_STORE"
@@ -236,6 +245,119 @@ class RunStore:
             return
         for path in sorted(layout.glob("*/*.json")):
             yield path.stem, self._read_record(path.stem)
+
+    # -- warm-start transfer index --------------------------------------
+    def record_transfer(self, run_fp: str, behavior_fp: str,
+                        features: Dict[str, float],
+                        entries: List[Tuple[Behavior,
+                                            Tuple[str, ...]]]) -> None:
+        """Persist one finished run's front for cross-run warm starts.
+
+        ``features`` is the run's *context coordinate* (Vdd, Vt, cycle
+        time, clock, per-FU allocation counts — see
+        :meth:`repro.explore.runner.ExploreRunner` for the canonical
+        encoding); ``entries`` are the front's (behavior, lineage)
+        pairs.  The pickled payload is published before the meta
+        document, so a reader that sees the meta always finds the
+        payload; both writes are atomic and last-writer-wins, which is
+        correct because a run fingerprint determines its front.
+        """
+        base = self.root / TRANSFER_DIR
+        doc = {
+            "schema": TRANSFER_SCHEMA,
+            "run": run_fp,
+            "behavior": behavior_fp,
+            "features": {k: float(v) for k, v in sorted(features.items())},
+            "front_size": len(entries),
+            "lineages": [list(lineage) for _, lineage in entries],
+        }
+        try:
+            atomic_write_bytes(base / f"{run_fp}.pkl",
+                               pickle.dumps(entries,
+                                            pickle.HIGHEST_PROTOCOL))
+            atomic_write_text(base / f"{run_fp}.json",
+                              json.dumps(doc, sort_keys=True))
+        except OSError as exc:
+            warnings.warn(f"run store: cannot persist transfer record "
+                          f"for run {run_fp[:12]}: {exc}",
+                          RunStoreWarning, stacklevel=2)
+
+    def transfers(self) -> List[Dict[str, object]]:
+        """All readable transfer meta documents, sorted by run
+        fingerprint (deterministic; unreadable records are skipped with
+        a warning, like design records)."""
+        base = self.root / TRANSFER_DIR
+        if not base.is_dir():
+            return []
+        out: List[Dict[str, object]] = []
+        for path in sorted(base.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    doc = json.load(handle)
+                if not isinstance(doc, dict) \
+                        or doc.get("schema") != TRANSFER_SCHEMA \
+                        or not isinstance(doc.get("features"), dict):
+                    raise ValueError("bad transfer record shape")
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                self.corrupt_entries += 1
+                warnings.warn(
+                    f"run store: skipping unreadable transfer record "
+                    f"{path.name} ({exc})", RunStoreWarning,
+                    stacklevel=2)
+                continue
+            out.append(doc)
+        return out
+
+    def load_transfer(self, run_fp: str
+                      ) -> Optional[List[Tuple[Behavior,
+                                               Tuple[str, ...]]]]:
+        """The pickled front of one transfer record (None if
+        unreadable)."""
+        path = self.root / TRANSFER_DIR / f"{run_fp}.pkl"
+        try:
+            with open(path, "rb") as handle:
+                entries = pickle.load(handle)
+            return [(behavior, tuple(lineage))
+                    for behavior, lineage in entries]
+        except FileNotFoundError:
+            return None
+        except Exception as exc:  # pickle raises almost anything
+            self.corrupt_entries += 1
+            warnings.warn(f"run store: skipping unreadable transfer "
+                          f"payload {path.name} ({exc})",
+                          RunStoreWarning, stacklevel=2)
+            return None
+
+    def nearest_transfer(self, behavior_fp: str,
+                         features: Dict[str, float], *,
+                         exclude: Optional[str] = None
+                         ) -> Optional[Dict[str, object]]:
+        """The closest prior run's transfer record, or None.
+
+        Candidates must be fronts of the *same input behavior*
+        (canonical fingerprint equality — transferring another
+        circuit's rewrites is meaningless); among those, closeness is
+        the L2 distance between feature vectors over the union of
+        feature keys (a missing key counts as 0), with the run
+        fingerprint breaking exact ties so the pick is deterministic.
+        ``exclude`` skips the current run's own record.
+        """
+        best: Optional[Tuple[float, str, Dict[str, object]]] = None
+        for doc in self.transfers():
+            if doc.get("behavior") != behavior_fp:
+                continue
+            run = str(doc.get("run"))
+            if exclude is not None and run == exclude:
+                continue
+            theirs = {str(k): float(v)
+                      for k, v in doc["features"].items()}
+            keys = set(theirs) | set(features)
+            dist = math.sqrt(sum(
+                (features.get(k, 0.0) - theirs.get(k, 0.0)) ** 2
+                for k in keys))
+            if best is None or (dist, run) < (best[0], best[1]):
+                best = (dist, run, doc)
+        return best[2] if best is not None else None
 
 
 def _decode(doc: Dict[str, object]) -> StoredEval:

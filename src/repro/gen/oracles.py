@@ -39,13 +39,19 @@ stream-parity      the streaming evaluation pipeline
                    mixed batch — parent, rewritten children, in-batch
                    duplicates — identically to the barrier
                    ``evaluate_batch`` path, result for result
+search-parity      the strategy layer's default ``greedy`` strategy
+                   reproduces the frozen legacy search loop
+                   (``repro.search.reference``) — best score, lineage,
+                   history and counters — and the portfolio strategy's
+                   winning design preserves interpreter semantics on
+                   shared traces
 =================  =====================================================
 """
 
 from __future__ import annotations
 
 import shlex
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cdfg.interp import execute
@@ -494,6 +500,93 @@ def oracle_stream_parity(ctx: OracleContext) -> Optional[str]:
     return None
 
 
+def oracle_search_parity(ctx: OracleContext) -> Optional[str]:
+    """The strategy layer reproduces the legacy search, and richer
+    strategies stay semantics-preserving.
+
+    Two claims.  First, ``TransformSearch`` running the default
+    ``greedy`` strategy equals :func:`repro.search.reference.
+    reference_search` — the legacy loop frozen verbatim before the
+    strategy refactor — on best score, lineage, full history and
+    generation/evaluation counts.  Second, the portfolio strategy's
+    winning design still executes identically to the input behavior on
+    shared traces (racing must never surface a semantics-breaking
+    design, whatever its score).
+    """
+    if ctx.try_schedule() is None:
+        return None  # path explosion: agreed capacity limit, skip
+    from ..core.search import SearchConfig, TransformSearch
+    from ..search.reference import reference_search
+    probs = ctx.branch_probs()
+    objective = Objective(THROUGHPUT)
+    transforms = default_library()
+    cfg = SearchConfig(max_outer_iters=2, max_moves=1,
+                       max_candidates_per_seed=6,
+                       seed=ctx.seed, workers=0)
+
+    try:
+        got = TransformSearch(
+            transforms, ctx.hw_library, ctx.allocation, objective,
+            sched_config=ctx.sched_config, branch_probs=probs,
+            config=cfg).run(ctx.behavior)
+        want = reference_search(
+            transforms, ctx.hw_library, ctx.allocation, objective,
+            ctx.behavior, sched_config=ctx.sched_config,
+            branch_probs=probs, config=cfg)
+    except ScheduleError as exc:
+        if _is_path_explosion(exc):
+            return None
+        raise
+    if got.best.score != want.best.score:
+        return (f"greedy best score {got.best.score!r} != reference "
+                f"{want.best.score!r}")
+    if got.best.lineage != want.best.lineage:
+        return (f"greedy lineage {got.best.lineage} != reference "
+                f"{want.best.lineage}")
+    if got.history != want.history:
+        return (f"greedy history diverged: "
+                f"{_first_diff_scalar(want.history, got.history)}")
+    if (got.generations, got.evaluated_count) != \
+            (want.generations, want.evaluated_count):
+        return (f"greedy counters ({got.generations}, "
+                f"{got.evaluated_count}) != reference "
+                f"({want.generations}, {want.evaluated_count})")
+
+    pcfg = replace(cfg, strategy="portfolio", portfolio_size=3)
+    try:
+        portfolio = TransformSearch(
+            transforms, ctx.hw_library, ctx.allocation, objective,
+            sched_config=ctx.sched_config, branch_probs=probs,
+            config=pcfg).run(ctx.behavior)
+    except ScheduleError as exc:
+        if _is_path_explosion(exc):
+            return None
+        raise
+    traces = ctx.traces()
+    best = portfolio.best.behavior
+    for i, case in enumerate(traces):
+        arrays = {k: list(v) for k, v in case.arrays.items()}
+        want_run = execute(ctx.behavior, case.inputs,
+                           {k: list(v) for k, v in
+                            case.arrays.items()})
+        got_run = execute(best, case.inputs, arrays)
+        if got_run.outputs != want_run.outputs:
+            return (f"portfolio best {portfolio.best.lineage}: trace "
+                    f"{i} outputs {got_run.outputs} != "
+                    f"{want_run.outputs}")
+        if got_run.arrays != want_run.arrays:
+            return (f"portfolio best {portfolio.best.lineage}: trace "
+                    f"{i} final memory diverged")
+    return None
+
+
+def _first_diff_scalar(expect: List[float], got: List[float]) -> str:
+    for i, (a, b) in enumerate(zip(expect, got)):
+        if a != b:
+            return f"first diff at {i}: {a!r} != {b!r}"
+    return f"length mismatch {len(expect)} != {len(got)}"
+
+
 #: Oracle registry, in execution order.  ``engine-backend`` spawns a
 #: process pool, so the harness samples it instead of running it on
 #: every circuit (see ``FuzzOptions.pool_every``).
@@ -505,6 +598,7 @@ ORACLES: Dict[str, Callable[[OracleContext], Optional[str]]] = {
     "engine-backend": oracle_engine_backend,
     "numeric-backend": oracle_numeric_backend,
     "stream-parity": oracle_stream_parity,
+    "search-parity": oracle_search_parity,
 }
 
 

@@ -36,10 +36,11 @@ Soundness notes:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..core.evalcache import EvalCache, cached_raw_fingerprint
+from ..errors import ReproError
 from ..obs.trace import NULL_TRACER, Tracer
 from .analyses import AnalysisManager
 from .pattern import LOCAL, Match, RewritePattern, supports_pattern_api
@@ -63,51 +64,26 @@ class RewriteStats:
     applies: int = 0
     enum_seconds: float = 0.0
     apply_seconds: float = 0.0
+    #: dependent macro-chains enumerated (see :meth:`RewriteDriver
+    #: .chains`) and the seconds spent building them
+    chains: int = 0
+    chain_seconds: float = 0.0
 
     def add(self, other: "RewriteStats") -> "RewriteStats":
-        return RewriteStats(
-            self.requests + other.requests,
-            self.memo_hits + other.memo_hits,
-            self.full_scans + other.full_scans,
-            self.incremental_scans + other.incremental_scans,
-            self.carried_matches + other.carried_matches,
-            self.rescanned_matches + other.rescanned_matches,
-            self.legacy_finds + other.legacy_finds,
-            self.applies + other.applies,
-            self.enum_seconds + other.enum_seconds,
-            self.apply_seconds + other.apply_seconds,
-        )
+        return RewriteStats(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)})
 
     def minus(self, other: "RewriteStats") -> "RewriteStats":
-        return RewriteStats(
-            self.requests - other.requests,
-            self.memo_hits - other.memo_hits,
-            self.full_scans - other.full_scans,
-            self.incremental_scans - other.incremental_scans,
-            self.carried_matches - other.carried_matches,
-            self.rescanned_matches - other.rescanned_matches,
-            self.legacy_finds - other.legacy_finds,
-            self.applies - other.applies,
-            self.enum_seconds - other.enum_seconds,
-            self.apply_seconds - other.apply_seconds,
-        )
+        return RewriteStats(**{
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)})
 
     def copy(self) -> "RewriteStats":
         return RewriteStats(**self.as_dict())
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "requests": self.requests,
-            "memo_hits": self.memo_hits,
-            "full_scans": self.full_scans,
-            "incremental_scans": self.incremental_scans,
-            "carried_matches": self.carried_matches,
-            "rescanned_matches": self.rescanned_matches,
-            "legacy_finds": self.legacy_finds,
-            "applies": self.applies,
-            "enum_seconds": self.enum_seconds,
-            "apply_seconds": self.apply_seconds,
-        }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 #: Per-pattern cached matches: (match, dependency set) pairs.  LOCAL
@@ -188,6 +164,78 @@ class RewriteDriver:
             self.stats.memo_hits += 1
         self.stats.enum_seconds += time.perf_counter() - t0
         return list(entry.candidates)
+
+    def chains(self, behavior: "Behavior", *, depth: int = 2,
+               limit: int = 8, max_branch: int = 2,
+               roots: Optional[List["Candidate"]] = None
+               ) -> List[Tuple["Behavior", Tuple["Candidate", ...]]]:
+        """Dependent multi-rewrite chains rooted at ``roots``.
+
+        The macro-move enumerator (``docs/search.md``): apply a root
+        candidate, read the exact dirty set off the child's provenance
+        annotation (``_rw_parent``, the same journal that powers
+        incremental re-enumeration), and follow up with candidates whose
+        match sites intersect it — i.e. rewrites *enabled or reshaped
+        by* the previous step, not independent moves that a later
+        generation would find anyway.  Recursion continues to ``depth``
+        rewrites, taking at most ``max_branch`` dependent follow-ups per
+        node and at most ``limit`` chains per call.
+
+        Returns ``(final_behavior, steps)`` pairs where ``steps`` is the
+        applied :class:`~repro.transforms.base.Candidate` chain in
+        order; only chains of length >= 2 are returned (single rewrites
+        are the ordinary neighborhood).  Enumeration is deterministic:
+        roots and follow-ups are visited in the canonical candidate
+        order, and every intermediate enumeration goes through the
+        incremental memo, so chain building is footprint-proportional
+        too.
+        """
+        out: List[Tuple["Behavior", Tuple["Candidate", ...]]] = []
+        if depth < 2 or limit <= 0:
+            return out
+        t0 = time.perf_counter()
+        root_cands = roots if roots is not None \
+            else self.candidates(behavior)
+        for cand in root_cands:
+            if len(out) >= limit:
+                break
+            try:
+                child = self.apply(behavior, cand)
+            except ReproError:
+                continue
+            self._extend_chain(child, (cand,), depth, max_branch,
+                               limit, out)
+        self.stats.chains += len(out)
+        self.stats.chain_seconds += time.perf_counter() - t0
+        return out
+
+    def _extend_chain(self, behavior: "Behavior", steps: Tuple,
+                      depth: int, max_branch: int, limit: int,
+                      out: List) -> None:
+        """Grow one chain by dependent follow-ups (recursive helper)."""
+        provenance = getattr(behavior, "_rw_parent", None)
+        dirty: FrozenSet[int] = provenance[1] if provenance is not None \
+            else frozenset()
+        if not dirty:
+            return
+        taken = 0
+        for cand in self.candidates(behavior):
+            if len(out) >= limit:
+                return
+            if taken >= max_branch:
+                break
+            if not dirty.intersection(cand.sites):
+                continue
+            try:
+                child = self.apply(behavior, cand)
+            except ReproError:
+                continue
+            taken += 1
+            chain = steps + (cand,)
+            out.append((child, chain))
+            if len(chain) < depth:
+                self._extend_chain(child, chain, depth, max_branch,
+                                   limit, out)
 
     #: Incremental work is proportional to the dirty set; once a rewrite
     #: touched more than this fraction of the graph, a plain full scan

@@ -1,0 +1,72 @@
+"""Macro-moves: dependent rewrite chains as single search candidates.
+
+A one-rewrite neighborhood cannot cross fitness valleys: a loop
+restructuring that only pays off after a follow-up reassociation loses
+to a flat move in the very generation it is tried.  A *macro-move*
+evaluates the whole dependent chain as one candidate — the chain is
+built by following the :class:`~repro.rewrite.driver.RewriteDriver`'s
+provenance hooks (each applied rewrite reports its exact dirty set, and
+a follow-up is *dependent* when its match sites intersect that dirty
+set), and its composed lineage keeps every step replayable.
+
+Chains ride alongside the ordinary one-step expansion: a macro-enabled
+expander first runs :func:`repro.core.search.expand_candidates`
+(consuming the run RNG exactly as plain greedy does, so macro search
+diverges from greedy only through the extra candidates) and then
+appends the chains, which are enumerated deterministically — canonical
+root order, canonical follow-up order, no RNG.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..cdfg.regions import Behavior
+from ..obs.trace import NULL_TRACER, AnyTracer
+from ..rewrite.driver import RewriteDriver
+
+__all__ = ["compose_lineage", "expand_macro_chains"]
+
+
+def compose_lineage(lineage: Tuple[str, ...], steps) -> Tuple[str, ...]:
+    """The chain's composed lineage: one ``transform:description``
+    entry per step, in application order, appended to the seed's
+    lineage — the same per-step entries a one-rewrite-at-a-time search
+    would have recorded, so macro-found lineages replay identically."""
+    return lineage + tuple(f"{c.transform}:{c.description}"
+                           for c in steps)
+
+
+def expand_macro_chains(driver: RewriteDriver,
+                        seeds: Sequence[Tuple[Behavior,
+                                              Tuple[str, ...]]], *,
+                        depth: int = 2, limit: int = 8,
+                        max_branch: int = 2,
+                        hot_nodes: Optional[Set[int]] = None,
+                        fresh_from: int = 0,
+                        tracer: AnyTracer = NULL_TRACER
+                        ) -> List[Tuple[Behavior, Tuple[str, ...]]]:
+    """Dependent-chain candidates for every seed, as (behavior,
+    lineage) pairs.
+
+    Chain roots are the seed's ordinary candidates under the same
+    hot-node focus as one-step expansion; each seed contributes at most
+    ``limit`` chains of 2..``depth`` rewrites (see
+    :meth:`~repro.rewrite.driver.RewriteDriver.chains`).  Duplicates of
+    one-step products are possible in principle but cost nothing: the
+    evaluation engine's fingerprint cache merges them.
+    """
+    out: List[Tuple[Behavior, Tuple[str, ...]]] = []
+    for behavior, lineage in seeds:
+        roots = driver.candidates(behavior)
+        if hot_nodes is not None:
+            roots = [c for c in roots
+                     if c.touches(hot_nodes)
+                     or any(s >= fresh_from for s in c.sites)]
+        chains = driver.chains(behavior, depth=depth, limit=limit,
+                               max_branch=max_branch, roots=roots)
+        for child, steps in chains:
+            with tracer.span("apply.macro", length=len(steps)) as span:
+                span.set(chain=" -> ".join(c.transform for c in steps))
+            out.append((child, compose_lineage(lineage, steps)))
+    return out

@@ -108,6 +108,9 @@ class JobSpec:
     candidates_per_seed: int = 24
     iterations: int = 6
     warm_start: bool = True
+    #: search strategy for the warm-start searches ("greedy", "macro"
+    #: or "portfolio"; see docs/search.md)
+    strategy: str = "greedy"
     profile_traces: int = 12
     clock: float = 25.0
     vdd: float = 5.0
@@ -133,6 +136,11 @@ class JobSpec:
                     f"integer, got {value!r}")
         if self.num_seeds < 1:
             raise ServiceError("num_seeds must be >= 1")
+        from ..search import STRATEGIES
+        if self.strategy not in STRATEGIES:
+            raise ServiceError(
+                f"unknown strategy {self.strategy!r}; expected one "
+                f"of {STRATEGIES}")
         return self
 
     # -- canonical serialization ----------------------------------------
@@ -242,7 +250,8 @@ class ShardSpec:
         from ..sched.types import SchedConfig
         spec = self.spec
         search = SearchConfig(max_outer_iters=spec.iterations,
-                              seed=self.seed)
+                              seed=self.seed,
+                              strategy=spec.strategy)
         base = dict(population_size=spec.population,
                     max_candidates_per_seed=spec.candidates_per_seed,
                     seed=self.seed, workers=0,

@@ -1,0 +1,100 @@
+"""Macro-move chains preserve semantics and replayable lineage.
+
+A macro candidate is a whole dependent rewrite chain evaluated as one
+search move; whatever the chain does to the graph, it must stay an
+ordinary sequence of semantics-preserving rewrites — interpreting the
+product matches the seed on random stimuli, and the composed lineage
+is exactly the per-step entries a one-rewrite-at-a-time search would
+have logged.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.circuits import circuit
+from repro.cdfg import execute, validate_behavior
+from repro.rewrite import RewriteDriver
+from repro.search.macro import compose_lineage, expand_macro_chains
+from repro.transforms import default_library
+
+import random
+
+NAMES = ["gcd", "test2"]
+_BEHAVIORS = {name: circuit(name).behavior() for name in NAMES}
+
+
+def _chains(name, depth=2, limit=6):
+    behavior = _BEHAVIORS[name]
+    driver = RewriteDriver(default_library())
+    return behavior, expand_macro_chains(
+        driver, [(behavior, ("seed",))], depth=depth, limit=limit)
+
+
+@settings(deadline=None, max_examples=12,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(name=st.sampled_from(NAMES), seed=st.integers(0, 2 ** 16))
+def test_macro_products_preserve_semantics(name, seed):
+    behavior, pairs = _chains(name)
+    rng = random.Random(seed)
+    inputs = {k: rng.randint(1, 60) for k in behavior.inputs}
+    arrays = {k: [rng.randint(0, 50) for _ in range(decl.size)]
+              for k, decl in behavior.arrays.items()}
+    want = execute(behavior, inputs, {k: list(v)
+                                      for k, v in arrays.items()})
+    for child, lineage in pairs:
+        validate_behavior(child)
+        got = execute(child, inputs, {k: list(v)
+                                      for k, v in arrays.items()})
+        assert got.outputs == want.outputs, lineage
+        assert got.arrays == want.arrays, lineage
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_macro_lineage_composes_and_replays(name):
+    behavior, pairs = _chains(name)
+    assert pairs, f"no macro chains on {name}"
+    driver = RewriteDriver(default_library())
+    for child, lineage in pairs:
+        assert lineage[0] == "seed"
+        steps = lineage[1:]
+        assert 2 <= len(steps)
+        assert all(":" in s for s in steps)
+        # replay: apply each step's candidate by description, in order
+        replayed = behavior
+        for step in steps:
+            transform, _, description = step.partition(":")
+            matches = [c for c in driver.candidates(replayed)
+                       if c.transform == transform
+                       and c.description == description]
+            assert matches, f"step {step!r} not re-enumerable"
+            replayed = driver.apply(replayed, matches[0])
+        from repro.core.evalcache import behavior_fingerprint
+        assert behavior_fingerprint(replayed) \
+            == behavior_fingerprint(child), lineage
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_macro_enumeration_deterministic_and_rng_free(name):
+    _, first = _chains(name)
+    _, second = _chains(name)
+    from repro.core.evalcache import behavior_fingerprint
+    sig = lambda pairs: [(behavior_fingerprint(b), l)
+                         for b, l in pairs]
+    assert sig(first) == sig(second)
+
+
+def test_compose_lineage_appends_steps():
+    class FakeCand:
+        transform = "t"
+        description = "d"
+    assert compose_lineage(("a",), [FakeCand(), FakeCand()]) \
+        == ("a", "t:d", "t:d")
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_chain_depth_and_limit_respected(name):
+    behavior, pairs = _chains(name, depth=3, limit=4)
+    assert len(pairs) <= 4
+    for _, lineage in pairs:
+        assert len(lineage) - 1 <= 3

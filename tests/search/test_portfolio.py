@@ -1,0 +1,77 @@
+"""Portfolio racing: deterministic, budget-fair, fully reported."""
+
+import pytest
+
+from repro.bench.circuits import circuit
+from repro.core.objectives import THROUGHPUT, Objective
+from repro.core.search import SearchConfig, TransformSearch
+from repro.hw import dac98_library
+from repro.profiling.profiler import profile
+from repro.transforms import default_library
+
+LIB = dac98_library()
+
+
+def _fixture(name="gcd"):
+    c = circuit(name)
+    beh = c.behavior()
+    return beh, c.allocation, profile(beh, c.traces(beh)).branch_probs
+
+
+def _run(beh, alloc, probs, **kw):
+    base = dict(max_outer_iters=2, max_moves=2, seed=5,
+                max_candidates_per_seed=8, workers=0,
+                strategy="portfolio", portfolio_size=3)
+    base.update(kw)
+    cfg = SearchConfig(**base)
+    return TransformSearch(default_library(), LIB, alloc,
+                           Objective(THROUGHPUT), branch_probs=probs,
+                           config=cfg).run(beh)
+
+
+def _signature(res):
+    return (res.best.score, res.best.lineage, tuple(res.history),
+            res.generations, res.evaluated_count,
+            tuple(sorted((label, stats["spent"],
+                          stats["generations"], stats["best_score"])
+                         for label, stats
+                         in res.telemetry.members.items())))
+
+
+def test_portfolio_deterministic_serial():
+    beh, alloc, probs = _fixture()
+    assert _signature(_run(beh, alloc, probs)) \
+        == _signature(_run(beh, alloc, probs))
+
+
+def test_portfolio_pool_matches_serial():
+    beh, alloc, probs = _fixture()
+    serial = _run(beh, alloc, probs)
+    pooled = _run(beh, alloc, probs, workers=2)
+    assert _signature(serial) == _signature(pooled)
+
+
+def test_portfolio_reports_every_member():
+    beh, alloc, probs = _fixture()
+    res = _run(beh, alloc, probs)
+    assert res.strategy == "portfolio"
+    assert res.telemetry.strategy == "portfolio"
+    assert set(res.telemetry.members) == {"greedy", "macro", "explore"}
+    for stats in res.telemetry.members.values():
+        assert stats["generations"] >= 1
+    # member 0 is plain greedy on the run seed: the portfolio can only
+    # match or beat it
+    greedy = res.telemetry.members["greedy"]
+    assert res.best.score <= greedy["best_score"] + 1e-9
+    # per-member metrics land in the registry
+    metrics = res.telemetry.metrics()
+    assert metrics.value("search.member.greedy.best_score") \
+        == greedy["best_score"]
+
+
+def test_portfolio_best_never_above_any_member():
+    beh, alloc, probs = _fixture("test2")
+    res = _run(beh, alloc, probs)
+    floor = min(stats["best_score"]
+                for stats in res.telemetry.members.values())
+    assert res.best.score <= floor + 1e-9

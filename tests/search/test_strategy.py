@@ -1,0 +1,133 @@
+"""The strategy layer's greedy equals the frozen legacy loop.
+
+``repro.search.reference`` is the pre-refactor ``TransformSearch.run``
+kept verbatim; these tests pin the byte-identity contract the refactor
+ships under — same best, same lineage, same history, same counters,
+serial and pooled.
+"""
+
+import pytest
+
+from repro.bench.circuits import circuit
+from repro.core.objectives import THROUGHPUT, Objective
+from repro.core.search import (SearchConfig, SearchResult,
+                               TransformSearch)
+from repro.errors import SearchError
+from repro.hw import dac98_library
+from repro.profiling.profiler import profile
+from repro.search import make_strategy
+from repro.search.reference import reference_search
+from repro.transforms import default_library
+
+LIB = dac98_library()
+
+
+def _probs(name):
+    c = circuit(name)
+    beh = c.behavior()
+    return beh, c.allocation, profile(beh, c.traces(beh)).branch_probs
+
+
+def _cfg(**kw):
+    base = dict(max_outer_iters=3, max_moves=2, in_set_size=3,
+                seed=11, max_candidates_per_seed=12, workers=0)
+    base.update(kw)
+    return SearchConfig(**base)
+
+
+def run_both(name, cfg):
+    beh, alloc, probs = _probs(name)
+    got = TransformSearch(default_library(), LIB, alloc,
+                          Objective(THROUGHPUT), branch_probs=probs,
+                          config=cfg).run(beh)
+    want = reference_search(default_library(), LIB, alloc,
+                            Objective(THROUGHPUT), beh,
+                            branch_probs=probs, config=cfg)
+    return got, want
+
+
+def assert_identical(got, want):
+    assert got.best.score == want.best.score
+    assert got.best.lineage == want.best.lineage
+    assert got.history == want.history
+    assert got.generations == want.generations
+    assert got.evaluated_count == want.evaluated_count
+
+
+@pytest.mark.parametrize("name", ["gcd", "test2"])
+def test_greedy_matches_reference_serial(name):
+    got, want = run_both(name, _cfg())
+    assert_identical(got, want)
+    assert got.strategy == "greedy"
+
+
+def test_greedy_matches_reference_pool():
+    got, want = run_both("gcd", _cfg(workers=2, max_outer_iters=2))
+    assert_identical(got, want)
+
+
+@pytest.mark.parametrize("kw", [dict(max_moves=0),
+                                dict(max_outer_iters=0),
+                                dict(max_candidates_per_seed=1)])
+def test_greedy_matches_reference_edge_configs(kw):
+    got, want = run_both("gcd", _cfg(**kw))
+    assert_identical(got, want)
+
+
+def test_greedy_matches_reference_streaming():
+    got, want = run_both("gcd", _cfg(streaming=True))
+    assert_identical(got, want)
+
+
+def test_macro_strategy_never_worse_than_its_own_seeds():
+    beh, alloc, probs = _probs("test2")
+    cfg = _cfg(strategy="macro")
+    res = TransformSearch(default_library(), LIB, alloc,
+                          Objective(THROUGHPUT), branch_probs=probs,
+                          config=cfg).run(beh)
+    assert res.strategy == "macro"
+    assert res.best.score <= res.history[0]
+    # history is the running best: monotone non-increasing
+    assert all(b <= a for a, b in zip(res.history, res.history[1:]))
+
+
+def test_max_evaluations_caps_scheduled_work():
+    beh, alloc, probs = _probs("test2")
+    free = TransformSearch(default_library(), LIB, alloc,
+                           Objective(THROUGHPUT), branch_probs=probs,
+                           config=_cfg()).run(beh)
+    budget = free.telemetry.eval.scheduled // 2
+    capped = TransformSearch(default_library(), LIB, alloc,
+                             Objective(THROUGHPUT), branch_probs=probs,
+                             config=_cfg(max_evaluations=budget)
+                             ).run(beh)
+    # soft cap: the generation in flight completes, nothing after it
+    assert capped.generations < free.generations
+    assert capped.telemetry.eval.scheduled < \
+        free.telemetry.eval.scheduled
+
+
+def test_unknown_strategy_raises():
+    with pytest.raises(SearchError, match="unknown search strategy"):
+        make_strategy(_cfg(strategy="anneal"), lambda depth: None)
+
+
+class TestImprovement:
+    """Regression: both-zero scores mean "no change", not infinity."""
+
+    def _result(self, initial, best):
+        from repro.core.engine import Evaluated
+        return SearchResult(
+            best=Evaluated(behavior=None, result=None, score=best),
+            initial=Evaluated(behavior=None, result=None,
+                              score=initial),
+            generations=0, evaluated_count=0, history=[initial])
+
+    def test_both_zero_is_neutral(self):
+        assert self._result(0.0, 0.0).improvement == 1.0
+
+    def test_zero_best_from_positive_initial_is_infinite(self):
+        assert self._result(4.0, 0.0).improvement == float("inf")
+
+    def test_ratio(self):
+        assert self._result(8.0, 2.0).improvement == 4.0

@@ -1,0 +1,109 @@
+"""Store-backed warm-start transfer: record, index, adopt."""
+
+import os
+
+import pytest
+
+from repro.bench.circuits import circuit
+from repro.core.evalcache import behavior_fingerprint
+from repro.explore.runner import ExploreConfig, ExploreRunner
+from repro.explore.store import RunStore
+from repro.profiling.profiler import profile
+
+
+@pytest.fixture(scope="module")
+def gcd():
+    c = circuit("gcd")
+    beh = c.behavior()
+    return beh, c.allocation, profile(beh, c.traces(beh)).branch_probs
+
+
+def _runner(gcd, store, vdd=5.0, warm=False, seed=7):
+    beh, alloc, probs = gcd
+    cfg = ExploreConfig(generations=1, population_size=4, seed=seed,
+                        vdd=vdd, warm_start_transfer=warm)
+    return ExploreRunner(beh, alloc, config=cfg, branch_probs=probs,
+                         store=store)
+
+
+class TestStoreIndex:
+    def test_record_and_load_round_trip(self, gcd, tmp_path):
+        beh, alloc, probs = gcd
+        store = RunStore(tmp_path)
+        entries = [(beh, ("step1", "step2"))]
+        store.record_transfer("run-a", behavior_fingerprint(beh),
+                              {"vdd": 5.0, "alloc.a1": 2.0}, entries)
+        docs = store.transfers()
+        assert len(docs) == 1
+        doc = docs[0]
+        assert doc["run"] == "run-a"
+        assert doc["front_size"] == 1
+        assert doc["lineages"] == [["step1", "step2"]]
+        loaded = store.load_transfer("run-a")
+        assert loaded is not None
+        (got_beh, got_lineage), = loaded
+        assert got_lineage == ("step1", "step2")
+        assert behavior_fingerprint(got_beh) \
+            == behavior_fingerprint(beh)
+
+    def test_nearest_prefers_closest_context(self, gcd, tmp_path):
+        beh, _, _ = gcd
+        store = RunStore(tmp_path)
+        fp = behavior_fingerprint(beh)
+        store.record_transfer("far", fp, {"vdd": 3.0}, [(beh, ())])
+        store.record_transfer("near", fp, {"vdd": 4.9}, [(beh, ())])
+        doc = store.nearest_transfer(fp, {"vdd": 5.0})
+        assert doc["run"] == "near"
+
+    def test_nearest_requires_same_behavior(self, gcd, tmp_path):
+        beh, _, _ = gcd
+        store = RunStore(tmp_path)
+        store.record_transfer("other", "deadbeef", {"vdd": 5.0},
+                              [(beh, ())])
+        assert store.nearest_transfer(behavior_fingerprint(beh),
+                                      {"vdd": 5.0}) is None
+
+    def test_nearest_honors_exclude(self, gcd, tmp_path):
+        beh, _, _ = gcd
+        store = RunStore(tmp_path)
+        fp = behavior_fingerprint(beh)
+        store.record_transfer("self", fp, {"vdd": 5.0}, [(beh, ())])
+        assert store.nearest_transfer(fp, {"vdd": 5.0},
+                                      exclude="self") is None
+
+    def test_corrupt_meta_is_skipped(self, gcd, tmp_path):
+        beh, _, _ = gcd
+        store = RunStore(tmp_path)
+        store.record_transfer("ok", behavior_fingerprint(beh),
+                              {"vdd": 5.0}, [(beh, ())])
+        bad = tmp_path / "transfer" / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        from repro.explore.store import RunStoreWarning
+        with pytest.warns(RunStoreWarning):
+            docs = store.transfers()
+        assert [d["run"] for d in docs] == ["ok"]
+
+
+class TestRunnerTransfer:
+    def test_run_records_front_unconditionally(self, gcd, tmp_path):
+        _runner(gcd, tmp_path).run()
+        docs = RunStore(tmp_path).transfers()
+        assert len(docs) == 1
+        assert docs[0]["front_size"] >= 1
+        assert docs[0]["features"]["vdd"] == 5.0
+
+    def test_warm_start_adopts_nearest_front(self, gcd, tmp_path):
+        _runner(gcd, tmp_path, vdd=5.0).run()
+        warm = _runner(gcd, tmp_path, vdd=4.5, warm=True)
+        doc = warm.store.nearest_transfer(
+            behavior_fingerprint(gcd[0]), warm._transfer_features(),
+            exclude=warm.run_fingerprint)
+        assert doc is not None
+        result = warm.run()
+        assert len(result.front) >= 1
+        assert len(RunStore(tmp_path).transfers()) == 2
+
+    def test_warm_start_changes_run_identity(self, gcd, tmp_path):
+        cold = _runner(gcd, tmp_path)
+        warm = _runner(gcd, tmp_path, warm=True)
+        assert cold.run_fingerprint != warm.run_fingerprint

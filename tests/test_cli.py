@@ -189,3 +189,49 @@ class TestService:
                      str(tmp_path / "store-b")]) == 0
         out = capsys.readouterr().out
         assert "copied" in out and "disagreements 0" in out
+
+    def test_store_list_round_trip(self, gcd_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["--alloc", "sb1=2,cp1=1,e1=1", "--seed", "1",
+                "--generations", "1", "--population", "4",
+                "--candidates-per-seed", "8", "--iterations", "1",
+                "--store", store]
+        assert main(["explore", gcd_file, *args]) == 0
+        capsys.readouterr()
+        assert main(["store", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "stored evaluation(s)" in out
+        assert "1 transfer front(s)" in out
+        assert "vdd=5" in out
+
+    def test_store_list_empty_store(self, tmp_path, capsys):
+        assert main(["store", "list",
+                     "--store", str(tmp_path / "empty")]) == 0
+        out = capsys.readouterr().out
+        assert "0 stored evaluation(s), 0 transfer front(s)" in out
+
+    def test_explore_warm_start_uses_transfer_index(
+            self, gcd_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        args = ["--alloc", "sb1=2,cp1=1,e1=1", "--seed", "1",
+                "--generations", "1", "--population", "4",
+                "--candidates-per-seed", "8", "--iterations", "1",
+                "--store", store]
+        assert main(["explore", gcd_file, *args]) == 0
+        assert main(["explore", gcd_file, *args, "--warm-start",
+                     "--clock", "26"]) == 0
+        capsys.readouterr()
+        assert main(["store", "list", "--store", store]) == 0
+        assert "2 transfer front(s)" in capsys.readouterr().out
+
+    def test_submit_strategy_round_trips_through_queue(
+            self, gcd_file, tmp_path, capsys):
+        queue = str(tmp_path / "queue")
+        assert main(["submit", gcd_file, *self.KNOBS,
+                     "--strategy", "macro",
+                     "--queue", queue,
+                     "--store", str(tmp_path / "store")]) == 0
+        job_id = capsys.readouterr().out.strip().splitlines()[0]
+        from repro.service.jobs import JobQueue
+        record = JobQueue(queue).get(job_id)
+        assert record.spec.strategy == "macro"
